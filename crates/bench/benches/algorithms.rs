@@ -1,0 +1,60 @@
+//! Figure 5/6/7 benchmark: every algorithm at the paper's anchor points.
+//!
+//! Criterion measures the wall-clock of the deterministic simulation; the
+//! quantity of scientific interest (the simulated barrier overhead in ns)
+//! is printed once per configuration alongside.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use armbar_bench::{build, sim_once};
+use armbar_core::prelude::*;
+use armbar_topology::Platform;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_algorithms_at_64");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for platform in Platform::ARM {
+        for id in AlgorithmId::SEVEN {
+            let (topo, barrier) = build(platform, 64, id);
+            let overhead = sim_once(&topo, 64, Arc::clone(&barrier));
+            println!("[sim] {platform} / {id} @64: {overhead:.0} ns per episode");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{platform}"), format!("{id}")),
+                &(),
+                |b, _| {
+                    b.iter(|| sim_once(&topo, 64, Arc::clone(&barrier)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gcc_vs_llvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_gcc_vs_llvm_at_32");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for platform in Platform::ALL {
+        for id in [AlgorithmId::Sense, AlgorithmId::LlvmHyper] {
+            let (topo, barrier) = build(platform, 32, id);
+            let overhead = sim_once(&topo, 32, Arc::clone(&barrier));
+            println!("[sim] {platform} / {id} @32: {overhead:.0} ns per episode");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{platform}"), format!("{id}")),
+                &(),
+                |b, _| {
+                    b.iter(|| sim_once(&topo, 32, Arc::clone(&barrier)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcc_vs_llvm, bench_algorithms);
+criterion_main!(benches);

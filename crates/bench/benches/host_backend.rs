@@ -1,0 +1,55 @@
+//! Host-backend benchmark: real-thread barrier episodes (Table IV's
+//! algorithms as a usable library). Thread counts stay small — the bench
+//! host may have very few cores, and barrier benchmarking oversubscribed
+//! measures the OS scheduler, not the algorithm.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use armbar_core::prelude::*;
+use armbar_simcoh::Arena;
+use armbar_topology::{Platform, Topology};
+
+fn episodes(p: usize, id: AlgorithmId, iters: u64) {
+    let topo = Topology::preset(Platform::Phytium2000Plus);
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+    let mem = HostMem::new(&arena);
+    std::thread::scope(|s| {
+        for tid in 0..p {
+            let mem = Arc::clone(&mem);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let ctx = mem.ctx(tid, p);
+                for _ in 0..iters {
+                    barrier.wait(&ctx);
+                }
+            });
+        }
+    });
+}
+
+fn bench_host_barriers(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let p = threads.clamp(1, 4);
+    let mut group = c.benchmark_group(format!("host_barrier_p{p}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for id in [
+        AlgorithmId::Sense,
+        AlgorithmId::Dissemination,
+        AlgorithmId::Mcs,
+        AlgorithmId::Tournament,
+        AlgorithmId::Optimized,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{id}")), &(), |b, _| {
+            b.iter(|| episodes(p, id, 200));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_host_barriers);
+criterion_main!(benches);

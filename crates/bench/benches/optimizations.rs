@@ -1,0 +1,102 @@
+//! Figure 11/12/13 benchmark: the optimization design space — flag
+//! padding, fixed fan-in, and wake-up policy.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use armbar_bench::sim_once;
+use armbar_core::prelude::*;
+use armbar_simcoh::Arena;
+use armbar_topology::{Platform, Topology};
+
+fn fway(topo: &Arc<Topology>, p: usize, config: FwayConfig) -> Arc<dyn Barrier> {
+    let mut arena = Arena::new();
+    Arc::new(FwayBarrier::with_config(&mut arena, p, topo, config))
+}
+
+fn bench_fig11_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_arrival_variants_at_64");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for platform in Platform::ARM {
+        let topo = Arc::new(Topology::preset(platform));
+        for (label, config) in [
+            ("static_fway", FwayConfig::stour()),
+            ("padding_fway", FwayConfig { padded_flags: true, ..FwayConfig::stour() }),
+            (
+                "padding_4way",
+                FwayConfig {
+                    fanin: Fanin::Fixed(4),
+                    padded_flags: true,
+                    ..FwayConfig::stour()
+                },
+            ),
+        ] {
+            let barrier = fway(&topo, 64, config);
+            let overhead = sim_once(&topo, 64, Arc::clone(&barrier));
+            println!("[sim] {platform} / {label} @64: {overhead:.0} ns per episode");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{platform}"), label),
+                &(),
+                |b, _| b.iter(|| sim_once(&topo, 64, Arc::clone(&barrier))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig12_wakeups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_wakeup_methods_at_64");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for platform in Platform::ARM {
+        let topo = Arc::new(Topology::preset(platform));
+        for wakeup in [WakeupKind::Global, WakeupKind::BinaryTree, WakeupKind::NumaTree] {
+            let config = FwayConfig {
+                fanin: Fanin::Fixed(4),
+                padded_flags: true,
+                dynamic: false,
+                wakeup,
+            };
+            let barrier = fway(&topo, 64, config);
+            let overhead = sim_once(&topo, 64, Arc::clone(&barrier));
+            println!("[sim] {platform} / {} @64: {overhead:.0} ns per episode", wakeup.label());
+            group.bench_with_input(
+                BenchmarkId::new(format!("{platform}"), wakeup.label()),
+                &(),
+                |b, _| b.iter(|| sim_once(&topo, 64, Arc::clone(&barrier))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig13_fanin_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_fanin_sweep_at_64");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for platform in Platform::ARM {
+        let topo = Arc::new(Topology::preset(platform));
+        for f in [2usize, 4, 8, 16, 32, 64] {
+            let config = FwayConfig {
+                fanin: Fanin::Fixed(f),
+                padded_flags: true,
+                ..FwayConfig::stour()
+            };
+            let barrier = fway(&topo, 64, config);
+            let overhead = sim_once(&topo, 64, Arc::clone(&barrier));
+            println!("[sim] {platform} / fan-in {f} @64: {overhead:.0} ns per episode");
+            group.bench_with_input(BenchmarkId::new(format!("{platform}"), f), &(), |b, _| {
+                b.iter(|| sim_once(&topo, 64, Arc::clone(&barrier)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11_padding, bench_fig12_wakeups, bench_fig13_fanin_sweep);
+criterion_main!(benches);

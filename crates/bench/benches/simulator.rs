@@ -1,0 +1,43 @@
+//! Simulator-engine throughput benchmark: operations per second through
+//! the rendezvous scheduler. Guards the DES core against performance
+//! regressions independently of the modeled results.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use armbar_simcoh::{Arena, SimBuilder};
+use armbar_topology::{Platform, Topology};
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, nthreads, ops_per_thread) in
+        [("2x500", 2usize, 500u32), ("16x200", 16, 200), ("64x50", 64, 50)]
+    {
+        let total_ops = nthreads as u64 * ops_per_thread as u64;
+        group.throughput(Throughput::Elements(total_ops));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                let topo = Arc::new(Topology::preset(Platform::Kunpeng920));
+                let mut arena = Arena::new();
+                let slots = arena.alloc_padded_u32_array(nthreads, 128);
+                SimBuilder::new(topo, nthreads)
+                    .run(move |ctx| {
+                        let mine = slots + 128 * ctx.tid() as u32;
+                        for i in 0..ops_per_thread {
+                            ctx.store(mine, i);
+                            ctx.load(mine);
+                        }
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! # armbar-bench — Criterion benchmark harnesses
+//!
+//! Four benchmark suites:
+//!
+//! * `algorithms` — simulated per-episode overhead of every algorithm at
+//!   the paper's anchor points (Figures 5–7): the benchmark measures the
+//!   wall-clock of a deterministic simulation whose *virtual* time is the
+//!   paper's metric; each run also prints the virtual overhead so the
+//!   criterion report doubles as a figure regeneration.
+//! * `optimizations` — the Figure 11/12/13 configuration space (padding ×
+//!   fan-in × wake-up).
+//! * `host_backend` — real-thread barrier episodes on the host (small
+//!   thread counts; this is the library-as-a-product benchmark).
+//! * `simulator` — engine throughput (ops/second) so regressions in the
+//!   DES core are caught independently of the modeled numbers.
+//!
+//! Helpers shared by the suites live here.
+
+use std::sync::Arc;
+
+use armbar_core::prelude::*;
+use armbar_epcc::{sim_overhead_of, OverheadConfig};
+use armbar_simcoh::Arena;
+use armbar_topology::{Platform, Topology};
+
+/// Builds a barrier + topology pair ready for simulation runs.
+pub fn build(
+    platform: Platform,
+    p: usize,
+    id: AlgorithmId,
+) -> (Arc<Topology>, Arc<dyn Barrier>) {
+    let topo = Arc::new(Topology::preset(platform));
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+    (topo, barrier)
+}
+
+/// One simulated overhead measurement with bench-friendly defaults
+/// (fewer episodes than the experiment pipelines — criterion already
+/// repeats).
+pub fn sim_once(topo: &Arc<Topology>, p: usize, barrier: Arc<dyn Barrier>) -> f64 {
+    sim_overhead_of(
+        topo,
+        p,
+        barrier,
+        OverheadConfig { warmup: 2, episodes: 10, delay_ns: 100.0, seed: 7 },
+    )
+    .expect("simulation failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_run_every_algorithm() {
+        for id in [AlgorithmId::Sense, AlgorithmId::Optimized] {
+            let (topo, b) = build(Platform::ThunderX2, 16, id);
+            assert!(sim_once(&topo, 16, b) > 0.0);
+        }
+    }
+}

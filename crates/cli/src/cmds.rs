@@ -1,0 +1,256 @@
+//! Subcommand implementations and flag parsing for the `armbar` CLI.
+
+use std::sync::Arc;
+
+use armbar_core::prelude::*;
+use armbar_epcc::{latency_table, phase_breakdown, sim_overhead_ns, OverheadConfig};
+use armbar_model::{optimal_fanin_int, recommend_wakeup, WakeupChoice};
+use armbar_simcoh::Arena;
+use armbar_topology::{Platform, Topology};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+armbar — barrier synchronization toolkit (CLUSTER'21 reproduction)
+
+USAGE:
+  armbar platforms
+      List the built-in machine models.
+  armbar latency <platform>
+      Regenerate the machine's core-to-core latency table (Tables I-III).
+  armbar sweep <platform> [--threads N,N,...] [--algos NAME,NAME,...]
+      Simulated barrier overhead per algorithm and thread count.
+  armbar recommend <platform> [--threads N]
+      Model-driven configuration (fan-in, wake-up) with validation runs.
+  armbar phases <platform> [--threads N]
+      Arrival/notification phase breakdown of the marked algorithms.
+
+Platforms match case-insensitive substrings: phytium, thunderx2,
+kunpeng920, xeon.";
+
+/// Parses `--flag value` style options out of `rest`; returns the value.
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn parse_platform(rest: &[String]) -> Result<Platform, String> {
+    let name = rest
+        .first()
+        .ok_or_else(|| "missing <platform> argument".to_string())?
+        .to_ascii_lowercase();
+    Platform::ALL
+        .into_iter()
+        .find(|p| p.label().to_ascii_lowercase().contains(&name))
+        .ok_or_else(|| {
+            format!(
+                "unknown platform {name:?}; known: {}",
+                Platform::ALL.map(|p| p.label()).join(", ")
+            )
+        })
+}
+
+fn parse_threads(rest: &[String], default: &[usize], max: usize) -> Result<Vec<usize>, String> {
+    let Some(spec) = flag_value(rest, "--threads") else {
+        return Ok(default.iter().copied().filter(|&p| p <= max).collect());
+    };
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let p: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad thread count {part:?}"))?;
+        if p == 0 || p > max {
+            return Err(format!("thread count {p} out of range 1..={max}"));
+        }
+        out.push(p);
+    }
+    if out.is_empty() {
+        return Err("--threads needs at least one value".into());
+    }
+    Ok(out)
+}
+
+fn parse_algos(rest: &[String]) -> Result<Vec<AlgorithmId>, String> {
+    let Some(spec) = flag_value(rest, "--algos") else {
+        return Ok(AlgorithmId::SEVEN
+            .into_iter()
+            .chain([AlgorithmId::LlvmHyper, AlgorithmId::Optimized])
+            .collect());
+    };
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let id = AlgorithmId::parse(part.trim())
+            .ok_or_else(|| format!("unknown algorithm {part:?} (try SENSE, DIS, CMB, MCS, TOUR, STOUR, DTOUR, LLVM, OPT, HYBRID, NDIS, RING)"))?;
+        out.push(id);
+    }
+    Ok(out)
+}
+
+/// `armbar platforms`
+pub fn platforms() -> Result<(), String> {
+    for p in Platform::ALL {
+        let t = Topology::preset(p);
+        println!(
+            "{:18} {:3} cores, N_c = {:2}, {}-byte lines, {} latency layers",
+            t.name(),
+            t.num_cores(),
+            t.n_c(),
+            t.cacheline_bytes(),
+            t.layers().len()
+        );
+    }
+    Ok(())
+}
+
+/// `armbar latency <platform>`
+pub fn latency(rest: &[String]) -> Result<(), String> {
+    let platform = parse_platform(rest)?;
+    let topo = Arc::new(Topology::preset(platform));
+    println!("core-to-core latencies on {} (ns):", topo.name());
+    println!("{:>6}  {:24} {:>10} {:>10}", "layer", "description", "table", "measured");
+    for row in latency_table(&topo) {
+        println!(
+            "{:>6}  {:24} {:>10.2} {:>10.2}",
+            row.layer.to_string(),
+            row.name,
+            row.expected_ns,
+            row.measured_ns
+        );
+    }
+    Ok(())
+}
+
+/// `armbar sweep <platform> [--threads ...] [--algos ...]`
+pub fn sweep(rest: &[String]) -> Result<(), String> {
+    let platform = parse_platform(rest)?;
+    let topo = Arc::new(Topology::preset(platform));
+    let threads = parse_threads(rest, &[2, 4, 8, 16, 32, 64], topo.num_cores())?;
+    let algos = parse_algos(rest)?;
+
+    println!("barrier overhead (us/episode) on simulated {}:", topo.name());
+    print!("{:>8}", "threads");
+    for id in &algos {
+        print!("{:>11}", id.label());
+    }
+    println!();
+    for &p in &threads {
+        print!("{p:>8}");
+        for &id in &algos {
+            let ns = sim_overhead_ns(&topo, p, id, OverheadConfig::default())
+                .map_err(|e| e.to_string())?;
+            print!("{:>11.2}", ns / 1000.0);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `armbar recommend <platform> [--threads N]`
+pub fn recommend(rest: &[String]) -> Result<(), String> {
+    let platform = parse_platform(rest)?;
+    let topo = Arc::new(Topology::preset(platform));
+    let p = parse_threads(rest, &[topo.num_cores()], topo.num_cores())?[0];
+
+    let f = optimal_fanin_int(&topo, p);
+    let wake = match recommend_wakeup(&topo, p) {
+        WakeupChoice::Global => WakeupKind::Global,
+        WakeupChoice::Tree => {
+            if topo.num_clusters() > 1 {
+                WakeupKind::NumaTree
+            } else {
+                WakeupKind::BinaryTree
+            }
+        }
+    };
+    println!("{} at {p} threads:", topo.name());
+    println!("  model-optimal fan-in:  {f}");
+    println!("  recommended wake-up:   {}", wake.label());
+
+    // Validate against the machine default and the GCC baseline.
+    let opt = sim_overhead_ns(&topo, p, AlgorithmId::Optimized, OverheadConfig::default())
+        .map_err(|e| e.to_string())?;
+    let gcc = sim_overhead_ns(&topo, p, AlgorithmId::Sense, OverheadConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!("  optimized barrier:     {:.2} us/episode", opt / 1000.0);
+    println!("  GCC-style barrier:     {:.2} us/episode ({:.1}x)", gcc / 1000.0, gcc / opt);
+    Ok(())
+}
+
+/// `armbar phases <platform> [--threads N]`
+pub fn phases(rest: &[String]) -> Result<(), String> {
+    let platform = parse_platform(rest)?;
+    let topo = Arc::new(Topology::preset(platform));
+    let p = parse_threads(rest, &[topo.num_cores()], topo.num_cores())?[0];
+
+    println!("phase breakdown on {} at {p} threads (us):", topo.name());
+    println!("{:>10} {:>10} {:>14}", "algorithm", "arrival", "notification");
+    for id in [AlgorithmId::Sense, AlgorithmId::Stour, AlgorithmId::Padded4Way, AlgorithmId::Optimized]
+    {
+        let mut arena = Arena::new();
+        let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+        match phase_breakdown(&topo, p, barrier, 4).map_err(|e| e.to_string())? {
+            Some(b) => println!(
+                "{:>10} {:>10.2} {:>14.2}",
+                id.label(),
+                b.arrival_ns / 1000.0,
+                b.notification_ns / 1000.0
+            ),
+            None => println!("{:>10} (no phase marks)", id.label()),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_parsing_accepts_substrings() {
+        assert_eq!(parse_platform(&["kunpeng".into()]).unwrap(), Platform::Kunpeng920);
+        assert_eq!(parse_platform(&["THUNDER".into()]).unwrap(), Platform::ThunderX2);
+        assert!(parse_platform(&["riscv".into()]).is_err());
+        assert!(parse_platform(&[]).is_err());
+    }
+
+    #[test]
+    fn thread_parsing_validates_ranges() {
+        let rest = vec!["x".to_string(), "--threads".into(), "2,8,64".into()];
+        assert_eq!(parse_threads(&rest, &[1], 64).unwrap(), vec![2, 8, 64]);
+        let bad = vec!["x".to_string(), "--threads".into(), "0".into()];
+        assert!(parse_threads(&bad, &[1], 64).is_err());
+        let big = vec!["x".to_string(), "--threads".into(), "65".into()];
+        assert!(parse_threads(&big, &[1], 64).is_err());
+    }
+
+    #[test]
+    fn thread_default_respects_core_count() {
+        assert_eq!(parse_threads(&[], &[2, 64, 128], 64).unwrap(), vec![2, 64]);
+    }
+
+    #[test]
+    fn algo_parsing_round_trips_labels() {
+        let rest = vec!["x".to_string(), "--algos".into(), "sense,OPT,ring".into()];
+        assert_eq!(
+            parse_algos(&rest).unwrap(),
+            vec![AlgorithmId::Sense, AlgorithmId::Optimized, AlgorithmId::Ring]
+        );
+        let bad = vec!["x".to_string(), "--algos".into(), "bogus".into()];
+        assert!(parse_algos(&bad).is_err());
+    }
+
+    #[test]
+    fn subcommands_run_end_to_end() {
+        platforms().unwrap();
+        latency(&["xeon".into()]).unwrap();
+        sweep(&[
+            "kunpeng".into(),
+            "--threads".into(),
+            "2,16".into(),
+            "--algos".into(),
+            "TOUR,OPT".into(),
+        ])
+        .unwrap();
+        recommend(&["thunderx2".into(), "--threads".into(), "32".into()]).unwrap();
+        phases(&["phytium".into(), "--threads".into(), "16".into()]).unwrap();
+    }
+}

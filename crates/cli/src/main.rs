@@ -1,0 +1,40 @@
+//! `armbar` — command-line front end for the barrier workspace.
+//!
+//! ```text
+//! armbar platforms
+//! armbar latency <platform>
+//! armbar sweep <platform> [--threads 2,8,32,64] [--algos SENSE,OPT]
+//! armbar recommend <platform> [--threads 64]
+//! armbar phases <platform> [--threads 64]
+//! ```
+
+mod cmds;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", cmds::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "platforms" => cmds::platforms(),
+        "latency" => cmds::latency(rest),
+        "sweep" => cmds::sweep(rest),
+        "recommend" => cmds::recommend(rest),
+        "phases" => cmds::phases(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", cmds::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", cmds::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

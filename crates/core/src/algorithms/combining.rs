@@ -1,0 +1,156 @@
+//! CMB — the software combining tree barrier (Section II-B-2).
+//!
+//! Yew, Tzeng & Lawrie's answer to the centralized hot-spot: threads are
+//! partitioned into groups, each group shares a counter on its own cache
+//! line, and the **last** arrival of each group climbs to the next level.
+//! The paper evaluates fan-in 2 (`CMB`); the fan-in is a parameter here.
+//! Notification is the classic global sense flip.
+
+use armbar_simcoh::{arena::padded_elem, Addr, Arena};
+use armbar_topology::Topology;
+
+use crate::env::{Barrier, MemCtx};
+
+/// One level of the combining tree: contestants are grouped `fanin` at a
+/// time, each group owning a padded counter.
+#[derive(Debug)]
+struct Level {
+    counters: Addr,
+    groups: usize,
+    contestants: usize,
+}
+
+/// Software combining tree barrier with configurable fan-in.
+#[derive(Debug)]
+pub struct CombiningTreeBarrier {
+    levels: Vec<Level>,
+    fanin: usize,
+    gsense: Addr,
+    local_sense: Addr,
+    stride: usize,
+    name: String,
+}
+
+impl CombiningTreeBarrier {
+    /// Builds the tree for `p` threads with the given `fanin` (the paper's
+    /// CMB uses 2).
+    pub fn new(arena: &mut Arena, p: usize, topo: &Topology, fanin: usize) -> Self {
+        assert!(p >= 1);
+        assert!(fanin >= 2);
+        let line = topo.cacheline_bytes();
+        let mut levels = Vec::new();
+        let mut m = p;
+        while m > 1 {
+            let groups = m.div_ceil(fanin);
+            levels.push(Level {
+                counters: arena.alloc_padded_u32_array(groups, line),
+                groups,
+                contestants: m,
+            });
+            m = groups;
+        }
+        Self {
+            levels,
+            fanin,
+            gsense: arena.alloc_padded_u32(line),
+            local_sense: arena.alloc_padded_u32_array(p, line),
+            stride: line,
+            name: if fanin == 2 { "CMB".to_string() } else { format!("CMB-{fanin}") },
+        }
+    }
+
+    /// Tree height in levels.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl Barrier for CombiningTreeBarrier {
+    fn wait(&self, ctx: &dyn MemCtx) {
+        let me = ctx.tid();
+        let ls_addr = padded_elem(self.local_sense, me, self.stride);
+        let ls = 1 - ctx.load(ls_addr);
+        ctx.store(ls_addr, ls);
+        if ctx.nthreads() == 1 {
+            return;
+        }
+
+        let mut idx = me;
+        for level in &self.levels {
+            let group = idx / self.fanin;
+            let size = self.fanin.min(level.contestants - group * self.fanin);
+            debug_assert!(group < level.groups);
+            if size > 1 {
+                let counter = padded_elem(level.counters, group, self.stride);
+                let prev = ctx.fetch_add(counter, 1);
+                if prev != size as u32 - 1 {
+                    // Not the last of the group: wait for the global release.
+                    ctx.spin_until_eq(self.gsense, ls);
+                    return;
+                }
+                // Last arrival: reset for reuse before climbing (peers of
+                // this group are blocked on gsense and cannot return here
+                // until after the flip).
+                ctx.store(counter, 0);
+            }
+            idx = group;
+        }
+        // Root winner releases everyone.
+        ctx.store(self.gsense, ls);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{check_host, check_sim, HOST_SIZES, SIM_SIZES};
+    use armbar_topology::Platform;
+
+    #[test]
+    fn sim_correct_across_sizes_fanin2() {
+        for &p in &SIM_SIZES {
+            check_sim(Platform::ThunderX2, p, 4, |a, p, t| {
+                Box::new(CombiningTreeBarrier::new(a, p, t, 2))
+            });
+        }
+    }
+
+    #[test]
+    fn sim_correct_with_wider_fanin() {
+        for fanin in [3, 4, 8] {
+            for &p in &[1usize, 5, 16, 64] {
+                check_sim(Platform::Kunpeng920, p, 3, |a, p, t| {
+                    Box::new(CombiningTreeBarrier::new(a, p, t, fanin))
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn host_correct_across_sizes() {
+        for &p in &HOST_SIZES {
+            check_host(p, 30, |a, p, t| Box::new(CombiningTreeBarrier::new(a, p, t, 2)));
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let topo = Topology::preset(Platform::ThunderX2);
+        let mut arena = Arena::new();
+        assert_eq!(CombiningTreeBarrier::new(&mut arena, 64, &topo, 2).height(), 6);
+        assert_eq!(CombiningTreeBarrier::new(&mut arena, 64, &topo, 4).height(), 3);
+        assert_eq!(CombiningTreeBarrier::new(&mut arena, 1, &topo, 2).height(), 0);
+    }
+
+    #[test]
+    fn name_reflects_fanin() {
+        let topo = Topology::preset(Platform::ThunderX2);
+        let mut arena = Arena::new();
+        assert_eq!(CombiningTreeBarrier::new(&mut arena, 8, &topo, 2).name(), "CMB");
+        assert_eq!(CombiningTreeBarrier::new(&mut arena, 8, &topo, 4).name(), "CMB-4");
+    }
+}

@@ -1,0 +1,151 @@
+//! DIS — the dissemination barrier (Section II-B-3).
+//!
+//! `⌈log₂P⌉` rounds of pairwise signalling: in round `j`, thread `i`
+//! notifies thread `(i + 2^j) mod P` and waits for `(i − 2^j) mod P`. There
+//! is no distinguished champion and no Notification-Phase — after the last
+//! round every thread has transitively heard from everyone.
+//!
+//! Flags are epoch-valued. Following the classic compact layout, each
+//! thread's per-round in-flags are packed contiguously (4 bytes × rounds),
+//! so on a 64-byte-line machine a thread's whole flag block lives in one
+//! line — which is precisely why DIS suffers on ARMv8: every round, a
+//! *different* remote writer dirties that line while its owner spins on it,
+//! and once `P > N_c` those writers sit across cluster boundaries in every
+//! round (not just the last few, as in tree barriers).
+
+use armbar_simcoh::{arena::padded_elem, Addr, Arena};
+use armbar_topology::Topology;
+
+use crate::env::{Barrier, MemCtx};
+use crate::wakeup::EpochSlots;
+
+/// Dissemination barrier.
+#[derive(Debug)]
+pub struct DisseminationBarrier {
+    /// `flags + line·i + 4·r` = in-flag of thread `i` for round `r`.
+    flags: Addr,
+    line: usize,
+    rounds: usize,
+    epochs: EpochSlots,
+}
+
+impl DisseminationBarrier {
+    /// Builds the barrier for `p` threads.
+    pub fn new(arena: &mut Arena, p: usize, topo: &Topology) -> Self {
+        assert!(p >= 1);
+        let line = topo.cacheline_bytes();
+        let rounds = ceil_log2(p);
+        // One line per thread holding all its round flags, packed. A round
+        // count beyond line capacity would need more lines; with P ≤ 128,
+        // rounds ≤ 7 → 28 bytes, comfortably within any real line.
+        assert!(4 * rounds.max(1) <= line, "round flags exceed a cache line");
+        Self {
+            flags: arena.alloc_padded_u32_array(p.max(1), line),
+            line,
+            rounds,
+            epochs: EpochSlots::new(arena, p, line),
+        }
+    }
+
+    fn flag(&self, thread: usize, round: usize) -> Addr {
+        padded_elem(self.flags, thread, self.line) + 4 * round as Addr
+    }
+
+    /// Number of pairwise rounds (`⌈log₂P⌉`).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl Barrier for DisseminationBarrier {
+    fn wait(&self, ctx: &dyn MemCtx) {
+        let p = ctx.nthreads();
+        if p == 1 {
+            return;
+        }
+        let me = ctx.tid();
+        let e = self.epochs.next(ctx);
+        for r in 0..self.rounds {
+            let partner = (me + (1 << r)) % p;
+            ctx.store(self.flag(partner, r), e);
+            ctx.spin_until_ge(self.flag(me, r), e);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "DIS"
+    }
+}
+
+fn ceil_log2(p: usize) -> usize {
+    assert!(p >= 1);
+    (usize::BITS - (p - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{check_host, check_sim, HOST_SIZES, SIM_SIZES};
+    use armbar_topology::Platform;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    fn sim_correct_across_sizes() {
+        for &p in &SIM_SIZES {
+            check_sim(Platform::Phytium2000Plus, p, 4, |a, p, t| {
+                Box::new(DisseminationBarrier::new(a, p, t))
+            });
+        }
+    }
+
+    #[test]
+    fn sim_correct_on_kunpeng_lines() {
+        // 128-byte lines change the flag block layout; re-verify.
+        for &p in &[2usize, 16, 64] {
+            check_sim(Platform::Kunpeng920, *&p, 4, |a, p, t| {
+                Box::new(DisseminationBarrier::new(a, p, t))
+            });
+        }
+    }
+
+    #[test]
+    fn host_correct_across_sizes() {
+        for &p in &HOST_SIZES {
+            check_host(p, 30, |a, p, t| Box::new(DisseminationBarrier::new(a, p, t)));
+        }
+    }
+
+    #[test]
+    fn round_count_matches_formula() {
+        let topo = Topology::preset(Platform::ThunderX2);
+        for (p, want) in [(2usize, 1usize), (4, 2), (5, 3), (32, 5), (33, 6), (64, 6)] {
+            let mut arena = Arena::new();
+            let b = DisseminationBarrier::new(&mut arena, p, &topo);
+            assert_eq!(b.rounds(), want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn flag_blocks_are_one_line_per_thread() {
+        let topo = Topology::preset(Platform::ThunderX2);
+        let mut arena = Arena::new();
+        let b = DisseminationBarrier::new(&mut arena, 64, &topo);
+        let line = topo.cacheline_bytes() as u32;
+        for t in 0..64 {
+            for r in 0..b.rounds() {
+                assert_eq!(b.flag(t, r) / line, b.flag(t, 0) / line, "t={t} r={r}");
+            }
+        }
+        assert_ne!(b.flag(0, 0) / line, b.flag(1, 0) / line);
+    }
+}

@@ -1,0 +1,180 @@
+//! HYBRID — a cluster-hierarchical barrier (extension).
+//!
+//! Not one of the paper's seven: this is the "hybrid" design direction the
+//! paper's related-work section attributes to Rodchenko et al. —
+//! centralized synchronization *within* a core cluster (where the shared
+//! counter is cheap: every participant is an `L_0` neighbour) combined
+//! with a tree *across* clusters. It composes naturally from this
+//! workspace's pieces and serves as an ablation of the question "is the
+//! f-way tournament actually better than clustering + counters?" on the
+//! modeled machines.
+//!
+//! Arrival: each cluster's threads fetch-add a cluster-local padded
+//! counter; the last arrival becomes the cluster representative and enters
+//! a padded 4-way static tournament over representatives (one per
+//! cluster). Notification: any [`WakeupKind`].
+
+use armbar_simcoh::{arena::padded_elem, Addr, Arena};
+use armbar_topology::Topology;
+
+use crate::env::{Barrier, MemCtx};
+use crate::trees::FaninPlan;
+use crate::wakeup::{EpochSlots, Wakeup, WakeupKind};
+
+/// Cluster-hierarchical barrier: per-cluster counters + a static f-way
+/// tournament over cluster representatives.
+#[derive(Debug)]
+pub struct HybridBarrier {
+    /// Padded per-cluster arrival counters.
+    counters: Addr,
+    /// Per-representative tournament levels (padded flags), flattened:
+    /// `levels[l]` holds (base, fanin, contestants).
+    levels: Vec<(Addr, usize, usize)>,
+    line: usize,
+    n_c: usize,
+    clusters: usize,
+    p: usize,
+    wakeup: Wakeup,
+    epochs: EpochSlots,
+}
+
+impl HybridBarrier {
+    /// Builds the barrier for `p` threads on `topo`, clustering by the
+    /// machine's `N_c` and using the machine-appropriate wake-up.
+    pub fn new(arena: &mut Arena, p: usize, topo: &Topology) -> Self {
+        Self::with_wakeup(arena, p, topo, crate::algorithms::fway::FwayConfig::optimized(topo).wakeup)
+    }
+
+    /// Builds with an explicit wake-up policy.
+    pub fn with_wakeup(arena: &mut Arena, p: usize, topo: &Topology, wakeup: WakeupKind) -> Self {
+        assert!(p >= 1);
+        let line = topo.cacheline_bytes();
+        let n_c = topo.n_c().min(p).max(1);
+        let clusters = p.div_ceil(n_c);
+        let counters = arena.alloc_padded_u32_array(clusters, line);
+        let plan = FaninPlan::fixed(clusters, 4);
+        let mut levels = Vec::new();
+        for (l, &f) in plan.rounds().iter().enumerate() {
+            let contestants = plan.contestants(clusters, l);
+            levels.push((arena.alloc_padded_u32_array(contestants, line), f, contestants));
+        }
+        Self {
+            counters,
+            levels,
+            line,
+            n_c,
+            clusters,
+            p,
+            wakeup: Wakeup::new(arena, p, line, topo.n_c(), wakeup),
+            epochs: EpochSlots::new(arena, p, line),
+        }
+    }
+
+    /// Number of clusters participating.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    fn counter(&self, cluster: usize) -> Addr {
+        padded_elem(self.counters, cluster, self.line)
+    }
+}
+
+impl Barrier for HybridBarrier {
+    fn wait(&self, ctx: &dyn MemCtx) {
+        if ctx.nthreads() == 1 {
+            return;
+        }
+        debug_assert_eq!(ctx.nthreads(), self.p, "built for {} threads", self.p);
+        let me = ctx.tid();
+        let e = self.epochs.next(ctx);
+
+        // Intra-cluster: centralized counter among L_0 neighbours.
+        let cluster = me / self.n_c;
+        let members = self.n_c.min(self.p - cluster * self.n_c);
+        if members > 1 {
+            let counter = self.counter(cluster);
+            let prev = ctx.fetch_add(counter, 1);
+            if prev != members as u32 - 1 {
+                self.wakeup.wait(ctx, e);
+                return;
+            }
+            ctx.store(counter, 0); // reset for reuse before anyone re-enters
+        }
+
+        // Inter-cluster: padded 4-way static tournament over
+        // representatives. The representative of cluster k plays as
+        // contestant k; the *static* winner of a group is its first
+        // contestant, but representatives are dynamic (last arrival), so
+        // losers signal by flag exactly as in STOUR while winners poll.
+        let mut idx = cluster;
+        for &(base, f, contestants) in &self.levels {
+            let group = idx / f;
+            let pos = idx % f;
+            if pos != 0 {
+                ctx.store(padded_elem(base, idx, self.line), e);
+                self.wakeup.wait(ctx, e);
+                return;
+            }
+            let size = f.min(contestants - group * f);
+            if size > 1 {
+                let flags: Vec<_> =
+                    (1..size).map(|q| padded_elem(base, idx + q, self.line)).collect();
+                ctx.spin_until_all_ge(&flags, e);
+            }
+            idx = group;
+        }
+        self.wakeup.release(ctx, e);
+    }
+
+    fn name(&self) -> &str {
+        "HYBRID"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{check_host, check_sim, HOST_SIZES, SIM_SIZES};
+    use armbar_topology::Platform;
+
+    #[test]
+    fn sim_correct_across_sizes() {
+        for &p in &SIM_SIZES {
+            for platform in Platform::ARM {
+                check_sim(platform, p, 3, |a, p, t| Box::new(HybridBarrier::new(a, p, t)));
+            }
+        }
+    }
+
+    #[test]
+    fn sim_correct_with_every_wakeup() {
+        for wakeup in [WakeupKind::Global, WakeupKind::BinaryTree, WakeupKind::NumaTree] {
+            check_sim(Platform::ThunderX2, 64, 3, move |a, p, t| {
+                Box::new(HybridBarrier::with_wakeup(a, p, t, wakeup))
+            });
+        }
+    }
+
+    #[test]
+    fn host_correct_across_sizes() {
+        for &p in &HOST_SIZES {
+            check_host(p, 30, |a, p, t| Box::new(HybridBarrier::new(a, p, t)));
+        }
+    }
+
+    #[test]
+    fn cluster_count_follows_topology() {
+        let topo = Topology::preset(Platform::Kunpeng920); // N_c = 4
+        let mut arena = Arena::new();
+        assert_eq!(HybridBarrier::new(&mut arena, 64, &topo).clusters(), 16);
+        assert_eq!(HybridBarrier::new(&mut arena, 6, &topo).clusters(), 2);
+        assert_eq!(HybridBarrier::new(&mut arena, 3, &topo).clusters(), 1);
+    }
+
+    #[test]
+    fn degenerate_single_cluster_works() {
+        // P ≤ N_c: pure centralized counter + wake-up.
+        check_sim(Platform::ThunderX2, 16, 4, |a, p, t| Box::new(HybridBarrier::new(a, p, t)));
+    }
+}

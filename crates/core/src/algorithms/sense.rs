@@ -1,0 +1,162 @@
+//! SENSE — the sense-reversing centralized barrier (Section II-B-1).
+//!
+//! Every arriving thread atomically decrements (here: increments) a shared
+//! counter; the last arrival resets the counter and flips a global sense
+//! word that everyone else spins on. This is the algorithm inside GCC's
+//! libgomp, and the paper's Figure 7(a) shows why it collapses on ARMv8
+//! many-cores: all P threads hammer a single cache line, so every arrival
+//! pays an ownership transfer serialized behind P−1 others plus an
+//! invalidation fan-out to the spinning crowd.
+//!
+//! Two layout variants are provided:
+//!
+//! * [`SenseBarrier::gcc_style`] — counter and global sense share one cache
+//!   line, like libgomp's `gomp_barrier_t { total, generation }`. Arrivals
+//!   and the release traffic interfere (worst case, and the faithful GCC
+//!   baseline).
+//! * [`SenseBarrier::separate_lines`] — the global sense lives on its own
+//!   line, an ablation showing how much of SENSE's cost is false sharing
+//!   versus the inherent hot-spot.
+
+use armbar_simcoh::{arena::padded_elem, Addr, Arena};
+use armbar_topology::Topology;
+
+use crate::env::{Barrier, MemCtx};
+
+/// Sense-reversing centralized barrier.
+#[derive(Debug)]
+pub struct SenseBarrier {
+    counter: Addr,
+    gsense: Addr,
+    local_sense: Addr,
+    stride: usize,
+    name: &'static str,
+}
+
+impl SenseBarrier {
+    /// libgomp-faithful layout: counter and global sense packed into the
+    /// same cache line.
+    pub fn gcc_style(arena: &mut Arena, p: usize, topo: &Topology) -> Self {
+        assert!(p >= 1);
+        let line = topo.cacheline_bytes();
+        // One line holding [counter, gsense, ...padding].
+        let base = arena.alloc(line, line);
+        Self {
+            counter: base,
+            gsense: base + 4,
+            local_sense: arena.alloc_padded_u32_array(p, line),
+            stride: line,
+            name: "SENSE",
+        }
+    }
+
+    /// Ablation layout: global sense alone on its own line, so arrival
+    /// RMW traffic does not invalidate the spinners' line.
+    pub fn separate_lines(arena: &mut Arena, p: usize, topo: &Topology) -> Self {
+        assert!(p >= 1);
+        let line = topo.cacheline_bytes();
+        Self {
+            counter: arena.alloc_padded_u32(line),
+            gsense: arena.alloc_padded_u32(line),
+            local_sense: arena.alloc_padded_u32_array(p, line),
+            stride: line,
+            name: "SENSE-sep",
+        }
+    }
+}
+
+impl Barrier for SenseBarrier {
+    fn wait(&self, ctx: &dyn MemCtx) {
+        let p = ctx.nthreads() as u32;
+        let me = ctx.tid();
+        // Flip the thread-local sense (kept in the arena, padded: a purely
+        // local access in both backends).
+        let ls_addr = padded_elem(self.local_sense, me, self.stride);
+        let ls = 1 - ctx.load(ls_addr);
+        ctx.store(ls_addr, ls);
+        if p == 1 {
+            return;
+        }
+        ctx.mark(crate::env::MARK_ENTER);
+        let prev = ctx.fetch_add(self.counter, 1);
+        if prev == p - 1 {
+            ctx.mark(crate::env::MARK_ARRIVED);
+            // Last arrival: reset the counter *before* releasing (a thread
+            // released by the flip may re-enter and increment immediately).
+            ctx.store(self.counter, 0);
+            ctx.store(self.gsense, ls);
+        } else {
+            ctx.spin_until_eq(self.gsense, ls);
+        }
+        ctx.mark(crate::env::MARK_EXIT);
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::{check_host, check_sim, HOST_SIZES, SIM_SIZES};
+    use armbar_topology::Platform;
+
+    #[test]
+    fn sim_correct_across_sizes() {
+        for &p in &SIM_SIZES {
+            check_sim(Platform::ThunderX2, p, 4, |a, p, t| {
+                Box::new(SenseBarrier::gcc_style(a, p, t))
+            });
+        }
+    }
+
+    #[test]
+    fn sim_correct_separate_lines() {
+        for &p in &SIM_SIZES {
+            check_sim(Platform::Kunpeng920, p, 4, |a, p, t| {
+                Box::new(SenseBarrier::separate_lines(a, p, t))
+            });
+        }
+    }
+
+    #[test]
+    fn host_correct_across_sizes() {
+        for &p in &HOST_SIZES {
+            check_host(p, 30, |a, p, t| Box::new(SenseBarrier::gcc_style(a, p, t)));
+        }
+    }
+
+    #[test]
+    fn host_correct_separate_lines() {
+        for &p in &HOST_SIZES {
+            check_host(p, 30, |a, p, t| Box::new(SenseBarrier::separate_lines(a, p, t)));
+        }
+    }
+
+    #[test]
+    fn counter_and_sense_share_a_line_in_gcc_style() {
+        let topo = Topology::preset(Platform::Phytium2000Plus);
+        let mut arena = Arena::new();
+        let b = SenseBarrier::gcc_style(&mut arena, 8, &topo);
+        let line = topo.cacheline_bytes() as u32;
+        assert_eq!(b.counter / line, b.gsense / line);
+    }
+
+    #[test]
+    fn counter_and_sense_are_apart_in_separate_layout() {
+        let topo = Topology::preset(Platform::Phytium2000Plus);
+        let mut arena = Arena::new();
+        let b = SenseBarrier::separate_lines(&mut arena, 8, &topo);
+        let line = topo.cacheline_bytes() as u32;
+        assert_ne!(b.counter / line, b.gsense / line);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        let topo = Topology::preset(Platform::ThunderX2);
+        let mut arena = Arena::new();
+        assert_eq!(SenseBarrier::gcc_style(&mut arena, 2, &topo).name(), "SENSE");
+        assert_eq!(SenseBarrier::separate_lines(&mut arena, 2, &topo).name(), "SENSE-sep");
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared correctness harness for barrier implementations.
+//!
+//! The fundamental barrier invariant: when `wait()` for episode `k` returns
+//! in any thread, every participant has entered episode `k` — i.e. nobody
+//! can be more than one episode behind an observer that has passed the
+//! barrier. We check it with a per-thread progress array: each thread
+//! publishes its episode number *before* the barrier and, *after* the
+//! barrier, asserts every peer has published at least that episode.
+
+use std::sync::Arc;
+
+use armbar_simcoh::{arena::padded_elem, Arena, SimBuilder};
+use armbar_topology::{Platform, Topology};
+
+use crate::env::{Barrier, MemCtx};
+use crate::host::HostMem;
+
+/// Runs `episodes` barrier episodes under the simulator on `platform`,
+/// checking the progress invariant each episode. Panics (failing the test)
+/// on violation, deadlock, or livelock.
+pub fn check_sim(
+    platform: Platform,
+    p: usize,
+    episodes: u32,
+    build: impl FnOnce(&mut Arena, usize, &Topology) -> Box<dyn Barrier>,
+) {
+    let topo = Arc::new(Topology::preset(platform));
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(build(&mut arena, p, &topo));
+    let line = topo.cacheline_bytes();
+    let progress = arena.alloc_padded_u32_array(p, line);
+    let stride = line;
+
+    SimBuilder::new(topo, p)
+        .run(move |ctx| {
+            run_episodes(&*barrier, ctx, progress, stride, episodes);
+        })
+        .unwrap_or_else(|e| panic!("simulated barrier failed at p={p}: {e}"));
+}
+
+/// Runs `episodes` barrier episodes with real host threads, checking the
+/// progress invariant each episode.
+pub fn check_host(
+    p: usize,
+    episodes: u32,
+    build: impl FnOnce(&mut Arena, usize, &Topology) -> Box<dyn Barrier>,
+) {
+    // The topology only shapes the algorithm (grouping, padding); host
+    // execution itself is topology-free.
+    let topo = Topology::preset(Platform::Phytium2000Plus);
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(build(&mut arena, p, &topo));
+    let line = topo.cacheline_bytes();
+    let progress = arena.alloc_padded_u32_array(p, line);
+    let mem = HostMem::new(&arena);
+
+    std::thread::scope(|s| {
+        for tid in 0..p {
+            let mem = Arc::clone(&mem);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let ctx = mem.ctx(tid, p);
+                run_episodes(&*barrier, &ctx, progress, line, episodes);
+            });
+        }
+    });
+}
+
+fn run_episodes(
+    barrier: &dyn Barrier,
+    ctx: &dyn MemCtx,
+    progress: u32,
+    stride: usize,
+    episodes: u32,
+) {
+    let p = ctx.nthreads();
+    let me = ctx.tid();
+    for e in 1..=episodes {
+        ctx.store(padded_elem(progress, me, stride), e);
+        barrier.wait(ctx);
+        for peer in 0..p {
+            let seen = ctx.load(padded_elem(progress, peer, stride));
+            assert!(
+                seen >= e,
+                "barrier violation: t{me} passed episode {e} but t{peer} was at {seen}"
+            );
+        }
+    }
+}
+
+/// The standard sweep of participant counts exercised by every algorithm's
+/// unit tests: edge cases (1, 2), non-powers of two, cluster boundaries,
+/// and the full 64-core machine.
+pub const SIM_SIZES: [usize; 8] = [1, 2, 3, 5, 8, 17, 33, 64];
+
+/// Host sweeps stay small: the test host may have a single core, and each
+/// simulated participant is an OS thread.
+pub const HOST_SIZES: [usize; 4] = [1, 2, 4, 7];

@@ -1,0 +1,141 @@
+//! The backend abstraction: one algorithm body, two execution worlds.
+//!
+//! Every barrier algorithm in this crate is written once against the
+//! [`MemCtx`] trait and can then run either
+//!
+//! * on **host atomics** ([`crate::host::HostMem`]) — a real, usable barrier
+//!   for real threads, with Acquire/Release orderings and polite spin
+//!   loops; or
+//! * on the **simulated machine** (`armbar_simcoh::SimThread`) — where every
+//!   operation is charged its modeled coherence cost on a chosen ARMv8
+//!   topology.
+//!
+//! Memory is a flat arena of 32-bit words addressed by byte offsets
+//! ([`armbar_simcoh::Arena`] hands out the addresses for both worlds), so
+//! decisions like "pack four arrival flags into one cache line" vs. "give
+//! each flag its own line" are made *once*, in the allocation code, and have
+//! the same layout in both backends.
+
+use armbar_simcoh::Addr;
+
+/// Per-thread memory-operation context. Object-safe so algorithms can be
+/// boxed behind the [`Barrier`] trait.
+pub trait MemCtx {
+    /// This thread's id, in `0..nthreads()`. Thread `i` is assumed pinned
+    /// to core `i` of the machine (the paper's setup).
+    fn tid(&self) -> usize;
+    /// Number of threads participating in the barrier episodes.
+    fn nthreads(&self) -> usize;
+    /// Loads the word at `addr` (Acquire).
+    fn load(&self, addr: Addr) -> u32;
+    /// Stores to the word at `addr` (Release).
+    fn store(&self, addr: Addr, value: u32);
+    /// Atomic wrapping fetch-add (AcqRel); returns the previous value.
+    fn fetch_add(&self, addr: Addr, delta: u32) -> u32;
+    /// Spins until the word at `addr` equals `value`; returns it.
+    fn spin_until_eq(&self, addr: Addr, value: u32) -> u32;
+    /// Spins until the word at `addr` is ≥ `value` (monotonic epochs).
+    fn spin_until_ge(&self, addr: Addr, value: u32) -> u32;
+    /// Spins until *every* word in `addrs` is ≥ `value`. Implementations
+    /// poll all flags in one loop, so independent line fetches overlap
+    /// (memory-level parallelism) instead of waiting for each flag in turn
+    /// — the intended way for a tournament winner to observe its group.
+    fn spin_until_all_ge(&self, addrs: &[Addr], value: u32);
+    /// Burns `ns` nanoseconds of local compute (used by the EPCC harness to
+    /// model out-of-barrier work).
+    fn compute_ns(&self, ns: f64);
+    /// Records an instrumentation timestamp (free: costs no virtual time).
+    /// No-op on backends without a collector (the host); the simulator
+    /// stores `(tid, label, virtual time)` tuples in its run statistics.
+    /// Algorithms use the `MARK_*` labels to expose their phase structure.
+    fn mark(&self, _label: u32) {}
+}
+
+/// Mark label: a thread entered the barrier (start of the Arrival-Phase).
+pub const MARK_ENTER: u32 = 0xB000;
+/// Mark label: the champion observed the last arrival (end of the
+/// Arrival-Phase / start of the Notification-Phase).
+pub const MARK_ARRIVED: u32 = 0xB001;
+/// Mark label: a thread left the barrier (end of the Notification-Phase).
+pub const MARK_EXIT: u32 = 0xB002;
+
+/// A reusable P-thread barrier.
+///
+/// `wait` must be called by all `nthreads` participants with their own
+/// contexts; the call returns only after every participant of the episode
+/// has arrived. Implementations are immutable after construction — all
+/// mutable state lives in the shared arena — so one instance is shared by
+/// all threads and reused across any number of episodes.
+pub trait Barrier: Send + Sync {
+    /// Blocks until all participants reach the barrier.
+    fn wait(&self, ctx: &dyn MemCtx);
+    /// Short algorithm label (e.g. `"SENSE"`, `"STOUR"`).
+    fn name(&self) -> &str;
+}
+
+/// `MemCtx` for simulated threads: operations forward to the discrete-event
+/// engine, which charges modeled coherence latencies.
+impl MemCtx for armbar_simcoh::SimThread {
+    fn tid(&self) -> usize {
+        SimThread::tid(self)
+    }
+    fn nthreads(&self) -> usize {
+        SimThread::nthreads(self)
+    }
+    fn load(&self, addr: Addr) -> u32 {
+        SimThread::load(self, addr)
+    }
+    fn store(&self, addr: Addr, value: u32) {
+        SimThread::store(self, addr, value)
+    }
+    fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
+        SimThread::fetch_add(self, addr, delta)
+    }
+    fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
+        SimThread::spin_until(self, addr, move |v| v == value)
+    }
+    fn spin_until_ge(&self, addr: Addr, value: u32) -> u32 {
+        SimThread::spin_until(self, addr, move |v| v >= value)
+    }
+    fn spin_until_all_ge(&self, addrs: &[Addr], value: u32) {
+        SimThread::spin_until_all_ge(self, addrs, value)
+    }
+    fn compute_ns(&self, ns: f64) {
+        SimThread::compute_ns(self, ns)
+    }
+    fn mark(&self, label: u32) {
+        SimThread::mark(self, label)
+    }
+}
+
+use armbar_simcoh::SimThread;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_simcoh::{Arena, SimBuilder};
+    use armbar_topology::{Platform, Topology};
+    use std::sync::Arc;
+
+    #[test]
+    fn sim_thread_implements_memctx() {
+        let topo = Arc::new(Topology::preset(Platform::Kunpeng920));
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        let stats = SimBuilder::new(topo, 2)
+            .run(move |sim| {
+                let ctx: &dyn MemCtx = sim;
+                assert_eq!(ctx.nthreads(), 2);
+                if ctx.tid() == 0 {
+                    ctx.compute_ns(10.0);
+                    ctx.fetch_add(a, 5);
+                } else {
+                    let v = ctx.spin_until_ge(a, 5);
+                    assert_eq!(v, 5);
+                    assert_eq!(ctx.load(a), 5);
+                }
+            })
+            .unwrap();
+        assert!(stats.max_time_ns() >= 10.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Host-atomics backend: a real shared-memory arena for real threads.
+//!
+//! [`HostMem`] materializes an [`armbar_simcoh::Arena`] layout as one
+//! contiguous slab of `AtomicU32`s, so the exact flag placement chosen by a
+//! barrier's constructor (packed vs. cache-line padded) is preserved on the
+//! host. Memory orderings follow the idioms of *Rust Atomics and Locks*:
+//! flag publication is Release, flag observation is Acquire, counters are
+//! AcqRel read-modify-writes.
+//!
+//! Spin loops issue [`std::hint::spin_loop`] and yield to the OS
+//! periodically, so barriers remain live even when threads are heavily
+//! oversubscribed (e.g. 64 simulated participants on a laptop core).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use armbar_simcoh::{Addr, Arena};
+
+use crate::env::MemCtx;
+
+/// How many spin iterations between `yield_now` calls. Low enough that an
+/// oversubscribed host makes progress, high enough that dedicated cores
+/// rarely leave userspace.
+const SPINS_PER_YIELD: u32 = 128;
+
+/// A shared arena of host atomics matching an [`Arena`] layout.
+pub struct HostMem {
+    words: Box<[AtomicU32]>,
+}
+
+impl HostMem {
+    /// Materializes backing storage for everything allocated from `arena`
+    /// so far. All words start at zero, mirroring the simulator.
+    pub fn new(arena: &Arena) -> Arc<Self> {
+        let n_words = arena.len().div_ceil(4);
+        let words = (0..n_words).map(|_| AtomicU32::new(0)).collect();
+        Arc::new(Self { words })
+    }
+
+    /// A per-thread operation context. `nthreads` is the number of barrier
+    /// participants; `tid` must be unique per participant.
+    ///
+    /// # Panics
+    /// Panics if `tid >= nthreads`.
+    pub fn ctx(self: &Arc<Self>, tid: usize, nthreads: usize) -> HostCtx {
+        assert!(tid < nthreads, "tid {tid} out of range for {nthreads} threads");
+        HostCtx { mem: Arc::clone(self), tid, nthreads }
+    }
+
+    #[inline]
+    fn word(&self, addr: Addr) -> &AtomicU32 {
+        debug_assert_eq!(addr % 4, 0, "unaligned access at {addr:#x}");
+        &self.words[(addr / 4) as usize]
+    }
+}
+
+/// Per-thread handle over a [`HostMem`].
+pub struct HostCtx {
+    mem: Arc<HostMem>,
+    tid: usize,
+    nthreads: usize,
+}
+
+impl HostCtx {
+    fn spin<F: Fn(u32) -> bool>(&self, addr: Addr, pred: F) -> u32 {
+        let w = self.mem.word(addr);
+        let mut spins = 0u32;
+        loop {
+            let v = w.load(Ordering::Acquire);
+            if pred(v) {
+                return v;
+            }
+            spins += 1;
+            if spins % SPINS_PER_YIELD == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl MemCtx for HostCtx {
+    fn tid(&self) -> usize {
+        self.tid
+    }
+    fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+    fn load(&self, addr: Addr) -> u32 {
+        self.mem.word(addr).load(Ordering::Acquire)
+    }
+    fn store(&self, addr: Addr, value: u32) {
+        self.mem.word(addr).store(value, Ordering::Release)
+    }
+    fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
+        self.mem.word(addr).fetch_add(delta, Ordering::AcqRel)
+    }
+    fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
+        self.spin(addr, |v| v == value)
+    }
+    fn spin_until_ge(&self, addr: Addr, value: u32) -> u32 {
+        self.spin(addr, |v| v >= value)
+    }
+    fn spin_until_all_ge(&self, addrs: &[Addr], value: u32) {
+        // One polling loop over all flags: the loads of different lines
+        // issue back-to-back, letting the misses overlap.
+        let mut spins = 0u32;
+        loop {
+            if addrs.iter().all(|&a| self.mem.word(a).load(Ordering::Acquire) >= value) {
+                return;
+            }
+            spins += 1;
+            if spins % SPINS_PER_YIELD == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    fn compute_ns(&self, ns: f64) {
+        // Host-side "work": a calibration-free busy wait. Coarse, but the
+        // harness only needs the work to take *roughly* this long.
+        let start = std::time::Instant::now();
+        let target = std::time::Duration::from_nanos(ns as u64);
+        while start.elapsed() < target {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_layout_is_materialized() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        let b = arena.alloc_padded_u32(64);
+        let mem = HostMem::new(&arena);
+        let ctx = mem.ctx(0, 1);
+        ctx.store(a, 11);
+        ctx.store(b, 22);
+        assert_eq!(ctx.load(a), 11);
+        assert_eq!(ctx.load(b), 22);
+    }
+
+    #[test]
+    fn fetch_add_is_atomic_across_threads() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        let mem = HostMem::new(&arena);
+        let threads = 4;
+        let iters = 1000;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    let ctx = mem.ctx(t, threads);
+                    for _ in 0..iters {
+                        ctx.fetch_add(a, 1);
+                    }
+                });
+            }
+        });
+        let ctx = mem.ctx(0, threads);
+        assert_eq!(ctx.load(a), (threads * iters) as u32);
+    }
+
+    #[test]
+    fn spin_until_sees_release_store() {
+        let mut arena = Arena::new();
+        let flag = arena.alloc_u32();
+        let data = arena.alloc_u32();
+        let mem = HostMem::new(&arena);
+        std::thread::scope(|s| {
+            {
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    let ctx = mem.ctx(0, 2);
+                    ctx.store(data, 99);
+                    ctx.store(flag, 1);
+                });
+            }
+            let ctx = mem.ctx(1, 2);
+            ctx.spin_until_eq(flag, 1);
+            // Release/Acquire pairing makes the data store visible.
+            assert_eq!(ctx.load(data), 99);
+        });
+    }
+
+    #[test]
+    fn spin_until_ge_handles_overshoot() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        let mem = HostMem::new(&arena);
+        let ctx = mem.ctx(0, 1);
+        ctx.store(a, 10);
+        assert_eq!(ctx.spin_until_ge(a, 3), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ctx_validates_tid() {
+        let arena = Arena::new();
+        let mem = HostMem::new(&arena);
+        let _ = mem.ctx(3, 2);
+    }
+
+    #[test]
+    fn compute_ns_takes_time() {
+        let arena = Arena::new();
+        let mem = HostMem::new(&arena);
+        let ctx = mem.ctx(0, 1);
+        let t0 = std::time::Instant::now();
+        ctx.compute_ns(2_000_000.0); // 2 ms
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,52 @@
+//! Property-based tests: every algorithm, arbitrary thread counts and
+//! platforms, must uphold the barrier invariant under simulation.
+
+use proptest::prelude::*;
+
+use armbar_topology::Platform;
+
+use crate::algorithms::testutil::check_sim;
+use crate::registry::AlgorithmId;
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    prop::sample::select(Platform::ARM.to_vec())
+}
+
+fn arb_algorithm() -> impl Strategy<Value = AlgorithmId> {
+    prop::sample::select(AlgorithmId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any algorithm × platform × P ∈ [1, 64] completes and preserves the
+    /// episode-progress invariant.
+    #[test]
+    fn any_barrier_any_size_is_correct(
+        id in arb_algorithm(),
+        platform in arb_platform(),
+        p in 1usize..=64,
+    ) {
+        check_sim(platform, p, 2, move |a, p, t| id.build(a, p, t));
+    }
+
+    /// Fixed-fan-in f-way barriers are correct for any (P, f) pair.
+    #[test]
+    fn fway_any_fanin_is_correct(
+        p in 1usize..=64,
+        f in 2usize..=16,
+        padded in any::<bool>(),
+        dynamic in any::<bool>(),
+    ) {
+        use crate::algorithms::fway::{Fanin, FwayBarrier, FwayConfig};
+        use crate::wakeup::WakeupKind;
+        check_sim(Platform::Kunpeng920, p, 2, move |a, p, t| {
+            Box::new(FwayBarrier::with_config(a, p, t, FwayConfig {
+                fanin: Fanin::Fixed(f),
+                padded_flags: padded,
+                dynamic,
+                wakeup: WakeupKind::Global,
+            }))
+        });
+    }
+}

@@ -1,0 +1,172 @@
+//! Name-indexed construction of every barrier in the workspace — the
+//! experiment pipelines and examples select algorithms through this.
+
+use armbar_simcoh::Arena;
+use armbar_topology::Topology;
+
+use crate::algorithms::{
+    CombiningTreeBarrier, DisseminationBarrier, FwayBarrier, HybridBarrier, HyperBarrier,
+    McsBarrier, NwayDisseminationBarrier, RingBarrier, SenseBarrier, TournamentBarrier,
+};
+use crate::env::Barrier;
+
+/// Every barrier configuration referenced by the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmId {
+    /// Sense-reversing centralized (Figure 7a) = GCC libgomp's barrier.
+    Sense,
+    /// Dissemination barrier.
+    Dissemination,
+    /// Software combining tree, fan-in 2.
+    Combining,
+    /// MCS P-node tree.
+    Mcs,
+    /// Pairwise tournament.
+    Tournament,
+    /// Static f-way tournament (original: balanced fan-in, packed flags).
+    Stour,
+    /// Dynamic f-way tournament.
+    Dtour,
+    /// LLVM libomp's hypercube-embedded tree barrier.
+    LlvmHyper,
+    /// STOUR with cache-line-padded flags (Figure 11 "padding static f-way").
+    StourPadded,
+    /// Padded flags + fixed fan-in 4 (Figure 11 "padding static 4-way").
+    Padded4Way,
+    /// The paper's full optimized barrier (Table IV "ours").
+    Optimized,
+    /// Extension: cluster-hierarchical hybrid (counters within clusters,
+    /// tournament across) — the Rodchenko-style design of the related work.
+    Hybrid,
+    /// Cited (ref [4]): Hoefler n-way dissemination, n = 2.
+    NwayDissemination,
+    /// Cited (ref [7]): Aravind two-pass ring barrier.
+    Ring,
+}
+
+impl AlgorithmId {
+    /// The seven algorithms of the paper's Section IV evaluation, in the
+    /// paper's order.
+    pub const SEVEN: [AlgorithmId; 7] = [
+        AlgorithmId::Sense,
+        AlgorithmId::Dissemination,
+        AlgorithmId::Combining,
+        AlgorithmId::Mcs,
+        AlgorithmId::Tournament,
+        AlgorithmId::Stour,
+        AlgorithmId::Dtour,
+    ];
+
+    /// Everything buildable, for exhaustive sweeps.
+    pub const ALL: [AlgorithmId; 14] = [
+        AlgorithmId::Sense,
+        AlgorithmId::Dissemination,
+        AlgorithmId::Combining,
+        AlgorithmId::Mcs,
+        AlgorithmId::Tournament,
+        AlgorithmId::Stour,
+        AlgorithmId::Dtour,
+        AlgorithmId::LlvmHyper,
+        AlgorithmId::StourPadded,
+        AlgorithmId::Padded4Way,
+        AlgorithmId::Optimized,
+        AlgorithmId::Hybrid,
+        AlgorithmId::NwayDissemination,
+        AlgorithmId::Ring,
+    ];
+
+    /// The paper's figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmId::Sense => "SENSE",
+            AlgorithmId::Dissemination => "DIS",
+            AlgorithmId::Combining => "CMB",
+            AlgorithmId::Mcs => "MCS",
+            AlgorithmId::Tournament => "TOUR",
+            AlgorithmId::Stour => "STOUR",
+            AlgorithmId::Dtour => "DTOUR",
+            AlgorithmId::LlvmHyper => "LLVM",
+            AlgorithmId::StourPadded => "STOUR-pad",
+            AlgorithmId::Padded4Way => "OPT-4way",
+            AlgorithmId::Optimized => "OPT",
+            AlgorithmId::Hybrid => "HYBRID",
+            AlgorithmId::NwayDissemination => "NDIS",
+            AlgorithmId::Ring => "RING",
+        }
+    }
+
+    /// Builds the barrier for `p` threads on `topo`, allocating its state
+    /// from `arena`.
+    pub fn build(self, arena: &mut Arena, p: usize, topo: &Topology) -> Box<dyn Barrier> {
+        match self {
+            AlgorithmId::Sense => Box::new(SenseBarrier::gcc_style(arena, p, topo)),
+            AlgorithmId::Dissemination => Box::new(DisseminationBarrier::new(arena, p, topo)),
+            AlgorithmId::Combining => Box::new(CombiningTreeBarrier::new(arena, p, topo, 2)),
+            AlgorithmId::Mcs => Box::new(McsBarrier::new(arena, p, topo)),
+            AlgorithmId::Tournament => Box::new(TournamentBarrier::new(arena, p, topo)),
+            AlgorithmId::Stour => Box::new(FwayBarrier::stour(arena, p, topo)),
+            AlgorithmId::Dtour => Box::new(FwayBarrier::dtour(arena, p, topo)),
+            AlgorithmId::LlvmHyper => Box::new(HyperBarrier::new(arena, p, topo)),
+            AlgorithmId::StourPadded => Box::new(FwayBarrier::stour_padded(arena, p, topo)),
+            AlgorithmId::Padded4Way => Box::new(FwayBarrier::padded_4way(arena, p, topo)),
+            AlgorithmId::Optimized => Box::new(FwayBarrier::optimized(arena, p, topo)),
+            AlgorithmId::Hybrid => Box::new(HybridBarrier::new(arena, p, topo)),
+            AlgorithmId::NwayDissemination => {
+                Box::new(NwayDisseminationBarrier::new(arena, p, topo, 2))
+            }
+            AlgorithmId::Ring => Box::new(RingBarrier::new(arena, p, topo)),
+        }
+    }
+
+    /// Parses a figure-legend label (case-insensitive), for CLI use.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.to_ascii_lowercase();
+        Self::ALL.into_iter().find(|a| a.label().to_ascii_lowercase() == s)
+    }
+}
+
+impl std::fmt::Display for AlgorithmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::testutil::check_sim;
+    use armbar_topology::Platform;
+
+    #[test]
+    fn every_algorithm_builds_and_runs() {
+        for id in AlgorithmId::ALL {
+            check_sim(Platform::ThunderX2, 16, 2, move |a, p, t| id.build(a, p, t));
+        }
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for id in AlgorithmId::ALL {
+            assert_eq!(AlgorithmId::parse(id.label()), Some(id));
+            assert_eq!(AlgorithmId::parse(&id.label().to_uppercase()), Some(id));
+        }
+        assert_eq!(AlgorithmId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn seven_is_a_subset_of_all() {
+        for id in AlgorithmId::SEVEN {
+            assert!(AlgorithmId::ALL.contains(&id));
+        }
+    }
+
+    #[test]
+    fn built_names_match_labels_for_core_seven() {
+        let topo = Topology::preset(Platform::ThunderX2);
+        for id in AlgorithmId::SEVEN {
+            let mut arena = Arena::new();
+            let b = id.build(&mut arena, 8, &topo);
+            assert_eq!(b.name(), id.label(), "{id:?}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # armbar-epcc — measurement harness
+//!
+//! The measurement methodology of the paper, reimplemented for both
+//! backends:
+//!
+//! * [`overhead`] — EPCC-style barrier overhead: time a loop of
+//!   `work(delay); barrier()` and subtract the reference work, per
+//!   episode. The paper runs the EPCC OpenMP micro-benchmark suite 20
+//!   times and reports averages; [`overhead::repeat_sim`] mirrors that with
+//!   independently seeded simulator runs.
+//! * [`pingpong`] — the core-to-core communication micro-benchmark of
+//!   Section III-A: one thread *places* data (becoming the cache owner),
+//!   another *accesses* it; the per-line read latency is the layer latency
+//!   `L_i`. Regenerates Tables I–III from the simulator.
+//! * [`summary`] — small-sample statistics used by the experiment reports.
+
+pub mod overhead;
+pub mod phases;
+pub mod pingpong;
+pub mod summary;
+
+pub use overhead::{host_overhead_ns, repeat_sim, sim_overhead_ns, sim_overhead_of, OverheadConfig};
+pub use phases::{phase_breakdown, PhaseBreakdown};
+pub use pingpong::{latency_table, measure_latency_ns, LatencyRow};
+pub use summary::Summary;

@@ -1,0 +1,220 @@
+//! EPCC-style barrier overhead measurement.
+//!
+//! The EPCC synchronization micro-benchmark measures the cost of a
+//! construct as *(time of a work+construct loop − time of the work-only
+//! reference loop) / iterations*. Here the "work" is a fixed spin
+//! (`compute_ns`), so the reference time is known exactly and the barrier
+//! overhead of one episode is
+//!
+//! ```text
+//! overhead = (t_last_warm_end → t_end) / episodes − delay
+//! ```
+//!
+//! measured on the simulator's virtual clock (or the host monotonic clock).
+
+use std::sync::Arc;
+
+use armbar_core::env::Barrier;
+use armbar_core::host::HostMem;
+use armbar_core::registry::AlgorithmId;
+use armbar_simcoh::{Arena, SimBuilder, SimError};
+use armbar_topology::Topology;
+
+use crate::summary::Summary;
+
+/// Mark labels used to bracket the measured region.
+const MARK_WARM: u32 = 1;
+const MARK_END: u32 = 2;
+
+/// Measurement parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadConfig {
+    /// Unmeasured warm-up episodes (cold misses, tree line placement).
+    pub warmup: u32,
+    /// Measured episodes.
+    pub episodes: u32,
+    /// Per-episode out-of-barrier work, ns.
+    pub delay_ns: f64,
+    /// Simulator jitter seed.
+    pub seed: u64,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        Self { warmup: 4, episodes: 40, delay_ns: 100.0, seed: 0x5EED }
+    }
+}
+
+/// Measures the per-episode overhead (ns) of `algorithm` with `p` threads
+/// on the simulated `topo`.
+pub fn sim_overhead_ns(
+    topo: &Arc<Topology>,
+    p: usize,
+    algorithm: AlgorithmId,
+    cfg: OverheadConfig,
+) -> Result<f64, SimError> {
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(algorithm.build(&mut arena, p, topo));
+    sim_overhead_of(topo, p, barrier, cfg)
+}
+
+/// Measures the per-episode overhead (ns) of an already-built barrier.
+/// Useful for custom configurations (wake-up sweeps, fan-in sweeps).
+pub fn sim_overhead_of(
+    topo: &Arc<Topology>,
+    p: usize,
+    barrier: Arc<dyn Barrier>,
+    cfg: OverheadConfig,
+) -> Result<f64, SimError> {
+    assert!(cfg.episodes >= 1);
+    let stats = SimBuilder::new(Arc::clone(topo), p)
+        .seed(cfg.seed)
+        .run(move |ctx| {
+            for _ in 0..cfg.warmup {
+                ctx.compute_ns(cfg.delay_ns);
+                barrier.wait(ctx);
+            }
+            ctx.mark(MARK_WARM);
+            for _ in 0..cfg.episodes {
+                ctx.compute_ns(cfg.delay_ns);
+                barrier.wait(ctx);
+            }
+            ctx.mark(MARK_END);
+        })?;
+    let t0 = stats.last_mark_time(MARK_WARM).expect("warm mark missing");
+    let t1 = stats.last_mark_time(MARK_END).expect("end mark missing");
+    let per_episode = (t1 - t0) / cfg.episodes as f64;
+    Ok((per_episode - cfg.delay_ns).max(0.0))
+}
+
+/// The paper's protocol: `reps` independently seeded runs, averaged
+/// (the paper runs each benchmark 20 times and reports the mean).
+pub fn repeat_sim(
+    topo: &Arc<Topology>,
+    p: usize,
+    algorithm: AlgorithmId,
+    cfg: OverheadConfig,
+    reps: u64,
+) -> Result<Summary, SimError> {
+    assert!(reps >= 1);
+    let mut samples = Vec::with_capacity(reps as usize);
+    for r in 0..reps {
+        let cfg_r = OverheadConfig { seed: cfg.seed.wrapping_add(r.wrapping_mul(0x9E37)), ..cfg };
+        samples.push(sim_overhead_ns(topo, p, algorithm, cfg_r)?);
+    }
+    Ok(Summary::of(&samples))
+}
+
+/// Host-backend overhead of `algorithm` with `p` real threads, in ns per
+/// episode. Subject to real scheduler noise; intended for laptop-scale
+/// sanity checks and the examples, not for reproducing the paper's
+/// figures (that is the simulator's job).
+pub fn host_overhead_ns(p: usize, algorithm: AlgorithmId, cfg: OverheadConfig) -> f64 {
+    let topo = Topology::preset(armbar_topology::Platform::Phytium2000Plus);
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(algorithm.build(&mut arena, p, &topo));
+    let mem = HostMem::new(&arena);
+
+    let start_gate = std::sync::Barrier::new(p);
+    let mut elapsed_ns = vec![0.0f64; p];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|tid| {
+                let mem = Arc::clone(&mem);
+                let barrier = Arc::clone(&barrier);
+                let gate = &start_gate;
+                s.spawn(move || {
+                    let ctx = mem.ctx(tid, p);
+                    gate.wait();
+                    for _ in 0..cfg.warmup {
+                        barrier.wait(&ctx);
+                    }
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..cfg.episodes {
+                        barrier.wait(&ctx);
+                    }
+                    t0.elapsed().as_nanos() as f64 / cfg.episodes as f64
+                })
+            })
+            .collect();
+        for (tid, h) in handles.into_iter().enumerate() {
+            elapsed_ns[tid] = h.join().expect("worker panicked");
+        }
+    });
+
+    elapsed_ns.iter().copied().sum::<f64>() / p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_topology::Platform;
+
+    fn topo(p: Platform) -> Arc<Topology> {
+        Arc::new(Topology::preset(p))
+    }
+
+    #[test]
+    fn overhead_is_positive_and_grows_with_threads() {
+        let t = topo(Platform::ThunderX2);
+        let cfg = OverheadConfig::default();
+        let o8 = sim_overhead_ns(&t, 8, AlgorithmId::Sense, cfg).unwrap();
+        let o32 = sim_overhead_ns(&t, 32, AlgorithmId::Sense, cfg).unwrap();
+        assert!(o8 > 0.0);
+        assert!(o32 > o8, "SENSE must scale poorly: {o8} vs {o32}");
+    }
+
+    #[test]
+    fn single_thread_overhead_is_tiny() {
+        let t = topo(Platform::Phytium2000Plus);
+        let o = sim_overhead_ns(&t, 1, AlgorithmId::Stour, OverheadConfig::default()).unwrap();
+        assert!(o < 50.0, "P=1 should be near-free, got {o}");
+    }
+
+    #[test]
+    fn overhead_is_independent_of_delay() {
+        // The reference subtraction must cancel the work term.
+        let t = topo(Platform::Kunpeng920);
+        let base = OverheadConfig::default();
+        let a = sim_overhead_ns(&t, 16, AlgorithmId::Tournament, base).unwrap();
+        let b = sim_overhead_ns(
+            &t,
+            16,
+            AlgorithmId::Tournament,
+            OverheadConfig { delay_ns: 1000.0, ..base },
+        )
+        .unwrap();
+        let rel = (a - b).abs() / a.max(b);
+        assert!(rel < 0.35, "delay must mostly cancel: {a} vs {b}");
+    }
+
+    #[test]
+    fn repeat_sim_summarizes() {
+        let t = topo(Platform::Kunpeng920);
+        let s = repeat_sim(&t, 16, AlgorithmId::Stour, OverheadConfig::default(), 5).unwrap();
+        assert_eq!(s.n, 5);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        // Kunpeng 920 is configured jittery: expect visible spread.
+        assert!(s.std > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_overhead() {
+        let t = topo(Platform::Phytium2000Plus);
+        let cfg = OverheadConfig::default();
+        let a = sim_overhead_ns(&t, 24, AlgorithmId::Mcs, cfg).unwrap();
+        let b = sim_overhead_ns(&t, 24, AlgorithmId::Mcs, cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn host_overhead_runs_small() {
+        let o = host_overhead_ns(
+            2,
+            AlgorithmId::Optimized,
+            OverheadConfig { warmup: 2, episodes: 20, ..Default::default() },
+        );
+        assert!(o > 0.0);
+    }
+}

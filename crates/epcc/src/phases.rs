@@ -1,0 +1,123 @@
+//! Phase attribution: splitting one barrier episode into the paper's
+//! Arrival-Phase and Notification-Phase using the instrumentation marks
+//! emitted by mark-aware algorithms (`armbar_core::env::MARK_*`).
+
+use std::sync::Arc;
+
+use armbar_core::env::{Barrier, MARK_ARRIVED, MARK_ENTER, MARK_EXIT};
+use armbar_simcoh::{SimBuilder, SimError};
+use armbar_topology::Topology;
+
+/// Phase timing of one barrier episode, in ns of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Last enter → champion observed the last arrival.
+    pub arrival_ns: f64,
+    /// Champion's observation → last thread released.
+    pub notification_ns: f64,
+}
+
+impl PhaseBreakdown {
+    /// Total episode span covered by the two phases.
+    pub fn total_ns(&self) -> f64 {
+        self.arrival_ns + self.notification_ns
+    }
+}
+
+/// Measures the phase breakdown of `barrier` with `p` threads on `topo`:
+/// a few warm-up episodes followed by one measured episode (the marks of
+/// the *last* episode are the measurement).
+///
+/// Returns `None` (inside `Ok`) if the algorithm emits no phase marks.
+pub fn phase_breakdown(
+    topo: &Arc<Topology>,
+    p: usize,
+    barrier: Arc<dyn Barrier>,
+    warmup: u32,
+) -> Result<Option<PhaseBreakdown>, SimError> {
+    let stats = SimBuilder::new(Arc::clone(topo), p)
+        .run(move |ctx| {
+            for _ in 0..=warmup {
+                ctx.compute_ns(100.0);
+                barrier.wait(ctx);
+            }
+        })?;
+    let (Some(enter), Some(arrived), Some(exit)) = (
+        stats.last_mark_time(MARK_ENTER),
+        stats.last_mark_time(MARK_ARRIVED),
+        stats.last_mark_time(MARK_EXIT),
+    ) else {
+        return Ok(None);
+    };
+    Ok(Some(PhaseBreakdown {
+        arrival_ns: (arrived - enter).max(0.0),
+        notification_ns: (exit - arrived).max(0.0),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_core::prelude::*;
+    use armbar_simcoh::Arena;
+    use armbar_topology::Platform;
+
+    fn breakdown(platform: Platform, p: usize, id: AlgorithmId) -> Option<PhaseBreakdown> {
+        let topo = Arc::new(Topology::preset(platform));
+        let mut arena = Arena::new();
+        let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+        phase_breakdown(&topo, p, barrier, 3).unwrap()
+    }
+
+    #[test]
+    fn optimized_barrier_reports_both_phases() {
+        let b = breakdown(Platform::ThunderX2, 64, AlgorithmId::Optimized).unwrap();
+        assert!(b.arrival_ns > 0.0);
+        assert!(b.notification_ns > 0.0);
+        assert!(b.total_ns() < 10_000.0, "{b:?}");
+    }
+
+    #[test]
+    fn sense_notification_is_the_smaller_share_at_scale() {
+        // SENSE's cost is the serialized arrival RMW storm; the release is
+        // one store plus staggered wakeups.
+        let b = breakdown(Platform::ThunderX2, 64, AlgorithmId::Sense).unwrap();
+        assert!(
+            b.arrival_ns > b.notification_ns,
+            "arrival {:.0} vs notification {:.0}",
+            b.arrival_ns,
+            b.notification_ns
+        );
+    }
+
+    #[test]
+    fn unmarked_algorithms_return_none() {
+        assert!(breakdown(Platform::ThunderX2, 16, AlgorithmId::Mcs).is_none());
+    }
+
+    #[test]
+    fn wakeup_choice_changes_only_notification() {
+        use armbar_core::FwayBarrier;
+        let topo = Arc::new(Topology::preset(Platform::ThunderX2));
+        let get = |wakeup| {
+            let mut arena = Arena::new();
+            let b: Arc<dyn Barrier> = Arc::new(FwayBarrier::with_config(
+                &mut arena,
+                64,
+                &topo,
+                FwayConfig { wakeup, ..FwayConfig::optimized(&topo) },
+            ));
+            phase_breakdown(&topo, 64, b, 3).unwrap().unwrap()
+        };
+        let global = get(WakeupKind::Global);
+        let numa = get(WakeupKind::NumaTree);
+        // Arrival phases should be close; notification should differ more.
+        let arrival_gap = (global.arrival_ns - numa.arrival_ns).abs()
+            / global.arrival_ns.max(numa.arrival_ns);
+        assert!(arrival_gap < 0.35, "arrival {global:?} vs {numa:?}");
+        assert!(
+            global.notification_ns > numa.notification_ns,
+            "on ThunderX2 the NUMA tree must beat the global flip: {global:?} vs {numa:?}"
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the ablation studies; see `armbar_experiments::figs::ablations`.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for (i, report) in figs::ablations::run(&scale).iter().enumerate() {
+        report.print();
+        report
+            .write_csv(results_dir(), &format!("ablations_{i}"))
+            .expect("failed to write CSV");
+    }
+}

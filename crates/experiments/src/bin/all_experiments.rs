@@ -1,0 +1,31 @@
+//! Runs every experiment in the workspace and writes all CSVs to
+//! `results/` — the full paper regeneration in one command.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    let dir = results_dir();
+    let suites: Vec<(&str, Vec<armbar_experiments::Report>)> = vec![
+        ("tables_1_2_3", figs::tables_1_2_3::run(&scale)),
+        ("fig05", figs::fig05::run(&scale)),
+        ("fig06", figs::fig06::run(&scale)),
+        ("fig07", figs::fig07::run(&scale)),
+        ("fig11", figs::fig11::run(&scale)),
+        ("fig12", figs::fig12::run(&scale)),
+        ("fig13", figs::fig13::run(&scale)),
+        ("table4", figs::table4::run(&scale)),
+        ("model_report", figs::model_report::run(&scale)),
+        ("ablations", figs::ablations::run(&scale)),
+        ("phase_breakdown", figs::phase_breakdown::run(&scale)),
+        ("hotspot", figs::hotspot::run(&scale)),
+    ];
+    for (slug, reports) in suites {
+        for (i, report) in reports.iter().enumerate() {
+            report.print();
+            report
+                .write_csv(&dir, &format!("{slug}_{i}"))
+                .expect("failed to write CSV");
+        }
+    }
+    eprintln!("CSV output written to {}", dir.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper artifact; see `armbar_experiments::figs::fig13`.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for (i, report) in figs::fig13::run(&scale).iter().enumerate() {
+        report.print();
+        report
+            .write_csv(results_dir(), &format!("fig13_{}", i))
+            .expect("failed to write CSV");
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the hot-spot traffic analysis; see
+//! `armbar_experiments::figs::hotspot`.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for (i, report) in figs::hotspot::run(&scale).iter().enumerate() {
+        report.print();
+        report
+            .write_csv(results_dir(), &format!("hotspot_{i}"))
+            .expect("failed to write CSV");
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper artifact; see `armbar_experiments::figs::model_report`.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for (i, report) in figs::model_report::run(&scale).iter().enumerate() {
+        report.print();
+        report
+            .write_csv(results_dir(), &format!("model_report_{}", i))
+            .expect("failed to write CSV");
+    }
+}

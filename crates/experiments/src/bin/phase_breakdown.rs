@@ -1,0 +1,13 @@
+//! Regenerates the phase-breakdown analysis; see
+//! `armbar_experiments::figs::phase_breakdown`.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for (i, report) in figs::phase_breakdown::run(&scale).iter().enumerate() {
+        report.print();
+        report
+            .write_csv(results_dir(), &format!("phase_breakdown_{i}"))
+            .expect("failed to write CSV");
+    }
+}

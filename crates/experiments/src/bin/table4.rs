@@ -1,0 +1,12 @@
+//! Regenerates the paper artifact; see `armbar_experiments::figs::table4`.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for (i, report) in figs::table4::run(&scale).iter().enumerate() {
+        report.print();
+        report
+            .write_csv(results_dir(), &format!("table4_{}", i))
+            .expect("failed to write CSV");
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper artifact; see `armbar_experiments::figs::tables_1_2_3`.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for (i, report) in figs::tables_1_2_3::run(&scale).iter().enumerate() {
+        report.print();
+        report
+            .write_csv(results_dir(), &format!("tables_1_2_3_{}", i))
+            .expect("failed to write CSV");
+    }
+}

@@ -1,0 +1,107 @@
+//! Hot-spot analysis (extension): per-line write traffic of each barrier.
+//!
+//! The paper's Section II-B cites Pfister & Norton's hot-spot result as
+//! the reason centralized barriers collapse. The simulator's per-line
+//! traffic accounting makes the effect directly visible: SENSE commits
+//! essentially *all* of its writes to a single line (concentration ≈ 1),
+//! while tree barriers spread theirs across dozens of lines — and every
+//! SENSE write invalidates a crowd, where tree writes invalidate at most
+//! the one waiting parent.
+
+use std::sync::Arc;
+
+use armbar_core::prelude::*;
+use armbar_simcoh::{Arena, SimBuilder};
+use armbar_topology::Platform;
+
+use crate::report::Report;
+use crate::runner::{topo, Scale};
+
+/// Threads analyzed.
+const P: usize = 64;
+/// Barrier episodes traced.
+const EPISODES: u32 = 10;
+
+/// Per-algorithm traffic profile on ThunderX2.
+pub fn run(_scale: &Scale) -> Vec<Report> {
+    let mut r = Report::new(
+        format!("Hot-spot analysis — per-line write traffic ({EPISODES} episodes, {P} threads, ThunderX2)"),
+        &["algorithm", "lines written", "total writes", "hottest-line share", "invalidations/write", "peak crowd"],
+    );
+    let t = topo(Platform::ThunderX2);
+    for id in [
+        AlgorithmId::Sense,
+        AlgorithmId::Dissemination,
+        AlgorithmId::Mcs,
+        AlgorithmId::Tournament,
+        AlgorithmId::Stour,
+        AlgorithmId::Optimized,
+    ] {
+        let mut arena = Arena::new();
+        let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, P, &t));
+        let stats = SimBuilder::new(Arc::clone(&t), P)
+            .run(move |ctx| {
+                for _ in 0..EPISODES {
+                    ctx.compute_ns(100.0);
+                    barrier.wait(ctx);
+                }
+            })
+            .unwrap();
+        let traffic = stats.line_traffic();
+        let total_writes: u64 = traffic.values().map(|l| l.writes).sum();
+        let total_inv: u64 = traffic.values().map(|l| l.invalidations).sum();
+        let peak = traffic.values().map(|l| l.peak_sharers).max().unwrap_or(0);
+        r.row(vec![
+            id.label().to_string(),
+            traffic.len().to_string(),
+            total_writes.to_string(),
+            format!("{:.0}%", 100.0 * stats.hotspot_concentration()),
+            format!("{:.2}", total_inv as f64 / total_writes.max(1) as f64),
+            peak.to_string(),
+        ]);
+    }
+    r.note("hottest-line share ≈ 100% = a single hot spot (the centralized");
+    r.note("counter); tree barriers spread writes and invalidate ≤ 1 waiter each.");
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<String>> {
+        run(&Scale::quick()).remove(0).rows
+    }
+
+    #[test]
+    fn sense_is_a_pure_hot_spot() {
+        let rows = rows();
+        let sense = rows.iter().find(|r| r[0] == "SENSE").unwrap();
+        // Half of SENSE's writes are each thread's private local-sense
+        // flip; virtually all *shared* traffic lands on the counter line.
+        let share: f64 = sense[3].trim_end_matches('%').parse().unwrap();
+        assert!(share > 40.0, "{sense:?}");
+        let crowd: u32 = sense[5].parse().unwrap();
+        assert!(crowd > P as u32 / 2, "{sense:?}");
+    }
+
+    #[test]
+    fn optimized_barrier_spreads_its_writes() {
+        let rows = rows();
+        let opt = rows.iter().find(|r| r[0] == "OPT").unwrap();
+        let share: f64 = opt[3].trim_end_matches('%').parse().unwrap();
+        assert!(share < 30.0, "{opt:?}");
+        let lines: usize = opt[1].parse().unwrap();
+        assert!(lines > 40, "{opt:?}");
+    }
+
+    #[test]
+    fn tree_invalidations_per_write_stay_near_one() {
+        let rows = rows();
+        for name in ["TOUR", "OPT", "MCS"] {
+            let row = rows.iter().find(|r| r[0] == name).unwrap();
+            let ipw: f64 = row[4].parse().unwrap();
+            assert!(ipw < 3.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment implementations (one module per table/figure of the paper).
+//!
+//! Each `run(&Scale)` returns one [`crate::Report`] per panel of the paper
+//! artifact, so the binaries stay one-line wrappers and the integration
+//! tests can execute the identical pipeline at [`crate::Scale::quick`].
+
+pub mod ablations;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod hotspot;
+pub mod model_report;
+pub mod phase_breakdown;
+pub mod table4;
+pub mod tables_1_2_3;

@@ -1,0 +1,91 @@
+//! Analytical-model report: the Eq. 1/2 optimal fan-in and the Eq. 3/4
+//! wake-up comparison, per platform — the numbers Section V derives before
+//! the empirical validation of Figures 12 and 13.
+
+use armbar_model::{
+    arrival_cost_ns, global_wakeup_ns, optimal_fanin_continuous, optimal_fanin_int,
+    recommend_wakeup, tree_wakeup_ns, WakeupChoice,
+};
+use armbar_topology::{LayerId, Platform};
+
+use crate::report::Report;
+use crate::runner::{topo, Scale};
+
+/// Runs the model report (two tables).
+pub fn run(_scale: &Scale) -> Vec<Report> {
+    let mut fanin = Report::new(
+        "Model — Eq. 1/2: Arrival-Phase cost and optimal fan-in (P = 64)",
+        &["platform", "alpha_0", "f* (continuous)", "f* (integer)", "T(2) ns", "T(4) ns", "T(8) ns"],
+    );
+    for platform in Platform::ARM {
+        let t = topo(platform);
+        let alpha = t.alpha(LayerId(0));
+        let l = t.layers()[0].latency_ns;
+        fanin.row(vec![
+            t.name().to_string(),
+            format!("{alpha:.2}"),
+            format!("{:.3}", optimal_fanin_continuous(alpha)),
+            optimal_fanin_int(&t, 64).to_string(),
+            format!("{:.0}", arrival_cost_ns(64, 2, alpha, l)),
+            format!("{:.0}", arrival_cost_ns(64, 4, alpha, l)),
+            format!("{:.0}", arrival_cost_ns(64, 8, alpha, l)),
+        ]);
+    }
+    fanin.note("paper: (ln f − 1)f = α bounds f* to [2.718, 3.591]; f = 4 preferred");
+    fanin.note("as the nearest power of two (cluster alignment).");
+
+    let mut wake = Report::new(
+        "Model — Eq. 3/4: Notification-Phase costs and recommendation (P = 64)",
+        &["platform", "T_global ns (Eq.3)", "T_tree ns (Eq.4)", "recommended"],
+    );
+    for platform in Platform::ARM {
+        let t = topo(platform);
+        let alpha = t.alpha(LayerId(0));
+        let l = t.layers()[0].latency_ns;
+        let c = t.coherence().read_contention_ns;
+        let rec = match recommend_wakeup(&t, 64) {
+            WakeupChoice::Global => "global",
+            WakeupChoice::Tree => "tree",
+        };
+        wake.row(vec![
+            t.name().to_string(),
+            format!("{:.0}", global_wakeup_ns(64, alpha, l, c)),
+            format!("{:.0}", tree_wakeup_ns(64, alpha, l)),
+            rec.to_string(),
+        ]);
+    }
+    wake.note("recommendation uses the contention-calibrated comparison (see");
+    wake.note("armbar-model docs); paper: global on Kunpeng920, tree elsewhere.");
+
+    vec![fanin, wake]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_recommends_paper_wakeups() {
+        let reports = run(&Scale::quick());
+        let wake = &reports[1];
+        let rec: Vec<&str> = wake.rows.iter().map(|r| r[3].as_str()).collect();
+        assert_eq!(rec, vec!["tree", "tree", "global"]);
+    }
+
+    #[test]
+    fn integer_fanin_is_4_everywhere() {
+        let reports = run(&Scale::quick());
+        for row in &reports[0].rows {
+            assert_eq!(row[3], "4", "{row:?}");
+        }
+    }
+
+    #[test]
+    fn continuous_fanin_in_paper_bracket() {
+        let reports = run(&Scale::quick());
+        for row in &reports[0].rows {
+            let f: f64 = row[2].parse().unwrap();
+            assert!((2.718..=3.592).contains(&f), "{row:?}");
+        }
+    }
+}

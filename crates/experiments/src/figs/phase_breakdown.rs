@@ -1,0 +1,87 @@
+//! Phase breakdown (extension analysis): attributing each barrier
+//! episode's cost to the paper's Arrival-Phase and Notification-Phase.
+//!
+//! The paper optimizes the two phases separately (Sections V-B and V-C);
+//! this report shows where the time actually goes in the simulated
+//! episodes — e.g. that SENSE is arrival-dominated (the serialized RMW
+//! storm) while the optimized barrier splits its much smaller budget
+//! roughly evenly, and that switching wake-ups moves only the
+//! notification share.
+
+use std::sync::Arc;
+
+use armbar_core::prelude::*;
+use armbar_epcc::phase_breakdown;
+use armbar_simcoh::Arena;
+use armbar_topology::Platform;
+
+use crate::report::{us, Report};
+use crate::runner::{topo, Scale};
+
+/// Thread count analyzed.
+const P: usize = 64;
+
+/// Runs the phase-breakdown report (mark-aware algorithms only).
+pub fn run(_scale: &Scale) -> Vec<Report> {
+    let mut r = Report::new(
+        format!("Phase breakdown at {P} threads (us)"),
+        &["platform", "algorithm", "arrival", "notification", "arrival share"],
+    );
+    for platform in Platform::ARM {
+        let t = topo(platform);
+        for id in [AlgorithmId::Sense, AlgorithmId::Stour, AlgorithmId::Padded4Way, AlgorithmId::Optimized]
+        {
+            let mut arena = Arena::new();
+            let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, P, &t));
+            let Some(b) = phase_breakdown(&t, P, barrier, 4).unwrap() else {
+                continue;
+            };
+            r.row(vec![
+                t.name().to_string(),
+                id.label().to_string(),
+                us(b.arrival_ns),
+                us(b.notification_ns),
+                format!("{:.0}%", 100.0 * b.arrival_ns / b.total_ns()),
+            ]);
+        }
+    }
+    r.note("arrival = last entry → champion sees the last arrival;");
+    r.note("notification = champion's release → last thread leaves.");
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_platforms_and_marked_algorithms() {
+        let r = &run(&Scale::quick())[0];
+        assert_eq!(r.rows.len(), 12); // 3 platforms × 4 marked algorithms
+    }
+
+    #[test]
+    fn sense_is_arrival_dominated_everywhere() {
+        let r = &run(&Scale::quick())[0];
+        for row in r.rows.iter().filter(|row| row[1] == "SENSE") {
+            let share: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(share > 55.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn optimized_total_is_far_below_sense_total() {
+        let r = &run(&Scale::quick())[0];
+        for platform in ["Phytium 2000+", "ThunderX2", "Kunpeng920"] {
+            let total = |alg: &str| -> f64 {
+                let row = r
+                    .rows
+                    .iter()
+                    .find(|row| row[0] == platform && row[1] == alg)
+                    .unwrap();
+                row[2].parse::<f64>().unwrap() + row[3].parse::<f64>().unwrap()
+            };
+            assert!(total("SENSE") > 4.0 * total("OPT"), "{platform}");
+        }
+    }
+}

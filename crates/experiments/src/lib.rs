@@ -1,0 +1,27 @@
+//! # armbar-experiments — the paper's tables and figures, regenerated
+//!
+//! One module (and one binary) per experiment:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `tables_1_2_3` | Tables I–III: core-to-core latencies |
+//! | `fig05` | Fig. 5: GCC vs LLVM overhead, 32 threads, 4 platforms |
+//! | `fig06` | Fig. 6: GCC / LLVM overhead vs thread count |
+//! | `fig07` | Fig. 7: seven barrier algorithms vs thread count |
+//! | `fig11` | Fig. 11: arrival-flag padding and fixed fan-in |
+//! | `fig12` | Fig. 12: wake-up policies |
+//! | `fig13` | Fig. 13: fan-in sweep at 64 threads |
+//! | `table4` | Table IV: speedups of the optimized barrier |
+//! | `model_report` | Eqs. 1–4: optimal fan-in, wake-up crossover |
+//! | `all_experiments` | everything above, writing `results/*.csv` |
+//!
+//! Every experiment function takes a [`Scale`] so integration tests can run
+//! the same pipelines at reduced cost, and returns a [`report::Report`]
+//! that renders as an aligned ASCII table and serializes to CSV.
+
+pub mod figs;
+pub mod report;
+pub mod runner;
+
+pub use report::Report;
+pub use runner::Scale;

@@ -1,0 +1,185 @@
+//! Tabular experiment output: aligned ASCII rendering plus CSV export.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A rectangular result table with a title and free-form commentary
+/// (the "paper expects vs. we measured" notes).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment title, e.g. `"Figure 7 — Phytium 2000+"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in {}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends a commentary line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  * {n}");
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// Serializes as CSV (header + rows; notes become `# ` comment lines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", escaped.join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<slug>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: impl AsRef<Path>, slug: &str) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+}
+
+/// Formats nanoseconds as microseconds with two decimals (the unit of the
+/// paper's figures).
+pub fn us(ns: f64) -> String {
+    format!("{:.2}", ns / 1000.0)
+}
+
+/// Formats a speedup factor with one decimal and an `x`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("T", &["a", "bb"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["333".into(), "4".into()]);
+        r.note("hello");
+        r
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("  a  bb"), "{s}");
+        assert!(s.contains("333   4"), "{s}");
+        assert!(s.contains("* hello"));
+    }
+
+    #[test]
+    fn csv_has_header_rows_and_notes() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# hello");
+        assert_eq!(lines[1], "a,bb");
+        assert_eq!(lines[2], "1,2");
+        assert_eq!(lines[3], "333,4");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut r = Report::new("T", &["x"]);
+        r.row(vec!["a,b".into()]);
+        r.row(vec!["say \"hi\"".into()]);
+        let csv = r.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut r = Report::new("T", &["a", "b"]);
+        r.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn unit_formatters() {
+        assert_eq!(us(2500.0), "2.50");
+        assert_eq!(speedup(12.64), "12.6x");
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("armbar_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().write_csv(&dir, "t").unwrap();
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(content.contains("a,bb"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,159 @@
+//! Sweep runners shared by all experiments.
+
+use std::sync::Arc;
+
+use armbar_core::prelude::*;
+use armbar_epcc::{repeat_sim, sim_overhead_of, OverheadConfig};
+use armbar_simcoh::Arena;
+use armbar_topology::{Platform, Topology};
+
+/// Experiment scale: full (paper-faithful) for the binaries, reduced for
+/// integration tests.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Independently seeded repetitions per point (paper: 20).
+    pub reps: u64,
+    /// Measured barrier episodes per run.
+    pub episodes: u32,
+    /// Thread counts swept by the "vs. threads" figures.
+    pub sweep: Vec<usize>,
+}
+
+impl Scale {
+    /// Paper-faithful scale (bounded to keep a full regeneration in
+    /// minutes: 10 reps instead of the paper's 20; the simulator's noise
+    /// comes only from seeded jitter, so fewer reps suffice).
+    pub fn full() -> Self {
+        Self {
+            reps: 10,
+            episodes: 40,
+            sweep: vec![1, 2, 3, 4, 5, 6, 8, 9, 12, 16, 17, 20, 24, 32, 33, 40, 48, 56, 64],
+        }
+    }
+
+    /// Reduced scale for tests.
+    pub fn quick() -> Self {
+        Self { reps: 2, episodes: 10, sweep: vec![1, 4, 16, 64] }
+    }
+
+    /// The measurement configuration for rep `r`.
+    pub fn cfg(&self, rep: u64) -> OverheadConfig {
+        OverheadConfig {
+            warmup: 4,
+            episodes: self.episodes,
+            delay_ns: 100.0,
+            seed: 0x5EED_u64.wrapping_add(rep.wrapping_mul(0x9E37_79B9)),
+        }
+    }
+}
+
+/// Shared topology handles (constructing one per call is cheap, but the
+/// sweeps reuse them for clarity).
+pub fn topo(platform: Platform) -> Arc<Topology> {
+    Arc::new(Topology::preset(platform))
+}
+
+/// Mean overhead (ns) of a registry algorithm at `p` threads over
+/// `scale.reps` repetitions.
+pub fn algo_overhead_ns(
+    topo: &Arc<Topology>,
+    p: usize,
+    id: AlgorithmId,
+    scale: &Scale,
+) -> f64 {
+    repeat_sim(topo, p, id, scale.cfg(0), scale.reps)
+        .unwrap_or_else(|e| panic!("{id} at p={p} on {}: {e}", topo.name()))
+        .mean
+}
+
+/// Mean overhead (ns) of a custom f-way configuration at `p` threads.
+pub fn fway_overhead_ns(
+    topo: &Arc<Topology>,
+    p: usize,
+    config: FwayConfig,
+    scale: &Scale,
+) -> f64 {
+    let mut samples = Vec::with_capacity(scale.reps as usize);
+    for r in 0..scale.reps {
+        let mut arena = Arena::new();
+        let barrier: Arc<dyn Barrier> =
+            Arc::new(FwayBarrier::with_config(&mut arena, p, topo, config));
+        let v = sim_overhead_of(topo, p, barrier, scale.cfg(r))
+            .unwrap_or_else(|e| panic!("fway {config:?} at p={p}: {e}"));
+        samples.push(v);
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// An overhead-vs-threads curve for a registry algorithm.
+pub fn algo_curve(
+    topo: &Arc<Topology>,
+    id: AlgorithmId,
+    scale: &Scale,
+) -> Vec<(usize, f64)> {
+    scale
+        .sweep
+        .iter()
+        .filter(|&&p| p <= topo.num_cores())
+        .map(|&p| (p, algo_overhead_ns(topo, p, id, scale)))
+        .collect()
+}
+
+/// An overhead-vs-threads curve for a custom f-way configuration.
+pub fn fway_curve(
+    topo: &Arc<Topology>,
+    config: FwayConfig,
+    scale: &Scale,
+) -> Vec<(usize, f64)> {
+    scale
+        .sweep
+        .iter()
+        .filter(|&&p| p <= topo.num_cores())
+        .map(|&p| (p, fway_overhead_ns(topo, p, config, scale)))
+        .collect()
+}
+
+/// Directory where the binaries drop CSVs (workspace `results/`).
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_runs_a_curve() {
+        let t = topo(Platform::ThunderX2);
+        let curve = algo_curve(&t, AlgorithmId::Tournament, &Scale::quick());
+        assert_eq!(curve.len(), 4);
+        assert!(curve.iter().all(|&(_, ns)| ns >= 0.0));
+        // Larger thread counts cost more for any real barrier.
+        assert!(curve.last().unwrap().1 > curve.first().unwrap().1);
+    }
+
+    #[test]
+    fn sweep_respects_core_count() {
+        let t = topo(Platform::XeonGold); // 32 cores
+        let curve = algo_curve(&t, AlgorithmId::Sense, &Scale::quick());
+        assert!(curve.iter().all(|&(p, _)| p <= 32));
+    }
+
+    #[test]
+    fn fway_runner_accepts_custom_configs() {
+        let t = topo(Platform::Kunpeng920);
+        let ns = fway_overhead_ns(
+            &t,
+            16,
+            FwayConfig { fanin: Fanin::Fixed(4), ..FwayConfig::stour() },
+            &Scale::quick(),
+        );
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn scale_cfg_seeds_differ_per_rep() {
+        let s = Scale::quick();
+        assert_ne!(s.cfg(0).seed, s.cfg(1).seed);
+    }
+}

@@ -1,0 +1,105 @@
+//! The four memory-operation costs of Section III-B.
+//!
+//! With `ε` the local-cache latency, `L_i` the layer latency, `α_i` the RFO
+//! weight and `n` the number of shared copies held by other cores:
+//!
+//! * `O(R_L) = ε` — local read;
+//! * `O(R_R) = L_i` — remote read;
+//! * `O(W_L) = n·α_i·L_i` — local write (RFO to each copy);
+//! * `O(W_R) = (1 + n·α_i)·L_i` — remote write (transfer + RFO).
+
+use armbar_topology::{LayerId, Topology};
+
+/// Cost calculator for one (machine, layer) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheOps<'a> {
+    topo: &'a Topology,
+    layer: LayerId,
+}
+
+impl<'a> CacheOps<'a> {
+    /// Costs for operations crossing `layer` of `topo`.
+    pub fn new(topo: &'a Topology, layer: LayerId) -> Self {
+        Self { topo, layer }
+    }
+
+    /// Costs for the layer joining two specific cores.
+    pub fn between(topo: &'a Topology, a: usize, b: usize) -> Self {
+        Self { topo, layer: topo.layer(a, b) }
+    }
+
+    /// `L_i` for this layer (or `ε` for the local layer).
+    pub fn layer_latency_ns(&self) -> f64 {
+        self.topo.layer_latency_ns(self.layer)
+    }
+
+    /// `O(R_L) = ε`.
+    pub fn local_read_ns(&self) -> f64 {
+        self.topo.epsilon_ns()
+    }
+
+    /// `O(R_R) = L_i`.
+    pub fn remote_read_ns(&self) -> f64 {
+        self.layer_latency_ns()
+    }
+
+    /// `O(W_L) = n·α_i·L_i`: a write hitting a locally-owned line that `n`
+    /// other cores still share.
+    pub fn local_write_ns(&self, n_copies: usize) -> f64 {
+        let l = self.layer_latency_ns();
+        n_copies as f64 * self.topo.alpha(self.layer) * l
+    }
+
+    /// `O(W_R) = (1 + n·α_i)·L_i`: a write that must first fetch the line
+    /// across the layer.
+    pub fn remote_write_ns(&self, n_copies: usize) -> f64 {
+        let l = self.layer_latency_ns();
+        (1.0 + n_copies as f64 * self.topo.alpha(self.layer)) * l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_topology::{Platform, Topology};
+
+    #[test]
+    fn formulas_match_section_3b() {
+        let t = Topology::preset(Platform::ThunderX2);
+        let ops = CacheOps::new(&t, LayerId(0)); // L0 = 24 ns, α = 0.9
+        assert_eq!(ops.local_read_ns(), 1.2);
+        assert_eq!(ops.remote_read_ns(), 24.0);
+        assert!((ops.local_write_ns(1) - 0.9 * 24.0).abs() < 1e-12);
+        assert!((ops.remote_write_ns(1) - (1.0 + 0.9) * 24.0).abs() < 1e-12);
+        // No copies elsewhere → free local write, plain transfer remote.
+        assert_eq!(ops.local_write_ns(0), 0.0);
+        assert_eq!(ops.remote_write_ns(0), 24.0);
+    }
+
+    #[test]
+    fn write_cost_scales_linearly_in_copies() {
+        let t = Topology::preset(Platform::Kunpeng920);
+        let ops = CacheOps::new(&t, LayerId(1));
+        let w1 = ops.local_write_ns(1);
+        let w4 = ops.local_write_ns(4);
+        assert!((w4 - 4.0 * w1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn between_uses_the_pair_layer() {
+        let t = Topology::preset(Platform::Phytium2000Plus);
+        let near = CacheOps::between(&t, 0, 1); // same core group
+        let far = CacheOps::between(&t, 0, 63); // panel 0 → 7
+        assert_eq!(near.remote_read_ns(), 9.1);
+        assert_eq!(far.remote_read_ns(), 84.5);
+    }
+
+    #[test]
+    fn remote_write_exceeds_remote_read() {
+        let t = Topology::preset(Platform::ThunderX2);
+        for layer in [LayerId(0), LayerId(1)] {
+            let ops = CacheOps::new(&t, layer);
+            assert!(ops.remote_write_ns(1) > ops.remote_read_ns());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Arrival-Phase cost model and the optimal fan-in (Section V-B-2).
+//!
+//! Under the paper's two assumptions — each arrival flag has a single copy
+//! (padded flags), and the best case `W_R + (f−1)·R_R` holds at each
+//! synchronization point — the Arrival-Phase of an f-way tournament costs
+//!
+//! ```text
+//! T(f) = ⌈log_f P⌉ · ((1+α_i)·L_i + (f−1)·L_i) ≈ ⌈log_f P⌉ · (f+1) · L_i   (Eq. 1)
+//! ```
+//!
+//! Setting `T'(f) = 0` (Eq. 2) gives `(ln f − 1)·f = α_i`; since the left
+//! side is increasing and `0 ≤ α_i ≤ 1`, the continuous optimum lies in
+//! `[e, 3.591]`, so the best integer fan-in is 3 or 4 — and because
+//! power-of-two fan-ins preserve cluster alignment (`N_c ∈ {4, 32}`), the
+//! paper fixes `f = 4`.
+
+use armbar_topology::Topology;
+
+/// Eq. 1: modeled Arrival-Phase cost for `p` threads with fan-in `f`, using
+/// the α of the innermost layer and an effective layer latency `l_ns`.
+///
+/// # Panics
+/// Panics when `f < 2` or `p < 1`.
+pub fn arrival_cost_ns(p: usize, f: usize, alpha: f64, l_ns: f64) -> f64 {
+    assert!(p >= 1);
+    assert!(f >= 2, "a tournament group needs at least two members");
+    if p == 1 {
+        return 0.0;
+    }
+    let rounds = (p as f64).log(f as f64).ceil();
+    rounds * ((1.0 + alpha) + (f as f64 - 1.0)) * l_ns
+}
+
+/// Eq. 2 solved: the continuous `f*` with `(ln f − 1)·f = α`, found by
+/// bisection (the left side is strictly increasing for `f ≥ e`).
+pub fn optimal_fanin_continuous(alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "the paper assumes 0 ≤ α ≤ 1");
+    let g = |f: f64| (f.ln() - 1.0) * f - alpha;
+    let (mut lo, mut hi) = (std::f64::consts::E, 3.591_122);
+    // Guard the bracket (g(e) = -α ≤ 0; g(3.5912) ≈ 1 ≥ α).
+    debug_assert!(g(lo) <= 1e-9 && g(hi) >= -1e-3);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The best *integer* fan-in for a machine: evaluates Eq. 1 with the
+/// machine's innermost-layer parameters at the candidate integers around
+/// the continuous optimum and returns the cheapest, preferring powers of
+/// two on ties (the paper's cluster-alignment argument).
+pub fn optimal_fanin_int(topo: &Topology, p: usize) -> usize {
+    let alpha = topo.alpha(armbar_topology::LayerId(0));
+    let l = topo.layers()[0].latency_ns;
+    let mut best = 2usize;
+    let mut best_cost = f64::INFINITY;
+    for f in 2..=8 {
+        let mut cost = arrival_cost_ns(p, f, alpha, l);
+        // Tie-break: power-of-two fan-ins keep groups inside clusters.
+        if !f.is_power_of_two() {
+            cost += 1e-9;
+        }
+        if cost < best_cost {
+            best = f;
+            best_cost = cost;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_topology::{Platform, Topology};
+
+    #[test]
+    fn continuous_optimum_brackets_match_paper() {
+        // Paper: 2.718 ≤ f* ≤ 3.591 over α ∈ [0, 1].
+        let lo = optimal_fanin_continuous(0.0);
+        let hi = optimal_fanin_continuous(1.0);
+        assert!((lo - std::f64::consts::E).abs() < 1e-3, "f*(0) = {lo}");
+        assert!((hi - 3.591).abs() < 1e-2, "f*(1) = {hi}");
+    }
+
+    #[test]
+    fn continuous_optimum_is_monotone_in_alpha() {
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let f = optimal_fanin_continuous(i as f64 / 10.0);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn continuous_optimum_satisfies_eq2() {
+        for alpha in [0.0, 0.3, 0.55, 0.9, 1.0] {
+            let f = optimal_fanin_continuous(alpha);
+            assert!(((f.ln() - 1.0) * f - alpha).abs() < 1e-6, "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn integer_optimum_is_4_on_all_paper_platforms() {
+        for p in Platform::ARM {
+            let t = Topology::preset(p);
+            assert_eq!(optimal_fanin_int(&t, 64), 4, "{p}");
+        }
+    }
+
+    #[test]
+    fn arrival_cost_decreases_then_increases_in_f() {
+        // T(f) over f ∈ 2..64 at P=64 should be non-monotone with an
+        // interior minimum (this is what Figure 13 sweeps).
+        let costs: Vec<f64> =
+            (2..=64).map(|f| arrival_cost_ns(64, f, 0.5, 24.0)).collect();
+        let min_idx = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(min_idx > 0, "minimum must not be at f=2");
+        assert!(min_idx < costs.len() - 1, "minimum must not be at f=64");
+    }
+
+    #[test]
+    fn arrival_cost_single_thread_is_free() {
+        assert_eq!(arrival_cost_ns(1, 4, 0.5, 24.0), 0.0);
+    }
+
+    #[test]
+    fn arrival_cost_grows_with_latency() {
+        assert!(arrival_cost_ns(64, 4, 0.5, 100.0) > arrival_cost_ns(64, 4, 0.5, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two members")]
+    fn arrival_cost_rejects_fanin_1() {
+        let _ = arrival_cost_ns(8, 1, 0.5, 10.0);
+    }
+}

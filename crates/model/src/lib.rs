@@ -1,0 +1,24 @@
+//! # armbar-model — the paper's analytical cost models
+//!
+//! Executable forms of the equations in Sections III and V of
+//! *"Optimizing Barrier Synchronization on ARMv8 Many-Core Architectures"*:
+//!
+//! * the four cache-operation costs `R_L`, `R_R`, `W_L`, `W_R`
+//!   (Section III-B) — [`cache_ops`];
+//! * the Arrival-Phase cost `T(f) = ⌈log_f P⌉(f+1)L_i` (Eq. 1), its
+//!   derivative condition `(ln f − 1)f = α_i` (Eq. 2), and the optimal
+//!   fan-in solver — [`fanin`];
+//! * the Notification-Phase costs `T_global` (Eq. 3) and `T_tree` (Eq. 4)
+//!   and the per-platform wake-up recommendation — [`notification`].
+//!
+//! The models are deliberately simple — they exist to *choose parameters*
+//! (fan-in 4; wake-up policy per platform) and to sanity-check the
+//! simulator, not to predict absolute microseconds.
+
+pub mod cache_ops;
+pub mod fanin;
+pub mod notification;
+
+pub use cache_ops::CacheOps;
+pub use fanin::{arrival_cost_ns, optimal_fanin_continuous, optimal_fanin_int};
+pub use notification::{recommend_wakeup, tree_wakeup_ns, global_wakeup_ns, WakeupChoice};

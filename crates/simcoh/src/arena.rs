@@ -1,0 +1,165 @@
+//! Flag arena: byte-addressed allocation of simulated shared memory.
+//!
+//! Barrier implementations allocate their flags and counters from an
+//! [`Arena`] *before* the simulation starts. Addresses are plain byte
+//! offsets; the simulator derives the cache line of an access as
+//! `addr / cacheline_bytes`, so the allocation layout — packed 4-byte flags
+//! versus one-flag-per-line padding — has exactly the coherence consequences
+//! it would have on hardware. The host-atomics backend in `armbar-core`
+//! uses the *same* addresses as offsets into one contiguous atomic array,
+//! keeping both backends layout-identical.
+
+/// A simulated (or arena-relative) byte address of a 4-byte word.
+pub type Addr = u32;
+
+/// Bump allocator for simulated shared memory.
+///
+/// All values are 32-bit words; `alloc*` methods return 4-byte-aligned
+/// addresses. Memory is zero-initialized (like freshly mapped pages).
+#[derive(Debug, Clone, Default)]
+pub struct Arena {
+    next: Addr,
+}
+
+impl Arena {
+    /// An empty arena starting at address 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes allocated so far (= size of the host backing array).
+    pub fn len(&self) -> usize {
+        self.next as usize
+    }
+
+    /// True when nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
+
+    /// Allocates `bytes` bytes aligned to `align` (a power of two ≥ 4).
+    ///
+    /// # Panics
+    /// Panics on a zero size, a non-power-of-two alignment, or address
+    /// space exhaustion (the arena is 4 GiB).
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> Addr {
+        assert!(bytes > 0, "zero-size allocation");
+        assert!(align >= 4 && align.is_power_of_two(), "bad alignment {align}");
+        let mask = (align - 1) as Addr;
+        let base = (self.next + mask) & !mask;
+        let end = base
+            .checked_add(u32::try_from(bytes).expect("allocation too large"))
+            .expect("arena address space exhausted");
+        self.next = end;
+        base
+    }
+
+    /// Allocates one 4-byte word (packed; may share a cache line with
+    /// neighbouring allocations).
+    pub fn alloc_u32(&mut self) -> Addr {
+        self.alloc(4, 4)
+    }
+
+    /// Allocates `n` consecutive packed 4-byte words and returns the base
+    /// address; word `i` lives at `base + 4·i`.
+    pub fn alloc_u32_array(&mut self, n: usize) -> Addr {
+        assert!(n > 0);
+        self.alloc(4 * n, 4)
+    }
+
+    /// Allocates one 4-byte word alone on a cache line of `line_bytes`
+    /// (flag *padding*, Section V-B-1 of the paper: "representing the flag
+    /// of each child node with a cache line").
+    pub fn alloc_padded_u32(&mut self, line_bytes: usize) -> Addr {
+        let a = self.alloc(line_bytes, line_bytes);
+        // The word sits at the line start; the rest of the line is padding.
+        a
+    }
+
+    /// Allocates `n` words, each alone on its own `line_bytes` cache line.
+    /// Word `i` lives at `base + line_bytes·i`.
+    pub fn alloc_padded_u32_array(&mut self, n: usize, line_bytes: usize) -> Addr {
+        assert!(n > 0);
+        self.alloc(line_bytes * n, line_bytes)
+    }
+}
+
+/// Address of element `i` of a packed u32 array at `base`.
+#[inline]
+pub fn packed_elem(base: Addr, i: usize) -> Addr {
+    base + 4 * i as Addr
+}
+
+/// Address of element `i` of a padded array at `base` with `line_bytes`
+/// stride.
+#[inline]
+pub fn padded_elem(base: Addr, i: usize, line_bytes: usize) -> Addr {
+    base + (line_bytes * i) as Addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut a = Arena::new();
+        let x = a.alloc(4, 4);
+        let y = a.alloc(8, 8);
+        let z = a.alloc(4, 64);
+        assert_eq!(x % 4, 0);
+        assert_eq!(y % 8, 0);
+        assert_eq!(z % 64, 0);
+        assert!(x + 4 <= y);
+        assert!(y + 8 <= z);
+    }
+
+    #[test]
+    fn packed_array_shares_lines() {
+        let mut a = Arena::new();
+        let base = a.alloc_u32_array(16);
+        // 16 packed words span exactly 64 bytes: one 64-byte line if aligned.
+        let first_line = packed_elem(base, 0) / 64;
+        let last_line = packed_elem(base, 15) / 64;
+        assert!(last_line - first_line <= 1);
+    }
+
+    #[test]
+    fn padded_array_separates_lines() {
+        let mut a = Arena::new();
+        let base = a.alloc_padded_u32_array(8, 64);
+        let mut lines: Vec<u32> = (0..8).map(|i| padded_elem(base, i, 64) / 64).collect();
+        lines.dedup();
+        assert_eq!(lines.len(), 8, "each padded element must own its line");
+    }
+
+    #[test]
+    fn padded_single_is_line_aligned() {
+        let mut a = Arena::new();
+        let _ = a.alloc_u32(); // misalign the bump pointer
+        let p = a.alloc_padded_u32(128);
+        assert_eq!(p % 128, 0);
+    }
+
+    #[test]
+    fn len_tracks_high_water_mark() {
+        let mut a = Arena::new();
+        assert!(a.is_empty());
+        a.alloc_u32_array(10);
+        assert_eq!(a.len(), 40);
+        a.alloc_padded_u32(64);
+        assert_eq!(a.len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size allocation")]
+    fn rejects_zero_size() {
+        Arena::new().alloc(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad alignment")]
+    fn rejects_small_alignment() {
+        Arena::new().alloc(4, 2);
+    }
+}

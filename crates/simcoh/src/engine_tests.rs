@@ -1,0 +1,283 @@
+//! Additional engine tests: the batched (MLP) wait, the NoC bandwidth
+//! queue, and the busy-line requeue discipline. Split from `engine.rs` to
+//! keep the engine readable.
+
+use std::sync::Arc;
+
+use armbar_topology::{Topology, TopologyBuilder};
+
+use crate::arena::Arena;
+use crate::engine::SimBuilder;
+use crate::error::SimError;
+use crate::stats::OpKind;
+
+/// 8 cores, clusters of 4, zero jitter, no NoC charge:
+/// ε = 1, L0 = 10 (α 0.5), L1 = 40 (α 0.5), inv = 2, read contention = 3.
+fn topo() -> Arc<Topology> {
+    Arc::new(
+        TopologyBuilder::new("t8", 8)
+            .epsilon_ns(1.0)
+            .layer("near", 10.0, 0.5)
+            .layer("far", 40.0, 0.5)
+            .hierarchy(&[4])
+            .coherence(2.0, 3.0, 0.0)
+            .build(),
+    )
+}
+
+/// Same machine with a 5 ns/transaction NoC.
+fn topo_noc() -> Arc<Topology> {
+    Arc::new(
+        TopologyBuilder::new("t8noc", 8)
+            .epsilon_ns(1.0)
+            .layer("near", 10.0, 0.5)
+            .layer("far", 40.0, 0.5)
+            .hierarchy(&[4])
+            .coherence(2.0, 3.0, 0.0)
+            .noc_ns(5.0)
+            .build(),
+    )
+}
+
+#[test]
+fn batched_wait_pays_max_not_sum() {
+    // Thread 3 batch-waits on flags owned by threads 0 (L0), 1 (L0) and
+    // 4 (L1 = 40). All were written before the wait begins, so the probe
+    // fetches three lines: max(40) + 0.3·(10+10) = 46, not 60.
+    let mut arena = Arena::new();
+    let f0 = arena.alloc_padded_u32(64);
+    let f1 = arena.alloc_padded_u32(64);
+    let f4 = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 5)
+        .run(move |ctx| match ctx.tid() {
+            0 => ctx.store(f0, 1),
+            1 => ctx.store(f1, 1),
+            4 => ctx.store(f4, 1),
+            3 => {
+                ctx.compute_ns(1000.0); // let the writers go first
+                let t0 = ctx.now_ns();
+                ctx.spin_until_all_ge(&[f0, f1, f4], 1);
+                let dt = ctx.now_ns() - t0;
+                assert!((dt - 46.0).abs() < 1e-9, "batched probe cost {dt}");
+            }
+            _ => {}
+        })
+        .unwrap();
+    assert_eq!(stats.ops(OpKind::RemoteRead), 3);
+}
+
+#[test]
+fn batched_wait_blocks_until_all_satisfied() {
+    let mut arena = Arena::new();
+    let f0 = arena.alloc_padded_u32(64);
+    let f1 = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 3)
+        .run(move |ctx| match ctx.tid() {
+            0 => {
+                ctx.compute_ns(100.0);
+                ctx.store(f0, 1);
+            }
+            1 => {
+                ctx.compute_ns(500.0);
+                ctx.store(f1, 1);
+            }
+            2 => {
+                ctx.spin_until_all_ge(&[f0, f1], 1);
+                // Released only after the slower writer (t=500) plus wake.
+                assert!(ctx.now_ns() > 500.0, "woke at {}", ctx.now_ns());
+            }
+            _ => unreachable!(),
+        })
+        .unwrap();
+    assert_eq!(stats.ops(OpKind::SpinWakeup), 1);
+}
+
+#[test]
+fn batched_wait_empty_list_is_noop() {
+    let stats = SimBuilder::new(topo(), 1)
+        .run(move |ctx| {
+            ctx.spin_until_all_ge(&[], 99);
+            ctx.compute_ns(7.0);
+        })
+        .unwrap();
+    assert_eq!(stats.max_time_ns(), 7.0);
+}
+
+#[test]
+fn batched_deadlock_is_detected() {
+    let mut arena = Arena::new();
+    let f0 = arena.alloc_padded_u32(64);
+    let f1 = arena.alloc_padded_u32(64);
+    let err = SimBuilder::new(topo(), 2)
+        .run(move |ctx| {
+            if ctx.tid() == 0 {
+                ctx.store(f0, 1); // f1 never written
+            } else {
+                ctx.spin_until_all_ge(&[f0, f1], 1);
+            }
+        })
+        .unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+}
+
+#[test]
+fn noc_queue_serializes_concurrent_remote_traffic() {
+    // Seven threads each pull a line owned by thread 0 at the same time.
+    // Without the NoC each pays its own latency; with a 5 ns service
+    // interval the k-th transaction queues behind k−1 others.
+    let run = |topo: Arc<Topology>| {
+        let mut arena = Arena::new();
+        let lines = arena.alloc_padded_u32_array(8, 64);
+        SimBuilder::new(topo, 8)
+            .run(move |ctx| {
+                let me = ctx.tid();
+                if me == 0 {
+                    for i in 0..8usize {
+                        ctx.store(lines + 64 * i as u32, 1);
+                    }
+                    ctx.store(lines + 64 * 7, 2); // "ready" signal on line 7
+                } else {
+                    ctx.spin_until(lines + 64 * 7, |v| v >= 1);
+                    ctx.load(lines + 64 * me as u32);
+                }
+            })
+            .unwrap()
+            .max_time_ns()
+    };
+    let without = run(topo());
+    let with = run(topo_noc());
+    assert!(
+        with > without + 10.0,
+        "NoC queueing should slow the burst: {without} vs {with}"
+    );
+}
+
+#[test]
+fn noc_charge_skips_local_traffic() {
+    // A thread hammering its own exclusive line never touches the NoC.
+    let run = |topo: Arc<Topology>| {
+        let mut arena = Arena::new();
+        let a = arena.alloc_padded_u32(64);
+        SimBuilder::new(topo, 1)
+            .run(move |ctx| {
+                for i in 0..100 {
+                    ctx.store(a, i);
+                }
+            })
+            .unwrap()
+            .max_time_ns()
+    };
+    assert_eq!(run(topo()), run(topo_noc()));
+}
+
+#[test]
+fn busy_line_requeue_interleaves_spinner_registration() {
+    // The signature effect of the requeue discipline: a spinner that
+    // *issues* its first read while a queue of RMWs is draining still
+    // registers mid-queue, so later RMWs pay invalidations to it. With
+    // five RMW threads and one spinner, the spinner's crowd presence makes
+    // the total strictly larger than the sum of uncontended RMWs.
+    let mut arena = Arena::new();
+    let counter = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 6)
+        .run(move |ctx| {
+            if ctx.tid() == 0 {
+                ctx.spin_until(counter, |v| v >= 5);
+            } else {
+                ctx.fetch_add(counter, 1);
+            }
+        })
+        .unwrap();
+    // All five RMWs completed and the spinner woke exactly once.
+    assert_eq!(stats.ops(OpKind::SpinWakeup), 1);
+    let total = stats.max_time_ns();
+    assert!(total > 5.0 * 16.0, "crowd effects missing? total {total}");
+}
+
+#[test]
+fn rmw_surcharge_makes_atomics_costlier_than_stores() {
+    let mut arena = Arena::new();
+    let a = arena.alloc_padded_u32(64);
+    let b = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 2)
+        .run(move |ctx| {
+            if ctx.tid() == 0 {
+                ctx.store(a, 1);
+                ctx.store(b, 1);
+            } else {
+                ctx.spin_until(a, |v| v == 1);
+                ctx.spin_until(b, |v| v == 1);
+                let t0 = ctx.now_ns();
+                ctx.store(a, 2); // plain store to a remote-owned line
+                let store_cost = ctx.now_ns() - t0;
+                let t1 = ctx.now_ns();
+                ctx.fetch_add(b, 1); // RMW on an equivalent line
+                let rmw_cost = ctx.now_ns() - t1;
+                assert!(
+                    rmw_cost > store_cost,
+                    "RMW ({rmw_cost}) must exceed store ({store_cost})"
+                );
+            }
+        })
+        .unwrap();
+    assert!(stats.total_mem_ops() > 0);
+}
+
+#[test]
+fn hotspot_accounting_identifies_the_hot_line() {
+    // Everyone hammers one counter; a second line sees a single write.
+    let mut arena = Arena::new();
+    let hot = arena.alloc_padded_u32(64);
+    let cold = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 8)
+        .run(move |ctx| {
+            for _ in 0..10 {
+                ctx.fetch_add(hot, 1);
+            }
+            if ctx.tid() == 0 {
+                ctx.store(cold, 1);
+            }
+        })
+        .unwrap();
+    let hottest = stats.hottest_lines(1);
+    assert_eq!(hottest.len(), 1);
+    assert_eq!(hottest[0].0, hot / 64);
+    assert_eq!(hottest[0].1.writes, 80);
+    assert!(stats.hotspot_concentration() > 0.95);
+}
+
+#[test]
+fn spread_traffic_has_low_concentration() {
+    let mut arena = Arena::new();
+    let lines = arena.alloc_padded_u32_array(8, 64);
+    let stats = SimBuilder::new(topo(), 8)
+        .run(move |ctx| {
+            let mine = lines + 64 * ctx.tid() as u32;
+            for i in 0..10 {
+                ctx.store(mine, i);
+            }
+        })
+        .unwrap();
+    assert!((stats.hotspot_concentration() - 0.125).abs() < 1e-9);
+    assert_eq!(stats.hottest_lines(100).len(), 8);
+}
+
+#[test]
+fn invalidation_counts_reflect_sharer_crowds() {
+    let mut arena = Arena::new();
+    let flag = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 5)
+        .run(move |ctx| {
+            if ctx.tid() == 0 {
+                ctx.compute_ns(500.0); // let all four spinners subscribe
+                ctx.store(flag, 1);
+            } else {
+                ctx.spin_until(flag, |v| v == 1);
+            }
+        })
+        .unwrap();
+    let t = stats.line_traffic()[&(flag / 64)];
+    assert_eq!(t.writes, 1);
+    assert_eq!(t.invalidations, 4, "the release must invalidate all four spinners");
+    assert_eq!(t.peak_sharers, 4);
+}

@@ -1,0 +1,69 @@
+//! Simulation failure modes.
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Every live simulated thread is blocked in `spin_until` and no write
+    /// can ever satisfy any of them: the program under simulation (usually
+    /// a barrier implementation) has deadlocked.
+    ///
+    /// Carries the ids of the blocked threads and the addresses they were
+    /// spinning on.
+    Deadlock { waiters: Vec<(usize, u32)> },
+    /// The simulation exceeded the configured operation budget — a live-lock
+    /// or runaway loop in the simulated program.
+    OpBudgetExhausted { ops: u64 },
+    /// A simulated thread panicked; the message is forwarded.
+    ThreadPanic { tid: usize, message: String },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { waiters } => {
+                write!(f, "simulated deadlock: {} thread(s) blocked forever: ", waiters.len())?;
+                for (i, (tid, addr)) in waiters.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "t{tid} on addr {addr:#x}")?;
+                }
+                Ok(())
+            }
+            SimError::OpBudgetExhausted { ops } => {
+                write!(f, "simulation exceeded its operation budget ({ops} ops): live-lock?")
+            }
+            SimError::ThreadPanic { tid, message } => {
+                write!(f, "simulated thread {tid} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_message_lists_waiters() {
+        let e = SimError::Deadlock { waiters: vec![(0, 0x40), (3, 0x80)] };
+        let s = e.to_string();
+        assert!(s.contains("t0 on addr 0x40"), "{s}");
+        assert!(s.contains("t3 on addr 0x80"), "{s}");
+    }
+
+    #[test]
+    fn budget_message_mentions_ops() {
+        let e = SimError::OpBudgetExhausted { ops: 123 };
+        assert!(e.to_string().contains("123"));
+    }
+
+    #[test]
+    fn panic_message_forwards() {
+        let e = SimError::ThreadPanic { tid: 7, message: "boom".into() };
+        assert!(e.to_string().contains("thread 7"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

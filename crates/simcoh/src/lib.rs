@@ -1,0 +1,68 @@
+//! # armbar-simcoh — a cache-coherence *latency* simulator
+//!
+//! A deterministic discrete-event simulator that executes real Rust thread
+//! bodies against a modeled many-core machine ([`armbar_topology::Topology`])
+//! and charges every memory operation its cache-coherence cost, following
+//! the analytical model of Section III of the CLUSTER'21 paper this
+//! workspace reproduces:
+//!
+//! * local read hit — `ε`;
+//! * remote read — `L_i` (the latency layer joining reader and owner), plus
+//!   the reader-contention term `c·(j−1)` when `j` readers pile onto one
+//!   line;
+//! * write / atomic RMW — ownership transfer (`L_i` from the current owner)
+//!   plus the read-for-ownership (RFO) fan-out `α_i·L_i` to the farthest
+//!   sharer and a per-extra-sharer serialization charge; writes to the same
+//!   line **serialize**, which is precisely the hot-spot effect that makes
+//!   centralized barriers collapse on many-core machines.
+//!
+//! The simulated machine is *not* cycle-accurate: it is an executable form
+//! of the paper's cost model, sufficient to reproduce the relative shapes of
+//! the paper's figures. Because line occupancy, sharer sets and invalidation
+//! fan-outs are tracked per real byte address, effects like false sharing of
+//! packed 4-byte arrival flags emerge from the same code that exhibits them
+//! on hardware.
+//!
+//! ## Execution model
+//!
+//! Each simulated thread is an OS thread running arbitrary Rust code; every
+//! [`SimThread`] operation is a rendezvous with a central scheduler that
+//! processes operations in virtual-time order (ties broken by thread id),
+//! one at a time. The interleaving is therefore **fully deterministic** —
+//! independent of host scheduling and host core count — and a blocked
+//! simulation (a buggy barrier) is detected and reported rather than hanging.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use armbar_topology::{Platform, Topology};
+//! use armbar_simcoh::{Arena, SimBuilder};
+//!
+//! let topo = Arc::new(Topology::preset(Platform::ThunderX2));
+//! let mut arena = Arena::new();
+//! let flag = arena.alloc_u32();
+//!
+//! let stats = SimBuilder::new(topo, 2)
+//!     .run(move |ctx| {
+//!         if ctx.tid() == 0 {
+//!             ctx.store(flag, 1); // costs a local write
+//!         } else {
+//!             ctx.spin_until(flag, |v| v == 1); // blocks, then pays L_0
+//!         }
+//!     })
+//!     .unwrap();
+//! assert!(stats.max_time_ns() > 0.0);
+//! ```
+
+pub mod arena;
+pub mod engine;
+pub mod error;
+#[cfg(test)]
+mod engine_tests;
+pub mod line;
+pub mod rng;
+pub mod stats;
+
+pub use arena::{Addr, Arena};
+pub use engine::{SimBuilder, SimThread};
+pub use error::SimError;
+pub use stats::{OpKind, RunStats};

@@ -1,0 +1,103 @@
+//! Tiny deterministic RNG for simulation jitter.
+//!
+//! A SplitMix64 generator: stateless-simple, high quality for this purpose,
+//! and — unlike pulling in a full RNG crate here — guaranteed to produce the
+//! same jitter sequence on every platform and toolchain, which keeps the
+//! experiment pipelines byte-reproducible.
+
+/// SplitMix64 PRNG.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Multiplicative jitter factor uniform in `[1 − amp, 1 + amp]`.
+    #[inline]
+    pub fn jitter_factor(&mut self, amp: f64) -> f64 {
+        if amp == 0.0 {
+            return 1.0;
+        }
+        1.0 + amp * (2.0 * self.next_f64() - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_covers_the_interval() {
+        let mut r = SplitMix64::new(7);
+        let xs: Vec<f64> = (0..10_000).map(|_| r.next_f64()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+        assert!(xs.iter().any(|&x| x < 0.01));
+        assert!(xs.iter().any(|&x| x > 0.99));
+    }
+
+    #[test]
+    fn jitter_zero_amp_is_identity() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert_eq!(r.jitter_factor(0.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn jitter_bounded_by_amplitude() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            let f = r.jitter_factor(0.25);
+            assert!((0.75..=1.25).contains(&f), "factor {f} out of range");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Run statistics: virtual completion times, operation counts, user marks.
+
+/// Kind of a simulated memory operation, for accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read satisfied from the local cache (`R_L`, cost ε).
+    LocalRead,
+    /// Read served from a remote cache (`R_R`, cost `L_i`).
+    RemoteRead,
+    /// Store or atomic RMW that already owned the line (`W_L`).
+    LocalWrite,
+    /// Store or atomic RMW that had to acquire the line (`W_R`).
+    RemoteWrite,
+    /// A `spin_until` that blocked and was woken by a write.
+    SpinWakeup,
+    /// Pure local compute (`compute_ns`).
+    Compute,
+}
+
+impl OpKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::LocalRead,
+        OpKind::RemoteRead,
+        OpKind::LocalWrite,
+        OpKind::RemoteWrite,
+        OpKind::SpinWakeup,
+        OpKind::Compute,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            OpKind::LocalRead => 0,
+            OpKind::RemoteRead => 1,
+            OpKind::LocalWrite => 2,
+            OpKind::RemoteWrite => 3,
+            OpKind::SpinWakeup => 4,
+            OpKind::Compute => 5,
+        }
+    }
+}
+
+/// A user-recorded timestamp (`SimThread::mark`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mark {
+    /// Thread that recorded the mark.
+    pub tid: usize,
+    /// User-chosen label.
+    pub label: u32,
+    /// Virtual time (ns) at which the mark was recorded.
+    pub time_ns: f64,
+}
+
+/// Per-cache-line traffic accounting — the "hot spot" evidence (Pfister &
+/// Norton) that motivates tree barriers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineTraffic {
+    /// Stores and RMWs that committed to this line.
+    pub writes: u64,
+    /// Total invalidation messages those writes fanned out.
+    pub invalidations: u64,
+    /// Largest sharer-set size ever invalidated at once.
+    pub peak_sharers: u32,
+}
+
+/// Statistics of one completed simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    per_thread_time_ns: Vec<f64>,
+    op_counts: [u64; 6],
+    marks: Vec<Mark>,
+    line_traffic: std::collections::HashMap<u32, LineTraffic>,
+}
+
+impl RunStats {
+    pub(crate) fn new(nthreads: usize) -> Self {
+        Self {
+            per_thread_time_ns: vec![0.0; nthreads],
+            op_counts: [0; 6],
+            marks: Vec::new(),
+            line_traffic: std::collections::HashMap::new(),
+        }
+    }
+
+    pub(crate) fn set_thread_time(&mut self, tid: usize, t: f64) {
+        self.per_thread_time_ns[tid] = t;
+    }
+
+    pub(crate) fn count_op(&mut self, kind: OpKind) {
+        self.op_counts[kind.idx()] += 1;
+    }
+
+    pub(crate) fn push_mark(&mut self, m: Mark) {
+        self.marks.push(m);
+    }
+
+    pub(crate) fn record_write(&mut self, line: u32, invalidated: usize) {
+        let t = self.line_traffic.entry(line).or_default();
+        t.writes += 1;
+        t.invalidations += invalidated as u64;
+        t.peak_sharers = t.peak_sharers.max(invalidated as u32);
+    }
+
+    /// Virtual completion time of each thread, in ns.
+    pub fn per_thread_time_ns(&self) -> &[f64] {
+        &self.per_thread_time_ns
+    }
+
+    /// Virtual time at which the last thread finished — the makespan.
+    pub fn max_time_ns(&self) -> f64 {
+        self.per_thread_time_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of operations of a kind across all threads.
+    pub fn ops(&self, kind: OpKind) -> u64 {
+        self.op_counts[kind.idx()]
+    }
+
+    /// Total memory operations (excluding compute).
+    pub fn total_mem_ops(&self) -> u64 {
+        OpKind::ALL
+            .iter()
+            .filter(|k| !matches!(k, OpKind::Compute))
+            .map(|&k| self.ops(k))
+            .sum()
+    }
+
+    /// All marks, in the order they were committed in virtual time.
+    pub fn marks(&self) -> &[Mark] {
+        &self.marks
+    }
+
+    /// Per-line write/invalidation traffic, keyed by line index
+    /// (`addr / line_bytes`).
+    pub fn line_traffic(&self) -> &std::collections::HashMap<u32, LineTraffic> {
+        &self.line_traffic
+    }
+
+    /// The `n` most-written lines, descending — the hot spots.
+    pub fn hottest_lines(&self, n: usize) -> Vec<(u32, LineTraffic)> {
+        let mut v: Vec<(u32, LineTraffic)> =
+            self.line_traffic.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_by(|a, b| b.1.writes.cmp(&a.1.writes).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Fraction of all committed writes that landed on the single hottest
+    /// line — 1.0 means a perfect hot spot (centralized barrier), values
+    /// near `1/lines` mean the traffic is spread (trees).
+    pub fn hotspot_concentration(&self) -> f64 {
+        let total: u64 = self.line_traffic.values().map(|t| t.writes).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let max = self.line_traffic.values().map(|t| t.writes).max().unwrap_or(0);
+        max as f64 / total as f64
+    }
+
+    /// The latest time at which any thread recorded `label` — useful for
+    /// "everyone passed episode k" timestamps.
+    pub fn last_mark_time(&self, label: u32) -> Option<f64> {
+        self.marks
+            .iter()
+            .filter(|m| m.label == label)
+            .map(|m| m.time_ns)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_time_is_max() {
+        let mut s = RunStats::new(3);
+        s.set_thread_time(0, 5.0);
+        s.set_thread_time(1, 9.0);
+        s.set_thread_time(2, 2.0);
+        assert_eq!(s.max_time_ns(), 9.0);
+    }
+
+    #[test]
+    fn op_counting_accumulates() {
+        let mut s = RunStats::new(1);
+        s.count_op(OpKind::RemoteRead);
+        s.count_op(OpKind::RemoteRead);
+        s.count_op(OpKind::LocalWrite);
+        assert_eq!(s.ops(OpKind::RemoteRead), 2);
+        assert_eq!(s.ops(OpKind::LocalWrite), 1);
+        assert_eq!(s.ops(OpKind::RemoteWrite), 0);
+        assert_eq!(s.total_mem_ops(), 3);
+    }
+
+    #[test]
+    fn compute_not_a_mem_op() {
+        let mut s = RunStats::new(1);
+        s.count_op(OpKind::Compute);
+        assert_eq!(s.total_mem_ops(), 0);
+    }
+
+    #[test]
+    fn last_mark_time_filters_by_label() {
+        let mut s = RunStats::new(2);
+        s.push_mark(Mark { tid: 0, label: 1, time_ns: 10.0 });
+        s.push_mark(Mark { tid: 1, label: 1, time_ns: 30.0 });
+        s.push_mark(Mark { tid: 0, label: 2, time_ns: 50.0 });
+        assert_eq!(s.last_mark_time(1), Some(30.0));
+        assert_eq!(s.last_mark_time(2), Some(50.0));
+        assert_eq!(s.last_mark_time(3), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Communication-latency layers.
+//!
+//! The paper groups core-to-core communication latencies into *layers*
+//! `L_0, L_1, …` according to the relative position of the two cores in the
+//! machine's cluster hierarchy (Section III-A). `ε` — access to the local
+//! cache of the core itself — is represented here as the distinguished
+//! [`LayerId::LOCAL`] layer.
+
+/// Identifier of a latency layer.
+///
+/// `LayerId::LOCAL` is `ε` (a core talking to itself); `LayerId(0)` is the
+/// paper's `L_0` (within the innermost cluster), `LayerId(1)` is `L_1`, and
+/// so on outwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LayerId(pub u8);
+
+impl LayerId {
+    /// The local-cache layer `ε`.
+    pub const LOCAL: LayerId = LayerId(u8::MAX);
+
+    /// Returns `true` for the local-cache layer `ε`.
+    #[inline]
+    pub fn is_local(self) -> bool {
+        self == Self::LOCAL
+    }
+
+    /// The `L_i` index of a non-local layer.
+    ///
+    /// # Panics
+    /// Panics when called on [`LayerId::LOCAL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        assert!(!self.is_local(), "LOCAL layer has no L_i index");
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LayerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_local() {
+            write!(f, "eps")
+        } else {
+            write!(f, "L{}", self.0)
+        }
+    }
+}
+
+/// One latency layer of a machine: a name, a measured round-trip cache
+/// transfer latency, and the RFO (read-for-ownership) weight `α_i` used by
+/// the analytical model of Section III-B (`0 ≤ α_i ≤ 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Human-readable description, e.g. `"within a core group"`.
+    pub name: String,
+    /// Cache-to-cache transfer latency in nanoseconds (Tables I–III).
+    pub latency_ns: f64,
+    /// RFO weight `α_i` for invalidations travelling over this layer.
+    pub alpha: f64,
+}
+
+impl Layer {
+    /// Creates a layer, validating the paper's parameter ranges.
+    ///
+    /// # Panics
+    /// Panics if `latency_ns` is not finite and positive, or if `alpha`
+    /// falls outside `[0, 1]` (the range assumed by the paper's model).
+    pub fn new(name: impl Into<String>, latency_ns: f64, alpha: f64) -> Self {
+        assert!(
+            latency_ns.is_finite() && latency_ns > 0.0,
+            "layer latency must be positive and finite, got {latency_ns}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must lie in [0, 1], got {alpha}"
+        );
+        Self { name: name.into(), latency_ns, alpha }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_layer_is_distinguished() {
+        assert!(LayerId::LOCAL.is_local());
+        assert!(!LayerId(0).is_local());
+        assert!(!LayerId(8).is_local());
+    }
+
+    #[test]
+    fn layer_index_roundtrips() {
+        for i in 0..9u8 {
+            assert_eq!(LayerId(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "LOCAL layer has no L_i index")]
+    fn local_layer_has_no_index() {
+        let _ = LayerId::LOCAL.index();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LayerId::LOCAL.to_string(), "eps");
+        assert_eq!(LayerId(3).to_string(), "L3");
+    }
+
+    #[test]
+    fn layer_new_accepts_valid_parameters() {
+        let l = Layer::new("within a panel", 42.3, 0.5);
+        assert_eq!(l.name, "within a panel");
+        assert_eq!(l.latency_ns, 42.3);
+        assert_eq!(l.alpha, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be positive")]
+    fn layer_rejects_zero_latency() {
+        let _ = Layer::new("bad", 0.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in [0, 1]")]
+    fn layer_rejects_alpha_above_one() {
+        let _ = Layer::new("bad", 10.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in [0, 1]")]
+    fn layer_rejects_negative_alpha() {
+        let _ = Layer::new("bad", 10.0, -0.1);
+    }
+
+    #[test]
+    fn layer_ordering_by_id() {
+        assert!(LayerId(0) < LayerId(1));
+        assert!(LayerId(8) < LayerId::LOCAL); // LOCAL sorts last
+    }
+}

@@ -1,0 +1,47 @@
+//! Machine topology and core-to-core communication latency models.
+//!
+//! This crate describes the three ARMv8 many-core processors studied in
+//! *"Optimizing Barrier Synchronization on ARMv8 Many-Core Architectures"*
+//! (CLUSTER 2021) — Phytium 2000+, Marvell ThunderX2 and HiSilicon
+//! Kunpeng 920 — plus an Intel Xeon Gold reference machine, as data:
+//!
+//! * the **cluster hierarchy** (core groups / panels / sockets / CCLs / SCCLs),
+//! * the **measured core-to-core latency layers** `L_i` from Tables I–III of
+//!   the paper, and the local-cache latency `ε`,
+//! * the coherence-cost parameters of the paper's analytical model
+//!   (Section III): the RFO weights `α_i`, plus the contention coefficients
+//!   used by the cache simulator,
+//! * the **logical core-cluster size** `N_c` (4 on Phytium 2000+, 32 on
+//!   ThunderX2, 4 on Kunpeng 920) that drives the NUMA-aware optimizations.
+//!
+//! A [`Topology`] is pure data — it performs no synchronization itself. The
+//! `armbar-simcoh` crate interprets it to cost memory operations, and the
+//! barrier algorithms in `armbar-core` consult it to shape their arrival and
+//! wake-up trees.
+//!
+//! # Example
+//!
+//! ```
+//! use armbar_topology::{Platform, Topology};
+//!
+//! let topo = Topology::preset(Platform::Phytium2000Plus);
+//! assert_eq!(topo.num_cores(), 64);
+//! assert_eq!(topo.n_c(), 4);
+//! // Cores 0 and 1 share a core group: latency L0 = 9.1 ns.
+//! assert_eq!(topo.latency_ns(0, 1), 9.1);
+//! // Cores 0 and 63 are on panels 0 and 7: latency L8 = 84.5 ns.
+//! assert_eq!(topo.latency_ns(0, 63), 84.5);
+//! ```
+
+pub mod builder;
+pub mod layer;
+pub mod machine;
+pub mod platforms;
+
+pub use builder::TopologyBuilder;
+pub use layer::{Layer, LayerId};
+pub use machine::{CoherenceParams, CoreId, Topology};
+pub use platforms::Platform;
+
+#[cfg(test)]
+mod proptests;

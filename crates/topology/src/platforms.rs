@@ -1,0 +1,232 @@
+//! The four machines evaluated in the paper, with the measured
+//! core-to-core latencies of Tables I–III.
+//!
+//! The latency numbers (`ε`, `L_i`) are the paper's measurements verbatim.
+//! The coherence parameters (`α_i`, invalidation/read contention, jitter)
+//! are *calibrated*, not measured: the paper constrains `0 ≤ α_i ≤ 1` and
+//! describes contention qualitatively; the values below were fitted so the
+//! simulator reproduces the anchor points of Figures 5–7 (see DESIGN.md §2
+//! and EXPERIMENTS.md).
+
+use crate::builder::TopologyBuilder;
+use crate::layer::LayerId;
+use crate::machine::Topology;
+
+/// The machines evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Phytium 2000+ — 64 ARMv8 cores @ 2.2 GHz, 8 panels × 2 core groups × 4 cores.
+    Phytium2000Plus,
+    /// Marvell/Cavium ThunderX2 — 2 sockets × 32 ARMv8 cores @ 2.5 GHz (CCPI2 interconnect).
+    ThunderX2,
+    /// HiSilicon Kunpeng 920 — 2 SCCLs × 8 CCLs × 4 ARMv8 cores @ 2.6 GHz.
+    Kunpeng920,
+    /// 32-core Intel Xeon Gold @ 2.1 GHz — the x86 reference of Figure 5.
+    XeonGold,
+}
+
+impl Platform {
+    /// All four platforms, ARM first, in the paper's order.
+    pub const ALL: [Platform; 4] = [
+        Platform::Phytium2000Plus,
+        Platform::ThunderX2,
+        Platform::Kunpeng920,
+        Platform::XeonGold,
+    ];
+
+    /// The three ARMv8 platforms (the paper's evaluation targets).
+    pub const ARM: [Platform; 3] =
+        [Platform::Phytium2000Plus, Platform::ThunderX2, Platform::Kunpeng920];
+
+    /// Short display name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::Phytium2000Plus => "Phytium 2000+",
+            Platform::ThunderX2 => "ThunderX2",
+            Platform::Kunpeng920 => "Kunpeng920",
+            Platform::XeonGold => "Intel Xeon Gold",
+        }
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Phytium 2000+ (Table I). 64 cores in 8 panels of 8; every 4 cores form
+/// a core group sharing an L2 cache. Cross-panel latency depends on the
+/// panel pair; the paper reports latencies from panel 0 to panels 1–7, which
+/// we index by panel distance `|p − q|`.
+pub fn phytium_2000plus() -> Topology {
+    // Table I: ε, L0 (core group), L1 (panel), L2..L8 (panel 0-1 .. 0-7).
+    const CROSS_PANEL: [f64; 7] = [54.1, 76.3, 65.6, 61.4, 72.7, 95.5, 84.5];
+    let mut b = TopologyBuilder::new("Phytium 2000+", 64)
+        .cacheline_bytes(64)
+        .epsilon_ns(1.8)
+        .layer("within a core group", 9.1, 0.55)
+        .layer("within a panel", 42.3, 0.55);
+    for (d, &l) in CROSS_PANEL.iter().enumerate() {
+        b = b.layer(&format!("panel distance {}", d + 1), l, 0.55);
+    }
+    b.n_c(4)
+        .pair_layer_fn(|a, c| {
+            if a / 4 == c / 4 {
+                LayerId(0) // same core group
+            } else if a / 8 == c / 8 {
+                LayerId(1) // same panel
+            } else {
+                let d = (a / 8).abs_diff(c / 8);
+                LayerId(1 + d as u8) // L2..L8 by panel distance
+            }
+        })
+        .coherence(5.0, 10.0, 0.03)
+        .noc_ns(3.0)
+        .build()
+}
+
+/// ThunderX2 (Table II). Two 32-core sockets; uniform ~24 ns within a
+/// socket (dual-ring LLC), 140.7 ns across the CCPI2 link. The dual-ring
+/// bus saturates under hot-spot traffic, hence the large invalidation
+/// contention coefficient.
+pub fn thunderx2() -> Topology {
+    TopologyBuilder::new("ThunderX2", 64)
+        .cacheline_bytes(64)
+        .epsilon_ns(1.2)
+        .layer("within a socket", 24.0, 0.9)
+        .layer("across sockets", 140.7, 0.9)
+        .n_c(32)
+        .hierarchy(&[32])
+        .coherence(22.0, 12.0, 0.03)
+        .noc_ns(4.0)
+        .build()
+}
+
+/// Kunpeng 920 (Table III). 2 SCCLs × 8 CCLs × 4 cores; 128-byte cache
+/// lines. Reader-side contention is cheap (the paper finds global wake-up
+/// *wins* here), but the LLC tag partitioning makes individual transfers
+/// noisy — the paper reports dramatically fluctuating barrier overheads,
+/// modelled as high multiplicative jitter.
+pub fn kunpeng920() -> Topology {
+    TopologyBuilder::new("Kunpeng920", 64)
+        .cacheline_bytes(128)
+        .epsilon_ns(1.15)
+        .layer("within a CCL", 14.2, 0.5)
+        .layer("within an SCCL", 44.2, 0.5)
+        .layer("across SCCLs", 75.0, 0.5)
+        .n_c(4)
+        .hierarchy(&[4, 32])
+        .coherence(5.0, 0.8, 0.22)
+        .noc_ns(2.5)
+        .build()
+}
+
+/// 32-core Intel Xeon Gold reference (Figure 5's x86 baseline): a flat
+/// mesh with low, uniform core-to-core latency and a fast on-die
+/// interconnect (low contention coefficients).
+pub fn xeon_gold() -> Topology {
+    TopologyBuilder::new("Intel Xeon Gold", 32)
+        .cacheline_bytes(64)
+        .epsilon_ns(1.0)
+        .layer("on die", 20.0, 0.25)
+        .hierarchy(&[])
+        .n_c(32)
+        .coherence(2.0, 0.5, 0.01)
+        .noc_ns(0.5)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phytium_matches_table_1() {
+        let t = phytium_2000plus();
+        assert_eq!(t.num_cores(), 64);
+        assert_eq!(t.epsilon_ns(), 1.8);
+        // Same core group: cores 0 and 3.
+        assert_eq!(t.latency_ns(0, 3), 9.1);
+        // Same panel, different core group: cores 0 and 7.
+        assert_eq!(t.latency_ns(0, 7), 42.3);
+        // Panel 0 → 1..7 (first core of each panel).
+        let expect = [54.1, 76.3, 65.6, 61.4, 72.7, 95.5, 84.5];
+        for (p, &l) in expect.iter().enumerate() {
+            assert_eq!(t.latency_ns(0, (p + 1) * 8), l, "panel 0-{}", p + 1);
+        }
+        assert_eq!(t.n_c(), 4);
+    }
+
+    #[test]
+    fn thunderx2_matches_table_2() {
+        let t = thunderx2();
+        assert_eq!(t.num_cores(), 64);
+        assert_eq!(t.epsilon_ns(), 1.2);
+        assert_eq!(t.latency_ns(0, 31), 24.0);
+        assert_eq!(t.latency_ns(0, 32), 140.7);
+        assert_eq!(t.latency_ns(33, 63), 24.0);
+        assert_eq!(t.n_c(), 32);
+        assert_eq!(t.num_clusters(), 2);
+    }
+
+    #[test]
+    fn kunpeng920_matches_table_3() {
+        let t = kunpeng920();
+        assert_eq!(t.num_cores(), 64);
+        assert_eq!(t.epsilon_ns(), 1.15);
+        assert_eq!(t.latency_ns(0, 3), 14.2); // within CCL
+        assert_eq!(t.latency_ns(0, 4), 44.2); // within SCCL
+        assert_eq!(t.latency_ns(0, 63), 75.0); // across SCCLs
+        assert_eq!(t.cacheline_bytes(), 128);
+        assert_eq!(t.n_c(), 4);
+    }
+
+    #[test]
+    fn xeon_is_flat() {
+        let t = xeon_gold();
+        assert_eq!(t.num_cores(), 32);
+        for a in 0..32 {
+            for b in 0..32 {
+                if a != b {
+                    assert_eq!(t.latency_ns(a, b), 20.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phytium_panel_distance_symmetry() {
+        let t = phytium_2000plus();
+        // Panel 2 → panel 5 is distance 3, same as panel 0 → 3.
+        assert_eq!(t.latency_ns(16, 40), t.latency_ns(0, 24));
+    }
+
+    #[test]
+    fn arm_platforms_have_more_contention_than_xeon() {
+        let xeon = xeon_gold();
+        for p in Platform::ARM {
+            let t = Topology::preset(p);
+            assert!(
+                t.coherence().inv_ns > xeon.coherence().inv_ns,
+                "{p}: expected higher invalidation contention than Xeon"
+            );
+        }
+    }
+
+    #[test]
+    fn platform_labels_are_stable() {
+        assert_eq!(Platform::Phytium2000Plus.to_string(), "Phytium 2000+");
+        assert_eq!(Platform::ThunderX2.to_string(), "ThunderX2");
+        assert_eq!(Platform::Kunpeng920.to_string(), "Kunpeng920");
+        assert_eq!(Platform::XeonGold.to_string(), "Intel Xeon Gold");
+    }
+
+    #[test]
+    fn kunpeng_jitter_dominates_other_platforms() {
+        let kp = kunpeng920();
+        for p in [Platform::Phytium2000Plus, Platform::ThunderX2, Platform::XeonGold] {
+            assert!(kp.coherence().jitter > Topology::preset(p).coherence().jitter);
+        }
+    }
+}

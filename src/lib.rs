@@ -1,0 +1,18 @@
+//! # armbar — barrier synchronization for (and beyond) ARMv8 many-cores
+//!
+//! Facade crate re-exporting the full workspace: topology models, the
+//! cache-coherence latency simulator, all barrier algorithms (including the
+//! paper's optimized barrier), the analytical model, and the EPCC-style
+//! measurement harness.
+//!
+//! See the README for a tour, and `examples/quickstart.rs` for the fastest
+//! way in.
+
+pub use armbar_core as core;
+pub use armbar_epcc as epcc;
+pub use armbar_model as model;
+pub use armbar_simcoh as simcoh;
+pub use armbar_topology as topology;
+
+pub use armbar_core::prelude::*;
+pub use armbar_topology::{Platform, Topology, TopologyBuilder};

@@ -1,0 +1,110 @@
+//! Cross-crate integration: every barrier algorithm upholds the episode
+//! invariant on both backends — the simulator (any platform, full width)
+//! and real host threads.
+//!
+//! The invariant: when `wait()` for episode `k` returns anywhere, every
+//! participant has entered episode `k`. Each thread publishes its episode
+//! number before the barrier and validates all peers after it.
+
+use std::sync::Arc;
+
+use armbar::core::prelude::*;
+use armbar::simcoh::{arena::padded_elem, Arena, SimBuilder};
+use armbar::{Platform, Topology};
+
+fn run_episodes(
+    barrier: &dyn Barrier,
+    ctx: &dyn MemCtx,
+    progress: u32,
+    stride: usize,
+    episodes: u32,
+) {
+    let p = ctx.nthreads();
+    let me = ctx.tid();
+    for e in 1..=episodes {
+        ctx.store(padded_elem(progress, me, stride), e);
+        barrier.wait(ctx);
+        for peer in 0..p {
+            let seen = ctx.load(padded_elem(progress, peer, stride));
+            assert!(seen >= e, "t{me} passed episode {e} but t{peer} was at {seen}");
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_all_platforms_simulated() {
+    for platform in Platform::ARM {
+        for id in AlgorithmId::ALL {
+            for p in [1usize, 2, 7, 33, 64] {
+                let topo = Arc::new(Topology::preset(platform));
+                let mut arena = Arena::new();
+                let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+                let line = topo.cacheline_bytes();
+                let progress = arena.alloc_padded_u32_array(p, line);
+                SimBuilder::new(topo, p)
+                    .run(move |ctx| run_episodes(&*barrier, ctx, progress, line, 3))
+                    .unwrap_or_else(|e| panic!("{id} p={p} on {platform}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_on_host_threads() {
+    let topo = Topology::preset(Platform::Kunpeng920);
+    for id in AlgorithmId::ALL {
+        for p in [1usize, 2, 5] {
+            let mut arena = Arena::new();
+            let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+            let line = topo.cacheline_bytes();
+            let progress = arena.alloc_padded_u32_array(p, line);
+            let mem = HostMem::new(&arena);
+            std::thread::scope(|s| {
+                for tid in 0..p {
+                    let mem = Arc::clone(&mem);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        let ctx = mem.ctx(tid, p);
+                        run_episodes(&*barrier, &ctx, progress, line, 25);
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn barrier_reuse_across_many_episodes() {
+    // Epoch wrap-robustness at small scale: hundreds of reuses of one
+    // barrier instance, mixing compute lengths so arrivals interleave
+    // differently every episode.
+    let topo = Arc::new(Topology::preset(Platform::ThunderX2));
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> =
+        Arc::from(AlgorithmId::Optimized.build(&mut arena, 16, &topo));
+    SimBuilder::new(topo, 16)
+        .run(move |ctx| {
+            for e in 0..300u32 {
+                ctx.compute_ns(((ctx.tid() as u32 * 37 + e * 13) % 200) as f64);
+                barrier.wait(ctx);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn same_arena_hosts_multiple_barriers() {
+    // Two different barriers allocated from one arena must not interfere.
+    let topo = Arc::new(Topology::preset(Platform::Phytium2000Plus));
+    let mut arena = Arena::new();
+    let a: Arc<dyn Barrier> = Arc::from(AlgorithmId::Mcs.build(&mut arena, 8, &topo));
+    let b: Arc<dyn Barrier> = Arc::from(AlgorithmId::Dissemination.build(&mut arena, 8, &topo));
+    SimBuilder::new(topo, 8)
+        .run(move |ctx| {
+            for _ in 0..5 {
+                a.wait(ctx);
+                b.wait(ctx);
+            }
+        })
+        .unwrap();
+}

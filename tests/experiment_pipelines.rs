@@ -1,0 +1,75 @@
+//! The experiment pipelines run end-to-end at reduced scale and produce
+//! well-formed, serializable reports for every paper artifact.
+
+use armbar_experiments::{figs, Report, Scale};
+
+fn check_reports(reports: &[Report], expected_panels: usize) {
+    assert_eq!(reports.len(), expected_panels);
+    for r in reports {
+        assert!(!r.rows.is_empty(), "{}: no rows", r.title);
+        for row in &r.rows {
+            assert_eq!(row.len(), r.columns.len(), "{}: ragged row", r.title);
+        }
+        // CSV round-trip sanity: header + all rows present.
+        let csv = r.to_csv();
+        let data_lines = csv.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(data_lines, r.rows.len() + 1, "{}: csv shape", r.title);
+        // Render never panics and contains the title.
+        assert!(r.render().contains(&r.title));
+    }
+}
+
+#[test]
+fn tables_1_2_3_pipeline() {
+    check_reports(&figs::tables_1_2_3::run(&Scale::quick()), 3);
+}
+
+#[test]
+fn fig05_pipeline() {
+    check_reports(&figs::fig05::run(&Scale::quick()), 1);
+}
+
+#[test]
+fn fig06_pipeline() {
+    check_reports(&figs::fig06::run(&Scale::quick()), 2);
+}
+
+#[test]
+fn fig07_pipeline() {
+    check_reports(&figs::fig07::run(&Scale::quick()), 4);
+}
+
+#[test]
+fn fig11_pipeline() {
+    check_reports(&figs::fig11::run(&Scale::quick()), 3);
+}
+
+#[test]
+fn fig12_pipeline() {
+    check_reports(&figs::fig12::run(&Scale::quick()), 3);
+}
+
+#[test]
+fn fig13_pipeline() {
+    check_reports(&figs::fig13::run(&Scale::quick()), 1);
+}
+
+#[test]
+fn table4_pipeline() {
+    let reports = figs::table4::run(&Scale::quick());
+    check_reports(&reports, 1);
+    // Three baselines, each with four speedup cells ending in 'x'.
+    assert_eq!(reports[0].rows.len(), 3);
+    for row in &reports[0].rows {
+        for cell in &row[1..] {
+            assert!(cell.ends_with('x'), "{cell}");
+            let v: f64 = cell.trim_end_matches('x').parse().unwrap();
+            assert!(v > 1.0, "speedup {v} ≤ 1 in {row:?}");
+        }
+    }
+}
+
+#[test]
+fn model_report_pipeline() {
+    check_reports(&figs::model_report::run(&Scale::quick()), 2);
+}

@@ -1,0 +1,99 @@
+//! Cross-crate property tests: random machine shapes, thread counts and
+//! algorithm choices must never break a barrier, and simulation must stay
+//! deterministic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use armbar::core::prelude::*;
+use armbar::simcoh::{arena::padded_elem, Arena, SimBuilder};
+use armbar::{Topology, TopologyBuilder};
+
+/// A random two-level clustered machine.
+fn arb_topology() -> impl Strategy<Value = Arc<Topology>> {
+    (1u32..4, 1u32..4, 2.0f64..50.0, 10.0f64..150.0, 0.0f64..1.0, 0.0f64..15.0).prop_map(
+        |(inner_log, fan_log, l0, extra, alpha, inv)| {
+            let inner = 1usize << inner_log;
+            let cores = (inner << fan_log).max(2);
+            Arc::new(
+                TopologyBuilder::new("prop-machine", cores)
+                    .epsilon_ns(1.0)
+                    .layer("near", l0, alpha)
+                    .layer("far", l0 + extra, alpha)
+                    .hierarchy(&[inner])
+                    .coherence(inv, inv / 2.0, 0.1)
+                    .noc_ns(1.0)
+                    .build(),
+            )
+        },
+    )
+}
+
+fn arb_algorithm() -> impl Strategy<Value = AlgorithmId> {
+    prop::sample::select(AlgorithmId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Any algorithm on any random machine with any admissible thread
+    /// count completes and upholds the episode invariant.
+    #[test]
+    fn any_algorithm_on_any_machine(
+        topo in arb_topology(),
+        id in arb_algorithm(),
+        pfrac in 0.1f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let p = ((topo.num_cores() as f64 * pfrac).round() as usize).clamp(1, topo.num_cores());
+        let mut arena = Arena::new();
+        let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+        let line = topo.cacheline_bytes();
+        let progress = arena.alloc_padded_u32_array(p, line);
+        SimBuilder::new(Arc::clone(&topo), p)
+            .seed(seed)
+            .run(move |ctx| {
+                let me = ctx.tid();
+                for e in 1..=2u32 {
+                    ctx.store(padded_elem(progress, me, line), e);
+                    barrier.wait(ctx);
+                    for peer in 0..ctx.nthreads() {
+                        let seen = ctx.load(padded_elem(progress, peer, line));
+                        // A failed assert panics the simulated thread; the
+                        // engine reports it and the outer unwrap fails the
+                        // proptest case.
+                        assert!(seen >= e, "t{me} at {e}, t{peer} at {seen}");
+                    }
+                }
+            })
+            .unwrap_or_else(|e| panic!("{id} p={p}: {e}"));
+    }
+
+    /// Same seed ⇒ bit-identical virtual times; the host scheduler must
+    /// not leak into results.
+    #[test]
+    fn simulation_is_deterministic(
+        topo in arb_topology(),
+        id in arb_algorithm(),
+        seed in 0u64..1000,
+    ) {
+        let p = topo.num_cores().min(16);
+        let run = || {
+            let mut arena = Arena::new();
+            let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+            SimBuilder::new(Arc::clone(&topo), p)
+                .seed(seed)
+                .run(move |ctx| {
+                    for _ in 0..3 {
+                        ctx.compute_ns(50.0);
+                        barrier.wait(ctx);
+                    }
+                })
+                .unwrap()
+                .per_thread_time_ns()
+                .to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
