@@ -27,21 +27,15 @@ fn bench_fig11_padding(c: &mut Criterion) {
             ("padding_fway", FwayConfig { padded_flags: true, ..FwayConfig::stour() }),
             (
                 "padding_4way",
-                FwayConfig {
-                    fanin: Fanin::Fixed(4),
-                    padded_flags: true,
-                    ..FwayConfig::stour()
-                },
+                FwayConfig { fanin: Fanin::Fixed(4), padded_flags: true, ..FwayConfig::stour() },
             ),
         ] {
             let barrier = fway(&topo, 64, config);
             let overhead = sim_once(&topo, 64, Arc::clone(&barrier));
             println!("[sim] {platform} / {label} @64: {overhead:.0} ns per episode");
-            group.bench_with_input(
-                BenchmarkId::new(format!("{platform}"), label),
-                &(),
-                |b, _| b.iter(|| sim_once(&topo, 64, Arc::clone(&barrier))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{platform}"), label), &(), |b, _| {
+                b.iter(|| sim_once(&topo, 64, Arc::clone(&barrier)))
+            });
         }
     }
     group.finish();
@@ -55,12 +49,8 @@ fn bench_fig12_wakeups(c: &mut Criterion) {
     for platform in Platform::ARM {
         let topo = Arc::new(Topology::preset(platform));
         for wakeup in [WakeupKind::Global, WakeupKind::BinaryTree, WakeupKind::NumaTree] {
-            let config = FwayConfig {
-                fanin: Fanin::Fixed(4),
-                padded_flags: true,
-                dynamic: false,
-                wakeup,
-            };
+            let config =
+                FwayConfig { fanin: Fanin::Fixed(4), padded_flags: true, dynamic: false, wakeup };
             let barrier = fway(&topo, 64, config);
             let overhead = sim_once(&topo, 64, Arc::clone(&barrier));
             println!("[sim] {platform} / {} @64: {overhead:.0} ns per episode", wakeup.label());
@@ -82,11 +72,8 @@ fn bench_fig13_fanin_sweep(c: &mut Criterion) {
     for platform in Platform::ARM {
         let topo = Arc::new(Topology::preset(platform));
         for f in [2usize, 4, 8, 16, 32, 64] {
-            let config = FwayConfig {
-                fanin: Fanin::Fixed(f),
-                padded_flags: true,
-                ..FwayConfig::stour()
-            };
+            let config =
+                FwayConfig { fanin: Fanin::Fixed(f), padded_flags: true, ..FwayConfig::stour() };
             let barrier = fway(&topo, 64, config);
             let overhead = sim_once(&topo, 64, Arc::clone(&barrier));
             println!("[sim] {platform} / fan-in {f} @64: {overhead:.0} ns per episode");

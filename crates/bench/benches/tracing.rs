@@ -1,0 +1,47 @@
+//! Observability-layer overhead benchmark: the per-episode trace harness
+//! (phase marks + counter snapshots) versus the plain overhead harness on
+//! the same barrier. Guards the zero-cost-when-disabled claim: hooks are
+//! free on the host backend and cheap (marks only) on the simulator.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use armbar_core::prelude::*;
+use armbar_epcc::{sim_overhead_ns, trace_episodes, OverheadConfig};
+use armbar_simcoh::Arena;
+use armbar_topology::{Platform, Topology};
+
+const EPISODES: u32 = 8;
+
+fn cfg() -> OverheadConfig {
+    OverheadConfig { episodes: EPISODES, ..OverheadConfig::default() }
+}
+
+fn bench_trace_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_harness");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for p in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("untraced", p), &p, |b, &p| {
+            b.iter(|| {
+                let topo = Arc::new(Topology::preset(Platform::Phytium2000Plus));
+                sim_overhead_ns(&topo, p, AlgorithmId::Optimized, cfg()).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("traced", p), &p, |b, &p| {
+            b.iter(|| {
+                let topo = Arc::new(Topology::preset(Platform::Phytium2000Plus));
+                let mut arena = Arena::new();
+                let barrier: Arc<dyn Barrier> =
+                    Arc::from(AlgorithmId::Optimized.build(&mut arena, p, &topo));
+                trace_episodes(&topo, p, barrier, cfg()).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_harness);
+criterion_main!(benches);

@@ -24,11 +24,7 @@ use armbar_simcoh::Arena;
 use armbar_topology::{Platform, Topology};
 
 /// Builds a barrier + topology pair ready for simulation runs.
-pub fn build(
-    platform: Platform,
-    p: usize,
-    id: AlgorithmId,
-) -> (Arc<Topology>, Arc<dyn Barrier>) {
+pub fn build(platform: Platform, p: usize, id: AlgorithmId) -> (Arc<Topology>, Arc<dyn Barrier>) {
     let topo = Arc::new(Topology::preset(platform));
     let mut arena = Arena::new();
     let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));

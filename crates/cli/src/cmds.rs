@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use armbar_core::prelude::*;
-use armbar_epcc::{latency_table, phase_breakdown, sim_overhead_ns, OverheadConfig};
+use armbar_epcc::{
+    latency_table, phase_breakdown, sim_overhead_ns, trace_episodes, EpisodeTrace, OverheadConfig,
+};
 use armbar_model::{optimal_fanin_int, recommend_wakeup, WakeupChoice};
 use armbar_simcoh::Arena;
 use armbar_topology::{Platform, Topology};
@@ -23,23 +25,37 @@ USAGE:
       Model-driven configuration (fan-in, wake-up) with validation runs.
   armbar phases <platform> [--threads N]
       Arrival/notification phase breakdown of the marked algorithms.
+  armbar trace <platform> [--algorithm NAME] [--threads N] [--episodes N]
+               [--format csv|json] [--out FILE]
+      Per-episode arrival/notification timings plus coherence-op counter
+      deltas (local/remote reads, RFO invalidation fan-out, stalls) as
+      structured CSV or JSON.
 
-Platforms match case-insensitive substrings: phytium, thunderx2,
-kunpeng920, xeon.";
+Platforms match case-insensitively ignoring punctuation, as a positional
+argument or via --platform: phytium, thunderx2, kunpeng920, xeon.";
 
 /// Parses `--flag value` style options out of `rest`; returns the value.
 fn flag_value(rest: &[String], flag: &str) -> Option<String> {
     rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1).cloned())
 }
 
+/// Lowercases and strips punctuation so `phytium2000p` matches the label
+/// "Phytium 2000+".
+fn normalize(s: &str) -> String {
+    s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
+}
+
 fn parse_platform(rest: &[String]) -> Result<Platform, String> {
-    let name = rest
-        .first()
-        .ok_or_else(|| "missing <platform> argument".to_string())?
-        .to_ascii_lowercase();
+    let name = flag_value(rest, "--platform")
+        .or_else(|| rest.first().cloned())
+        .ok_or_else(|| "missing <platform> argument".to_string())?;
+    let name = normalize(&name);
     Platform::ALL
         .into_iter()
-        .find(|p| p.label().to_ascii_lowercase().contains(&name))
+        .find(|p| {
+            let label = normalize(p.label());
+            !name.is_empty() && (label.contains(&name) || name.contains(&label))
+        })
         .ok_or_else(|| {
             format!(
                 "unknown platform {name:?}; known: {}",
@@ -54,10 +70,7 @@ fn parse_threads(rest: &[String], default: &[usize], max: usize) -> Result<Vec<u
     };
     let mut out = Vec::new();
     for part in spec.split(',') {
-        let p: usize = part
-            .trim()
-            .parse()
-            .map_err(|_| format!("bad thread count {part:?}"))?;
+        let p: usize = part.trim().parse().map_err(|_| format!("bad thread count {part:?}"))?;
         if p == 0 || p > max {
             return Err(format!("thread count {p} out of range 1..={max}"));
         }
@@ -183,7 +196,8 @@ pub fn phases(rest: &[String]) -> Result<(), String> {
 
     println!("phase breakdown on {} at {p} threads (us):", topo.name());
     println!("{:>10} {:>10} {:>14}", "algorithm", "arrival", "notification");
-    for id in [AlgorithmId::Sense, AlgorithmId::Stour, AlgorithmId::Padded4Way, AlgorithmId::Optimized]
+    for id in
+        [AlgorithmId::Sense, AlgorithmId::Stour, AlgorithmId::Padded4Way, AlgorithmId::Optimized]
     {
         let mut arena = Arena::new();
         let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
@@ -198,6 +212,130 @@ pub fn phases(rest: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `armbar trace <platform> [--algorithm NAME] [--threads N] [--episodes N]
+/// [--format csv|json] [--out FILE]`
+pub fn trace(rest: &[String]) -> Result<(), String> {
+    let platform = parse_platform(rest)?;
+    let topo = Arc::new(Topology::preset(platform));
+    let p = parse_threads(rest, &[topo.num_cores()], topo.num_cores())?[0];
+    let algo = match flag_value(rest, "--algorithm").or_else(|| flag_value(rest, "--algo")) {
+        Some(s) => AlgorithmId::parse(&s)
+            .ok_or_else(|| format!("unknown algorithm {s:?} (try SENSE, DIS, OPT, ...)"))?,
+        None => AlgorithmId::Optimized,
+    };
+    let episodes: u32 = match flag_value(rest, "--episodes") {
+        Some(s) => s.parse().map_err(|_| format!("bad episode count {s:?}"))?,
+        None => 8,
+    };
+    if episodes == 0 {
+        return Err("--episodes must be at least 1".into());
+    }
+    let format = flag_value(rest, "--format").unwrap_or_else(|| "csv".into());
+    if format != "csv" && format != "json" {
+        return Err(format!("unknown format {format:?} (expected csv or json)"));
+    }
+
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(algo.build(&mut arena, p, &topo));
+    let cfg = OverheadConfig { episodes, ..OverheadConfig::default() };
+    let traces = trace_episodes(&topo, p, barrier, cfg).map_err(|e| e.to_string())?;
+
+    let text = if format == "csv" {
+        trace_csv(&topo, p, algo, &traces)
+    } else {
+        trace_json(&topo, p, algo, &traces)
+    };
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("wrote {} episodes to {path}", traces.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Column order shared by the CSV header and both renderers.
+const TRACE_COLUMNS: &str = "episode,arrival_ns,notification_ns,total_ns,\
+local_reads,remote_reads,reader_contention,local_writes,remote_writes,\
+rfo_invalidations,read_stalls,write_stalls,read_stall_ns,write_stall_ns,spin_wakeups";
+
+fn trace_csv(topo: &Topology, p: usize, algo: AlgorithmId, traces: &[EpisodeTrace]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# trace: {} on {} at {p} threads, {} measured episodes\n",
+        algo.label(),
+        topo.name(),
+        traces.len()
+    ));
+    out.push_str(
+        "# times are ns of simulated virtual time; counters are machine-wide per-episode deltas\n",
+    );
+    out.push_str(TRACE_COLUMNS);
+    out.push('\n');
+    for t in traces {
+        let c = &t.counters;
+        let opt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_default();
+        out.push_str(&format!(
+            "{},{},{},{:.1},{},{},{},{},{},{},{},{},{:.1},{:.1},{}\n",
+            t.episode,
+            opt(t.arrival_ns()),
+            opt(t.notification_ns()),
+            t.total_ns(),
+            c.local_reads,
+            c.remote_reads,
+            c.reader_contention_events,
+            c.local_writes,
+            c.remote_writes,
+            c.rfo_invalidations,
+            c.read_stalls,
+            c.write_stalls,
+            c.read_stall_ns,
+            c.write_stall_ns,
+            c.spin_wakeups
+        ));
+    }
+    out
+}
+
+fn trace_json(topo: &Topology, p: usize, algo: AlgorithmId, traces: &[EpisodeTrace]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"platform\": \"{}\",\n", topo.name()));
+    out.push_str(&format!("  \"algorithm\": \"{}\",\n", algo.label()));
+    out.push_str(&format!("  \"threads\": {p},\n"));
+    out.push_str("  \"episodes\": [\n");
+    for (i, t) in traces.iter().enumerate() {
+        let c = &t.counters;
+        let opt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "    {{\"episode\": {}, \"arrival_ns\": {}, \"notification_ns\": {}, \
+\"total_ns\": {:.1}, \"counters\": {{\"local_reads\": {}, \"remote_reads\": {}, \
+\"reader_contention\": {}, \"local_writes\": {}, \"remote_writes\": {}, \
+\"rfo_invalidations\": {}, \"read_stalls\": {}, \"write_stalls\": {}, \
+\"read_stall_ns\": {:.1}, \"write_stall_ns\": {:.1}, \"spin_wakeups\": {}}}}}{}\n",
+            t.episode,
+            opt(t.arrival_ns()),
+            opt(t.notification_ns()),
+            t.total_ns(),
+            c.local_reads,
+            c.remote_reads,
+            c.reader_contention_events,
+            c.local_writes,
+            c.remote_writes,
+            c.rfo_invalidations,
+            c.read_stalls,
+            c.write_stalls,
+            c.read_stall_ns,
+            c.write_stall_ns,
+            c.spin_wakeups,
+            if i + 1 < traces.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -252,5 +390,79 @@ mod tests {
         .unwrap();
         recommend(&["thunderx2".into(), "--threads".into(), "32".into()]).unwrap();
         phases(&["phytium".into(), "--threads".into(), "16".into()]).unwrap();
+    }
+
+    #[test]
+    fn platform_parsing_ignores_punctuation_and_accepts_flag() {
+        // The acceptance-criteria spelling of the paper's 64-core machine.
+        let rest = vec!["--platform".to_string(), "phytium2000p".into()];
+        assert_eq!(parse_platform(&rest).unwrap(), Platform::Phytium2000Plus);
+        assert_eq!(
+            parse_platform(&["Phytium-2000+".to_string()]).unwrap(),
+            Platform::Phytium2000Plus
+        );
+    }
+
+    fn demo_traces() -> (Arc<Topology>, Vec<EpisodeTrace>) {
+        let topo = Arc::new(Topology::preset(Platform::ThunderX2));
+        let mut arena = Arena::new();
+        let barrier: Arc<dyn Barrier> =
+            Arc::from(AlgorithmId::Optimized.build(&mut arena, 16, &topo));
+        let cfg = OverheadConfig { episodes: 3, ..OverheadConfig::default() };
+        let traces = trace_episodes(&topo, 16, barrier, cfg).unwrap();
+        (topo, traces)
+    }
+
+    #[test]
+    fn trace_csv_has_header_note_and_counter_columns() {
+        let (topo, traces) = demo_traces();
+        let csv = trace_csv(&topo, 16, AlgorithmId::Optimized, &traces);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("# trace: OPT on ThunderX2"));
+        assert!(lines.next().unwrap().starts_with("# times are ns"));
+        assert_eq!(lines.next().unwrap(), TRACE_COLUMNS);
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 3);
+        let cols = TRACE_COLUMNS.split(',').count();
+        for row in rows {
+            assert_eq!(row.split(',').count(), cols, "{row}");
+        }
+    }
+
+    #[test]
+    fn trace_json_is_structurally_sound() {
+        let (topo, traces) = demo_traces();
+        let json = trace_json(&topo, 16, AlgorithmId::Optimized, &traces);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("\"episode\":").count(), 3);
+        assert!(json.contains("\"rfo_invalidations\":"));
+        assert!(json.contains("\"arrival_ns\":"));
+        assert!(!json.contains("null"), "16-thread OPT episodes always split");
+    }
+
+    #[test]
+    fn trace_runs_the_acceptance_invocation() {
+        // `armbar trace --algorithm optimized --platform phytium2000p
+        //  --threads 64` (episodes capped for test speed).
+        trace(&[
+            "--algorithm".to_string(),
+            "optimized".into(),
+            "--platform".into(),
+            "phytium2000p".into(),
+            "--threads".into(),
+            "64".into(),
+            "--episodes".into(),
+            "2".into(),
+            "--format".into(),
+            "json".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn trace_rejects_bad_flags() {
+        assert!(trace(&["phytium".to_string(), "--episodes".into(), "0".into()]).is_err());
+        assert!(trace(&["phytium".to_string(), "--format".into(), "xml".into()]).is_err());
+        assert!(trace(&["phytium".to_string(), "--algorithm".into(), "bogus".into()]).is_err());
     }
 }

@@ -6,6 +6,8 @@
 //! armbar sweep <platform> [--threads 2,8,32,64] [--algos SENSE,OPT]
 //! armbar recommend <platform> [--threads 64]
 //! armbar phases <platform> [--threads 64]
+//! armbar trace <platform> [--algorithm OPT] [--threads 64] [--episodes 8]
+//!              [--format csv|json] [--out FILE]
 //! ```
 
 mod cmds;
@@ -24,6 +26,7 @@ fn main() -> ExitCode {
         "sweep" => cmds::sweep(rest),
         "recommend" => cmds::recommend(rest),
         "phases" => cmds::phases(rest),
+        "trace" => cmds::trace(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);
             Ok(())

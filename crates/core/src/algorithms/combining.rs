@@ -96,6 +96,7 @@ impl Barrier for CombiningTreeBarrier {
             idx = group;
         }
         // Root winner releases everyone.
+        ctx.mark(crate::env::MARK_ARRIVED);
         ctx.store(self.gsense, ls);
     }
 

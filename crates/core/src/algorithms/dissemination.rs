@@ -66,6 +66,12 @@ impl Barrier for DisseminationBarrier {
         let me = ctx.tid();
         let e = self.epochs.next(ctx);
         for r in 0..self.rounds {
+            if r == self.rounds - 1 {
+                // Symmetric barrier, no champion: each thread's final round
+                // is its own arrival/notification boundary (the phase split
+                // takes the latest such mark).
+                ctx.mark(crate::env::MARK_ARRIVED);
+            }
             let partner = (me + (1 << r)) % p;
             ctx.store(self.flag(partner, r), e);
             ctx.spin_until_ge(self.flag(me, r), e);
@@ -112,7 +118,7 @@ mod tests {
     fn sim_correct_on_kunpeng_lines() {
         // 128-byte lines change the flag block layout; re-verify.
         for &p in &[2usize, 16, 64] {
-            check_sim(Platform::Kunpeng920, *&p, 4, |a, p, t| {
+            check_sim(Platform::Kunpeng920, p, 4, |a, p, t| {
                 Box::new(DisseminationBarrier::new(a, p, t))
             });
         }

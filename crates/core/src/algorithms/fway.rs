@@ -237,7 +237,6 @@ impl FwayBarrier {
             idx = group;
         }
         debug_assert_eq!(idx, 0, "static champion must be thread 0");
-        ctx.mark(crate::env::MARK_ARRIVED);
         self.wakeup.release(ctx, e);
     }
 
@@ -260,7 +259,6 @@ impl FwayBarrier {
             }
             idx = group;
         }
-        ctx.mark(crate::env::MARK_ARRIVED);
         self.wakeup.release(ctx, e);
     }
 }
@@ -270,14 +268,12 @@ impl Barrier for FwayBarrier {
         if ctx.nthreads() == 1 {
             return;
         }
-        ctx.mark(crate::env::MARK_ENTER);
         let e = self.epochs.next(ctx);
         if self.config.dynamic {
             self.wait_dynamic(ctx, e);
         } else {
             self.wait_static(ctx, e);
         }
-        ctx.mark(crate::env::MARK_EXIT);
     }
 
     fn name(&self) -> &str {
@@ -401,6 +397,44 @@ mod tests {
             assert!(c.padded_flags);
             assert!(!c.dynamic);
         }
+    }
+
+    #[test]
+    fn padded_flags_shrink_invalidation_fanout() {
+        // The false-sharing effect the paper's §V-A padding removes, now
+        // observable: with packed 4-byte flags, every arrival store
+        // invalidates the copies of all siblings (and unrelated groups)
+        // spinning on the same line, so the run's total RFO invalidation
+        // fan-out must be strictly larger than with one-flag-per-line.
+        use armbar_simcoh::SimBuilder;
+        use std::sync::Arc;
+
+        let run = |padded: bool| {
+            let topo = Arc::new(Topology::preset(Platform::Phytium2000Plus));
+            let mut arena = Arena::new();
+            let barrier = Arc::new(FwayBarrier::with_config(
+                &mut arena,
+                64,
+                &topo,
+                FwayConfig { padded_flags: padded, ..FwayConfig::stour() },
+            ));
+            let stats = SimBuilder::new(topo, 64)
+                .run(move |ctx| {
+                    for _ in 0..3 {
+                        barrier.wait(ctx);
+                    }
+                })
+                .unwrap();
+            stats.coherence().total()
+        };
+        let packed = run(false);
+        let padded = run(true);
+        assert!(
+            padded.rfo_invalidations < packed.rfo_invalidations,
+            "padding must cut RFO fan-out: padded {} vs packed {}",
+            padded.rfo_invalidations,
+            packed.rfo_invalidations
+        );
     }
 
     #[test]

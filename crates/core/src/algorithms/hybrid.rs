@@ -42,7 +42,12 @@ impl HybridBarrier {
     /// Builds the barrier for `p` threads on `topo`, clustering by the
     /// machine's `N_c` and using the machine-appropriate wake-up.
     pub fn new(arena: &mut Arena, p: usize, topo: &Topology) -> Self {
-        Self::with_wakeup(arena, p, topo, crate::algorithms::fway::FwayConfig::optimized(topo).wakeup)
+        Self::with_wakeup(
+            arena,
+            p,
+            topo,
+            crate::algorithms::fway::FwayConfig::optimized(topo).wakeup,
+        )
     }
 
     /// Builds with an explicit wake-up policy.

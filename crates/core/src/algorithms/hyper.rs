@@ -95,7 +95,7 @@ impl Barrier for HyperBarrier {
         for r in 0..self.rounds {
             let stride = BRANCH.pow(r as u32);
             ctx.compute_ns(BOOKKEEPING_NS);
-            if me % (stride * BRANCH) == 0 {
+            if me.is_multiple_of(stride * BRANCH) {
                 for j in 1..BRANCH {
                     let child = me + j * stride;
                     if child < p {
@@ -111,10 +111,13 @@ impl Barrier for HyperBarrier {
         // Release phase, mirroring the gather tree top-down.
         if me != 0 {
             ctx.spin_until_ge(self.go_flag(me), e);
+        } else {
+            // Root completed every gather round: all threads have arrived.
+            ctx.mark(crate::env::MARK_ARRIVED);
         }
         for r in (0..self.rounds).rev() {
             let stride = BRANCH.pow(r as u32);
-            if me % (stride * BRANCH) == 0 {
+            if me.is_multiple_of(stride * BRANCH) {
                 ctx.compute_ns(BOOKKEEPING_NS);
                 for j in 1..BRANCH {
                     let child = me + j * stride;

@@ -81,6 +81,9 @@ impl Barrier for McsBarrier {
             ctx.store(self.arrival_slot(parent, slot), e);
             // Wake-up: block until the binary tree reaches us.
             ctx.spin_until_ge(self.wake_flag(me), e);
+        } else {
+            // Root saw its subtree complete: the whole arrival tree is done.
+            ctx.mark(crate::env::MARK_ARRIVED);
         }
         for c in binary_children(me, p) {
             ctx.store(self.wake_flag(c), e);

@@ -15,9 +15,9 @@
 //! | [`ring`] | (cited, ref [7]) | Aravind two-pass ring/token barrier |
 
 pub mod combining;
-pub mod hybrid;
 pub mod dissemination;
 pub mod fway;
+pub mod hybrid;
 pub mod hyper;
 pub mod mcs;
 pub mod nway_dissemination;
@@ -26,9 +26,9 @@ pub mod sense;
 pub mod tournament;
 
 pub use combining::CombiningTreeBarrier;
-pub use hybrid::HybridBarrier;
 pub use dissemination::DisseminationBarrier;
 pub use fway::{FwayBarrier, FwayConfig};
+pub use hybrid::HybridBarrier;
 pub use hyper::HyperBarrier;
 pub use mcs::McsBarrier;
 pub use nway_dissemination::NwayDisseminationBarrier;

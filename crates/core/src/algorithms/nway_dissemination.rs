@@ -88,6 +88,11 @@ impl Barrier for NwayDisseminationBarrier {
         let w = self.n + 1;
         let mut stride = 1usize;
         for r in 0..self.rounds {
+            if r == self.rounds - 1 {
+                // Symmetric barrier, no champion: each thread's final round
+                // is its own arrival/notification boundary.
+                ctx.mark(crate::env::MARK_ARRIVED);
+            }
             for j in 1..=self.n {
                 let partner = (me + j * stride) % p;
                 ctx.store(self.flag(partner, r, j), e);

@@ -68,6 +68,8 @@ impl Barrier for RingBarrier {
             // then start the release pass (its own release is implicit).
             ctx.store(self.collect_slot(next), e);
             ctx.spin_until_ge(self.collect_slot(0), e);
+            // The collect token returned: every thread has arrived.
+            ctx.mark(crate::env::MARK_ARRIVED);
             ctx.store(self.release_slot(next), e);
         } else {
             // Wait for the collect token, forward it.

@@ -77,7 +77,6 @@ impl Barrier for SenseBarrier {
         if p == 1 {
             return;
         }
-        ctx.mark(crate::env::MARK_ENTER);
         let prev = ctx.fetch_add(self.counter, 1);
         if prev == p - 1 {
             ctx.mark(crate::env::MARK_ARRIVED);
@@ -88,7 +87,6 @@ impl Barrier for SenseBarrier {
         } else {
             ctx.spin_until_eq(self.gsense, ls);
         }
-        ctx.mark(crate::env::MARK_EXIT);
     }
 
     fn name(&self) -> &str {

@@ -67,7 +67,7 @@ impl Barrier for TournamentBarrier {
 
         for k in 0..self.rounds {
             let pair = 1usize << (k + 1);
-            if me % pair == 0 {
+            if me.is_multiple_of(pair) {
                 let loser = me + (1 << k);
                 if loser < p {
                     ctx.spin_until_ge(self.flag(me, k), e);
@@ -81,6 +81,7 @@ impl Barrier for TournamentBarrier {
             }
         }
         // Champion (thread 0): global release.
+        ctx.mark(crate::env::MARK_ARRIVED);
         ctx.store(self.gwake, e);
     }
 

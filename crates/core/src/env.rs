@@ -71,6 +71,19 @@ pub trait Barrier: Send + Sync {
     fn wait(&self, ctx: &dyn MemCtx);
     /// Short algorithm label (e.g. `"SENSE"`, `"STOUR"`).
     fn name(&self) -> &str;
+
+    /// [`Barrier::wait`] bracketed by the phase hooks: [`MARK_ENTER`] as the
+    /// episode starts and [`MARK_EXIT`] as this thread leaves. Together with
+    /// the champion's [`MARK_ARRIVED`] (emitted inside the algorithms /
+    /// [`crate::wakeup::Wakeup::release`]), every barrier reports an
+    /// arrival/notification split without per-algorithm instrumentation.
+    /// Free on the simulator (marks cost no virtual time) and a no-op on
+    /// the host backend, so production episodes pay nothing.
+    fn wait_traced(&self, ctx: &dyn MemCtx) {
+        ctx.mark(MARK_ENTER);
+        self.wait(ctx);
+        ctx.mark(MARK_EXIT);
+    }
 }
 
 /// `MemCtx` for simulated threads: operations forward to the discrete-event

@@ -71,7 +71,7 @@ impl HostCtx {
                 return v;
             }
             spins += 1;
-            if spins % SPINS_PER_YIELD == 0 {
+            if spins.is_multiple_of(SPINS_PER_YIELD) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -111,7 +111,7 @@ impl MemCtx for HostCtx {
                 return;
             }
             spins += 1;
-            if spins % SPINS_PER_YIELD == 0 {
+            if spins.is_multiple_of(SPINS_PER_YIELD) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();

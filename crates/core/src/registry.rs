@@ -118,10 +118,27 @@ impl AlgorithmId {
         }
     }
 
-    /// Parses a figure-legend label (case-insensitive), for CLI use.
+    /// Parses a figure-legend label (case-insensitive) or a long-form
+    /// alias (`optimized`, `dissemination`, …), for CLI use.
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.to_ascii_lowercase();
-        Self::ALL.into_iter().find(|a| a.label().to_ascii_lowercase() == s)
+        if let Some(id) = Self::ALL.into_iter().find(|a| a.label().to_ascii_lowercase() == s) {
+            return Some(id);
+        }
+        Some(match s.as_str() {
+            "centralized" | "gcc" => AlgorithmId::Sense,
+            "dissemination" => AlgorithmId::Dissemination,
+            "combining" | "combining-tree" => AlgorithmId::Combining,
+            "tournament" => AlgorithmId::Tournament,
+            "static-fway" => AlgorithmId::Stour,
+            "dynamic-fway" => AlgorithmId::Dtour,
+            "hypercube" | "libomp" => AlgorithmId::LlvmHyper,
+            "padded-stour" => AlgorithmId::StourPadded,
+            "padded-4way" | "4way" => AlgorithmId::Padded4Way,
+            "optimized" | "ours" => AlgorithmId::Optimized,
+            "nway-dissemination" | "nway" => AlgorithmId::NwayDissemination,
+            _ => return None,
+        })
     }
 }
 
@@ -151,6 +168,14 @@ mod tests {
             assert_eq!(AlgorithmId::parse(&id.label().to_uppercase()), Some(id));
         }
         assert_eq!(AlgorithmId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn long_form_aliases_parse() {
+        assert_eq!(AlgorithmId::parse("optimized"), Some(AlgorithmId::Optimized));
+        assert_eq!(AlgorithmId::parse("Dissemination"), Some(AlgorithmId::Dissemination));
+        assert_eq!(AlgorithmId::parse("gcc"), Some(AlgorithmId::Sense));
+        assert_eq!(AlgorithmId::parse("tournament"), Some(AlgorithmId::Tournament));
     }
 
     #[test]

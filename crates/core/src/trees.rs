@@ -37,7 +37,7 @@ pub fn numa_children(n: usize, p: usize, n_c: usize) -> Vec<usize> {
     assert!(n_c >= 1);
     let clusters = p.div_ceil(n_c);
     let mut out = Vec::with_capacity(4);
-    if n % n_c == 0 {
+    if n.is_multiple_of(n_c) {
         // Master: wake the masters of clusters 2k+1 and 2k+2 …
         let k = n / n_c;
         for kc in [2 * k + 1, 2 * k + 2] {
@@ -260,8 +260,7 @@ mod tests {
         for n_c in [1, 2, 4, 8, 16, 32] {
             for p in 1..=96 {
                 let t = WakeTree::numa(p, n_c);
-                t.check_spanning()
-                    .unwrap_or_else(|e| panic!("p={p} n_c={n_c}: {e}"));
+                t.check_spanning().unwrap_or_else(|e| panic!("p={p} n_c={n_c}: {e}"));
             }
         }
     }
@@ -311,10 +310,7 @@ mod tests {
         for (p, n_c) in [(64, 32), (64, 4), (64, 8)] {
             let bin = WakeTree::binary(p).depth();
             let numa = WakeTree::numa(p, n_c).depth();
-            assert!(
-                numa <= bin + 1,
-                "p={p} n_c={n_c}: numa depth {numa} vs binary {bin}"
-            );
+            assert!(numa <= bin + 1, "p={p} n_c={n_c}: numa depth {numa} vs binary {bin}");
         }
     }
 

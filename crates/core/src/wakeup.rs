@@ -59,7 +59,13 @@ pub struct Wakeup {
 impl Wakeup {
     /// Allocates wake-up state for `p` threads on a machine with
     /// `line_bytes` cache lines and logical cluster size `n_c`.
-    pub fn new(arena: &mut Arena, p: usize, line_bytes: usize, n_c: usize, kind: WakeupKind) -> Self {
+    pub fn new(
+        arena: &mut Arena,
+        p: usize,
+        line_bytes: usize,
+        n_c: usize,
+        kind: WakeupKind,
+    ) -> Self {
         assert!(p >= 1);
         let (gwake, flags, stride, tree) = match kind {
             WakeupKind::Global => (arena.alloc_padded_u32(line_bytes), 0, 0, None),
@@ -102,6 +108,11 @@ impl Wakeup {
     /// than thread 0 (possible in dynamic tournaments) first wakes the root,
     /// which then forwards as usual via its own [`Wakeup::wait`].
     pub fn release(&self, ctx: &dyn MemCtx, epoch: u32) {
+        // The champion calling release IS the end of the Arrival-Phase:
+        // record it here so every Wakeup-based barrier gets the phase hook
+        // without its own instrumentation (free on the simulator, no-op on
+        // the host).
+        ctx.mark(crate::env::MARK_ARRIVED);
         match self.kind {
             WakeupKind::Global => ctx.store(self.gwake, epoch),
             WakeupKind::BinaryTree | WakeupKind::NumaTree => {

@@ -12,14 +12,23 @@
 //!   Section III-A: one thread *places* data (becoming the cache owner),
 //!   another *accesses* it; the per-line read latency is the layer latency
 //!   `L_i`. Regenerates Tables I–III from the simulator.
+//! * [`phases`] — Arrival/Notification split of one episode from the
+//!   centralized phase hooks (`Barrier::wait_traced` + champion ARRIVED).
+//! * [`episodes`] — per-episode traces: phase timings plus coherence-op
+//!   counter deltas for every measured episode (feeds the CLI `trace`
+//!   subcommand).
 //! * [`summary`] — small-sample statistics used by the experiment reports.
 
+pub mod episodes;
 pub mod overhead;
 pub mod phases;
 pub mod pingpong;
 pub mod summary;
 
-pub use overhead::{host_overhead_ns, repeat_sim, sim_overhead_ns, sim_overhead_of, OverheadConfig};
+pub use episodes::{trace_episodes, EpisodeTrace};
+pub use overhead::{
+    host_overhead_ns, repeat_sim, sim_overhead_ns, sim_overhead_of, OverheadConfig,
+};
 pub use phases::{phase_breakdown, PhaseBreakdown};
 pub use pingpong::{latency_table, measure_latency_ns, LatencyRow};
 pub use summary::Summary;

@@ -67,20 +67,18 @@ pub fn sim_overhead_of(
     cfg: OverheadConfig,
 ) -> Result<f64, SimError> {
     assert!(cfg.episodes >= 1);
-    let stats = SimBuilder::new(Arc::clone(topo), p)
-        .seed(cfg.seed)
-        .run(move |ctx| {
-            for _ in 0..cfg.warmup {
-                ctx.compute_ns(cfg.delay_ns);
-                barrier.wait(ctx);
-            }
-            ctx.mark(MARK_WARM);
-            for _ in 0..cfg.episodes {
-                ctx.compute_ns(cfg.delay_ns);
-                barrier.wait(ctx);
-            }
-            ctx.mark(MARK_END);
-        })?;
+    let stats = SimBuilder::new(Arc::clone(topo), p).seed(cfg.seed).run(move |ctx| {
+        for _ in 0..cfg.warmup {
+            ctx.compute_ns(cfg.delay_ns);
+            barrier.wait(ctx);
+        }
+        ctx.mark(MARK_WARM);
+        for _ in 0..cfg.episodes {
+            ctx.compute_ns(cfg.delay_ns);
+            barrier.wait(ctx);
+        }
+        ctx.mark(MARK_END);
+    })?;
     let t0 = stats.last_mark_time(MARK_WARM).expect("warm mark missing");
     let t1 = stats.last_mark_time(MARK_END).expect("end mark missing");
     let per_episode = (t1 - t0) / cfg.episodes as f64;

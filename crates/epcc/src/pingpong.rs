@@ -92,10 +92,8 @@ pub fn latency_table(topo: &Arc<Topology>) -> Vec<LatencyRow> {
         let id = LayerId(i as u8);
         // Prefer pairs involving core 0 (the paper measures from core 0);
         // fall back to any pair in the layer.
-        let pair = (1..n)
-            .map(|b| (0usize, b))
-            .find(|&(a, b)| topo.layer(a, b) == id)
-            .or_else(|| {
+        let pair =
+            (1..n).map(|b| (0usize, b)).find(|&(a, b)| topo.layer(a, b) == id).or_else(|| {
                 (0..n)
                     .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
                     .find(|&(a, b)| topo.layer(a, b) == id)

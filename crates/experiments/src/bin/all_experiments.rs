@@ -22,9 +22,7 @@ fn main() {
     for (slug, reports) in suites {
         for (i, report) in reports.iter().enumerate() {
             report.print();
-            report
-                .write_csv(&dir, &format!("{slug}_{i}"))
-                .expect("failed to write CSV");
+            report.write_csv(&dir, &format!("{slug}_{i}")).expect("failed to write CSV");
         }
     }
     eprintln!("CSV output written to {}", dir.display());

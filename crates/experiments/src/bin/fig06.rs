@@ -5,8 +5,6 @@ fn main() {
     let scale = Scale::full();
     for (i, report) in figs::fig06::run(&scale).iter().enumerate() {
         report.print();
-        report
-            .write_csv(results_dir(), &format!("fig06_{}", i))
-            .expect("failed to write CSV");
+        report.write_csv(results_dir(), &format!("fig06_{}", i)).expect("failed to write CSV");
     }
 }

@@ -5,8 +5,6 @@ fn main() {
     let scale = Scale::full();
     for (i, report) in figs::fig11::run(&scale).iter().enumerate() {
         report.print();
-        report
-            .write_csv(results_dir(), &format!("fig11_{}", i))
-            .expect("failed to write CSV");
+        report.write_csv(results_dir(), &format!("fig11_{}", i)).expect("failed to write CSV");
     }
 }

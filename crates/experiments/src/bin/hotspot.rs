@@ -6,8 +6,6 @@ fn main() {
     let scale = Scale::full();
     for (i, report) in figs::hotspot::run(&scale).iter().enumerate() {
         report.print();
-        report
-            .write_csv(results_dir(), &format!("hotspot_{i}"))
-            .expect("failed to write CSV");
+        report.write_csv(results_dir(), &format!("hotspot_{i}")).expect("failed to write CSV");
     }
 }

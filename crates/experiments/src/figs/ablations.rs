@@ -37,14 +37,12 @@ fn sense_layout(scale: &Scale) -> Report {
         for p in [16usize, 32, 64] {
             let packed = {
                 let mut arena = Arena::new();
-                let b: Arc<dyn Barrier> =
-                    Arc::new(SenseBarrier::gcc_style(&mut arena, p, &t));
+                let b: Arc<dyn Barrier> = Arc::new(SenseBarrier::gcc_style(&mut arena, p, &t));
                 sim_overhead_of(&t, p, b, scale.cfg(0)).unwrap()
             };
             let separate = {
                 let mut arena = Arena::new();
-                let b: Arc<dyn Barrier> =
-                    Arc::new(SenseBarrier::separate_lines(&mut arena, p, &t));
+                let b: Arc<dyn Barrier> = Arc::new(SenseBarrier::separate_lines(&mut arena, p, &t));
                 sim_overhead_of(&t, p, b, scale.cfg(0)).unwrap()
             };
             r.row(vec![
@@ -73,11 +71,7 @@ fn padding_fanin(scale: &Scale) -> Report {
             fway_overhead_ns(
                 &t,
                 64,
-                FwayConfig {
-                    fanin: Fanin::Fixed(f),
-                    padded_flags: padded,
-                    ..FwayConfig::stour()
-                },
+                FwayConfig { fanin: Fanin::Fixed(f), padded_flags: padded, ..FwayConfig::stour() },
                 scale,
             )
         };
@@ -111,13 +105,7 @@ fn hybrid(scale: &Scale) -> Report {
         let opt = algo_overhead_ns(&t, 64, AlgorithmId::Optimized, scale);
         let tour = algo_overhead_ns(&t, 64, AlgorithmId::Tournament, scale);
         let verdict = if hybrid < opt { "HYBRID wins" } else { "OPT wins" };
-        r.row(vec![
-            t.name().to_string(),
-            us(hybrid),
-            us(opt),
-            us(tour),
-            verdict.to_string(),
-        ]);
+        r.row(vec![t.name().to_string(), us(hybrid), us(opt), us(tour), verdict.to_string()]);
     }
     r.note("the hybrid replaces the static intra-cluster rounds with one atomic");
     r.note("counter per cluster; the atomics surcharge usually cancels the");

@@ -25,12 +25,7 @@ pub fn run(scale: &Scale) -> Vec<Report> {
         let t = topo(platform);
         let gcc = algo_overhead_ns(&t, P, AlgorithmId::Sense, scale);
         let llvm = algo_overhead_ns(&t, P, AlgorithmId::LlvmHyper, scale);
-        r.row(vec![
-            t.name().to_string(),
-            us(gcc),
-            us(llvm),
-            format!("{:.1}x", gcc / xeon_gcc),
-        ]);
+        r.row(vec![t.name().to_string(), us(gcc), us(llvm), format!("{:.1}x", gcc / xeon_gcc)]);
     }
     r.note("paper: Intel ~2 us; ThunderX2 GCC ~16 us (8x the Intel platform);");
     r.note("LLVM (tree barrier) consistently below GCC (centralized) on ARMv8.");

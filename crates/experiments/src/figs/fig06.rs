@@ -21,10 +21,8 @@ pub fn run(scale: &Scale) -> Vec<Report> {
                 format!("Figure 6({panel}) — {name} OpenMP barrier overhead vs threads (us)"),
                 &["threads", "Phytium 2000+", "ThunderX2", "Kunpeng920"],
             );
-            let curves: Vec<Vec<(usize, f64)>> = Platform::ARM
-                .iter()
-                .map(|&pf| algo_curve(&topo(pf), id, scale))
-                .collect();
+            let curves: Vec<Vec<(usize, f64)>> =
+                Platform::ARM.iter().map(|&pf| algo_curve(&topo(pf), id, scale)).collect();
             for (i, &(p, _)) in curves[0].iter().enumerate() {
                 r.row(vec![
                     p.to_string(),
@@ -34,10 +32,14 @@ pub fn run(scale: &Scale) -> Vec<Report> {
                 ]);
             }
             r.note(match panel {
-                "a" => "paper: overhead rises with threads; Kunpeng920 fluctuates; \
-                        Phytium 2000+ is the best GCC platform at full width",
-                _ => "paper: LLVM reduces the 64-thread overhead by ~3x (Phytium) \
-                      and ~10x (ThunderX2) vs GCC",
+                "a" => {
+                    "paper: overhead rises with threads; Kunpeng920 fluctuates; \
+                        Phytium 2000+ is the best GCC platform at full width"
+                }
+                _ => {
+                    "paper: LLVM reduces the 64-thread overhead by ~3x (Phytium) \
+                      and ~10x (ThunderX2) vs GCC"
+                }
             });
             r
         })

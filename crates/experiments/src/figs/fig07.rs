@@ -23,17 +23,10 @@ pub fn run(scale: &Scale) -> Vec<Report> {
         "Figure 7(a) — SENSE overhead vs threads (us)",
         &["threads", "Phytium 2000+", "ThunderX2", "Kunpeng920"],
     );
-    let sense: Vec<Vec<(usize, f64)>> = Platform::ARM
-        .iter()
-        .map(|&pf| algo_curve(&topo(pf), AlgorithmId::Sense, scale))
-        .collect();
-    for i in 0..sense[0].len() {
-        a.row(vec![
-            sense[0][i].0.to_string(),
-            us(sense[0][i].1),
-            us(sense[1][i].1),
-            us(sense[2][i].1),
-        ]);
+    let sense: Vec<Vec<(usize, f64)>> =
+        Platform::ARM.iter().map(|&pf| algo_curve(&topo(pf), AlgorithmId::Sense, scale)).collect();
+    for (i, &(p, phytium_ns)) in sense[0].iter().enumerate() {
+        a.row(vec![p.to_string(), us(phytium_ns), us(sense[1][i].1), us(sense[2][i].1)]);
     }
     a.note("paper: grows linearly with threads; worst on ThunderX2; separated from");
     a.note("the other algorithms because it is several times more expensive.");

@@ -69,12 +69,7 @@ mod tests {
         let r = &run(&Scale::quick())[0];
         for col in 1..=3 {
             let vals: Vec<f64> = r.rows.iter().map(|row| row[col].parse().unwrap()).collect();
-            let min_idx = vals
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.total_cmp(b.1))
-                .unwrap()
-                .0;
+            let min_idx = vals.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
             assert_eq!(
                 FANINS[min_idx], 4,
                 "platform column {col}: minimum at fan-in {} ({vals:?})",

@@ -15,7 +15,15 @@ use crate::runner::{topo, Scale};
 pub fn run(_scale: &Scale) -> Vec<Report> {
     let mut fanin = Report::new(
         "Model — Eq. 1/2: Arrival-Phase cost and optimal fan-in (P = 64)",
-        &["platform", "alpha_0", "f* (continuous)", "f* (integer)", "T(2) ns", "T(4) ns", "T(8) ns"],
+        &[
+            "platform",
+            "alpha_0",
+            "f* (continuous)",
+            "f* (integer)",
+            "T(2) ns",
+            "T(4) ns",
+            "T(8) ns",
+        ],
     );
     for platform in Platform::ARM {
         let t = topo(platform);
@@ -85,7 +93,7 @@ mod tests {
         let reports = run(&Scale::quick());
         for row in &reports[0].rows {
             let f: f64 = row[2].parse().unwrap();
-            assert!((2.718..=3.592).contains(&f), "{row:?}");
+            assert!((std::f64::consts::E..=3.592).contains(&f), "{row:?}");
         }
     }
 }

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use armbar_core::prelude::*;
-use armbar_epcc::phase_breakdown;
+use armbar_epcc::{phase_breakdown, trace_episodes, OverheadConfig};
 use armbar_simcoh::Arena;
 use armbar_topology::Platform;
 
@@ -21,7 +21,11 @@ use crate::runner::{topo, Scale};
 /// Thread count analyzed.
 const P: usize = 64;
 
-/// Runs the phase-breakdown report (mark-aware algorithms only).
+/// Measured episodes in the per-episode trace table.
+const TRACE_EPISODES: u32 = 4;
+
+/// Runs the phase-breakdown report plus a per-episode trace table
+/// (timings and coherence-op counters for every measured episode).
 pub fn run(_scale: &Scale) -> Vec<Report> {
     let mut r = Report::new(
         format!("Phase breakdown at {P} threads (us)"),
@@ -29,8 +33,12 @@ pub fn run(_scale: &Scale) -> Vec<Report> {
     );
     for platform in Platform::ARM {
         let t = topo(platform);
-        for id in [AlgorithmId::Sense, AlgorithmId::Stour, AlgorithmId::Padded4Way, AlgorithmId::Optimized]
-        {
+        for id in [
+            AlgorithmId::Sense,
+            AlgorithmId::Stour,
+            AlgorithmId::Padded4Way,
+            AlgorithmId::Optimized,
+        ] {
             let mut arena = Arena::new();
             let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, P, &t));
             let Some(b) = phase_breakdown(&t, P, barrier, 4).unwrap() else {
@@ -47,7 +55,53 @@ pub fn run(_scale: &Scale) -> Vec<Report> {
     }
     r.note("arrival = last entry → champion sees the last arrival;");
     r.note("notification = champion's release → last thread leaves.");
-    vec![r]
+    vec![r, episode_trace_report()]
+}
+
+/// Per-episode trace of SENSE vs. the optimized barrier: where the paper's
+/// headline speedup comes from, episode by episode — SENSE pays thousands
+/// of RFO invalidations and write stalls per episode, OPT a few hundred.
+fn episode_trace_report() -> Report {
+    let mut r = Report::new(
+        format!("Per-episode trace at {P} threads"),
+        &[
+            "platform",
+            "algorithm",
+            "episode",
+            "arrival",
+            "notification",
+            "remote reads",
+            "RFO invals",
+            "stalls",
+            "wakeups",
+        ],
+    );
+    for platform in Platform::ARM {
+        let t = topo(platform);
+        for id in [AlgorithmId::Sense, AlgorithmId::Optimized] {
+            let mut arena = Arena::new();
+            let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, P, &t));
+            let cfg = OverheadConfig { episodes: TRACE_EPISODES, ..OverheadConfig::default() };
+            let traces = trace_episodes(&t, P, barrier, cfg).unwrap();
+            for tr in &traces {
+                let c = &tr.counters;
+                r.row(vec![
+                    t.name().to_string(),
+                    id.label().to_string(),
+                    tr.episode.to_string(),
+                    tr.arrival_ns().map(us).unwrap_or_default(),
+                    tr.notification_ns().map(us).unwrap_or_default(),
+                    c.remote_reads.to_string(),
+                    c.rfo_invalidations.to_string(),
+                    (c.read_stalls + c.write_stalls).to_string(),
+                    c.spin_wakeups.to_string(),
+                ]);
+            }
+        }
+    }
+    r.note("times in us; counters are machine-wide deltas attributed per episode.");
+    r.note("same data as `armbar trace --format csv`, for the report archive.");
+    r
 }
 
 #[cfg(test)]
@@ -58,6 +112,28 @@ mod tests {
     fn report_covers_all_platforms_and_marked_algorithms() {
         let r = &run(&Scale::quick())[0];
         assert_eq!(r.rows.len(), 12); // 3 platforms × 4 marked algorithms
+    }
+
+    #[test]
+    fn episode_trace_table_shows_opt_doing_less_coherence_work() {
+        let r = episode_trace_report();
+        // 3 platforms × 2 algorithms × TRACE_EPISODES episodes.
+        assert_eq!(r.rows.len(), 3 * 2 * TRACE_EPISODES as usize);
+        for platform in ["Phytium 2000+", "ThunderX2", "Kunpeng920"] {
+            let invals = |alg: &str| -> u64 {
+                r.rows
+                    .iter()
+                    .filter(|row| row[0] == platform && row[1] == alg)
+                    .map(|row| row[6].parse::<u64>().unwrap())
+                    .sum()
+            };
+            assert!(
+                invals("SENSE") > invals("OPT"),
+                "{platform}: SENSE {} vs OPT {}",
+                invals("SENSE"),
+                invals("OPT")
+            );
+        }
     }
 
     #[test]
@@ -74,11 +150,7 @@ mod tests {
         let r = &run(&Scale::quick())[0];
         for platform in ["Phytium 2000+", "ThunderX2", "Kunpeng920"] {
             let total = |alg: &str| -> f64 {
-                let row = r
-                    .rows
-                    .iter()
-                    .find(|row| row[0] == platform && row[1] == alg)
-                    .unwrap();
+                let row = r.rows.iter().find(|row| row[0] == platform && row[1] == alg).unwrap();
                 row[2].parse::<f64>().unwrap() + row[3].parse::<f64>().unwrap()
             };
             assert!(total("SENSE") > 4.0 * total("OPT"), "{platform}");

@@ -55,11 +55,7 @@ pub fn measure(scale: &Scale) -> (Vec<SpeedupRow>, Vec<(Platform, AlgorithmId)>)
 
     let row = |label: &str, base: [f64; 3]| {
         let per: [f64; 3] = std::array::from_fn(|i| base[i] / opt[i]);
-        SpeedupRow {
-            baseline: label.to_string(),
-            per_platform: per,
-            geomean: geomean(&per),
-        }
+        SpeedupRow { baseline: label.to_string(), per_platform: per, geomean: geomean(&per) }
     };
     (vec![row("GCC", gcc), row("LLVM", llvm), row("state-of-the-art", best)], best_ids)
 }

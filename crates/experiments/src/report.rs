@@ -56,13 +56,11 @@ impl Report {
             .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ =
+            writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-                .collect();
+            let line: Vec<String> =
+                row.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         for n in &self.notes {

@@ -55,24 +55,14 @@ pub fn topo(platform: Platform) -> Arc<Topology> {
 
 /// Mean overhead (ns) of a registry algorithm at `p` threads over
 /// `scale.reps` repetitions.
-pub fn algo_overhead_ns(
-    topo: &Arc<Topology>,
-    p: usize,
-    id: AlgorithmId,
-    scale: &Scale,
-) -> f64 {
+pub fn algo_overhead_ns(topo: &Arc<Topology>, p: usize, id: AlgorithmId, scale: &Scale) -> f64 {
     repeat_sim(topo, p, id, scale.cfg(0), scale.reps)
         .unwrap_or_else(|e| panic!("{id} at p={p} on {}: {e}", topo.name()))
         .mean
 }
 
 /// Mean overhead (ns) of a custom f-way configuration at `p` threads.
-pub fn fway_overhead_ns(
-    topo: &Arc<Topology>,
-    p: usize,
-    config: FwayConfig,
-    scale: &Scale,
-) -> f64 {
+pub fn fway_overhead_ns(topo: &Arc<Topology>, p: usize, config: FwayConfig, scale: &Scale) -> f64 {
     let mut samples = Vec::with_capacity(scale.reps as usize);
     for r in 0..scale.reps {
         let mut arena = Arena::new();
@@ -86,11 +76,7 @@ pub fn fway_overhead_ns(
 }
 
 /// An overhead-vs-threads curve for a registry algorithm.
-pub fn algo_curve(
-    topo: &Arc<Topology>,
-    id: AlgorithmId,
-    scale: &Scale,
-) -> Vec<(usize, f64)> {
+pub fn algo_curve(topo: &Arc<Topology>, id: AlgorithmId, scale: &Scale) -> Vec<(usize, f64)> {
     scale
         .sweep
         .iter()
@@ -100,11 +86,7 @@ pub fn algo_curve(
 }
 
 /// An overhead-vs-threads curve for a custom f-way configuration.
-pub fn fway_curve(
-    topo: &Arc<Topology>,
-    config: FwayConfig,
-    scale: &Scale,
-) -> Vec<(usize, f64)> {
+pub fn fway_curve(topo: &Arc<Topology>, config: FwayConfig, scale: &Scale) -> Vec<(usize, f64)> {
     scale
         .sweep
         .iter()

@@ -117,14 +117,8 @@ mod tests {
     fn arrival_cost_decreases_then_increases_in_f() {
         // T(f) over f ∈ 2..64 at P=64 should be non-monotone with an
         // interior minimum (this is what Figure 13 sweeps).
-        let costs: Vec<f64> =
-            (2..=64).map(|f| arrival_cost_ns(64, f, 0.5, 24.0)).collect();
-        let min_idx = costs
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .unwrap()
-            .0;
+        let costs: Vec<f64> = (2..=64).map(|f| arrival_cost_ns(64, f, 0.5, 24.0)).collect();
+        let min_idx = costs.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
         assert!(min_idx > 0, "minimum must not be at f=2");
         assert!(min_idx < costs.len() - 1, "minimum must not be at f=64");
     }

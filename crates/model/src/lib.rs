@@ -21,4 +21,4 @@ pub mod notification;
 
 pub use cache_ops::CacheOps;
 pub use fanin::{arrival_cost_ns, optimal_fanin_continuous, optimal_fanin_int};
-pub use notification::{recommend_wakeup, tree_wakeup_ns, global_wakeup_ns, WakeupChoice};
+pub use notification::{global_wakeup_ns, recommend_wakeup, tree_wakeup_ns, WakeupChoice};

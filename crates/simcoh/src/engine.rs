@@ -19,7 +19,7 @@ use crate::arena::Addr;
 use crate::error::SimError;
 use crate::line::{CoreSet, Line};
 use crate::rng::SplitMix64;
-use crate::stats::{Mark, OpKind, RunStats};
+use crate::stats::{CoherenceCounters, Mark, OpKind, RunStats};
 
 /// Typed panic payload used to tear down worker threads when the simulation
 /// aborts (deadlock, budget exhaustion). Recognized and swallowed by the
@@ -47,11 +47,14 @@ enum OpReq {
     Compute(f64),
     Mark(u32),
     Now,
+    /// Zero-cost snapshot of the machine-wide coherence counters.
+    Counters,
 }
 
 enum Reply {
     Value(u32),
     TimeNs(f64),
+    Counters(Box<CoherenceCounters>),
     Abort,
 }
 
@@ -182,6 +185,21 @@ impl SimThread {
         match self.call(OpReq::Now) {
             Reply::TimeNs(t) => t,
             _ => unreachable!(),
+        }
+    }
+
+    /// Machine-wide coherence-op counters accumulated so far, summed over
+    /// all threads. Free: advances no virtual time and touches no lines, so
+    /// instrumented and uninstrumented runs report identical latencies.
+    ///
+    /// Because threads progress at different virtual times, a snapshot taken
+    /// right after a barrier episode may include a few operations of threads
+    /// that already raced into the next episode; per-episode deltas are
+    /// therefore attributions, exact only at full-run granularity.
+    pub fn coherence_counters(&self) -> CoherenceCounters {
+        match self.call(OpReq::Counters) {
+            Reply::Counters(c) => *c,
+            _ => unreachable!("engine sent a non-counter reply to a counter op"),
         }
     }
 }
@@ -382,10 +400,7 @@ impl Engine {
                 return Ok(());
             }
 
-            let all_settled = g
-                .slots
-                .iter()
-                .all(|s| s.finished || s.parked || s.pending.is_some());
+            let all_settled = g.slots.iter().all(|s| s.finished || s.parked || s.pending.is_some());
             if !all_settled {
                 shared.sched_cv.wait(&mut g);
                 continue;
@@ -393,11 +408,7 @@ impl Engine {
 
             let runnable = (0..g.slots.len())
                 .filter(|&t| g.slots[t].pending.is_some())
-                .min_by(|&a, &b| {
-                    self.time[a]
-                        .total_cmp(&self.time[b])
-                        .then(a.cmp(&b))
-                });
+                .min_by(|&a, &b| self.time[a].total_cmp(&self.time[b]).then(a.cmp(&b)));
 
             let Some(tid) = runnable else {
                 // Everyone alive is parked: deadlock.
@@ -488,8 +499,7 @@ impl Engine {
         if n_other == 0 {
             0.0
         } else {
-            worst
-                + self.topo.coherence().inv_ns * (n_other - 1).min(INV_FANOUT_CAP) as f64
+            worst + self.topo.coherence().inv_ns * (n_other - 1).min(INV_FANOUT_CAP) as f64
         }
     }
 
@@ -547,7 +557,10 @@ impl Engine {
         // any spinner subscribes to the line, and the invalidation-crowd
         // cost that dominates SENSE on many-cores would vanish.
         let busy_until = match &op {
-            OpReq::Load(a) | OpReq::Store(a, _) | OpReq::FetchAdd(a, _) | OpReq::SpinUntil(a, _) => {
+            OpReq::Load(a)
+            | OpReq::Store(a, _)
+            | OpReq::FetchAdd(a, _)
+            | OpReq::SpinUntil(a, _) => {
                 let key = *a / self.topo.cacheline_bytes() as u32;
                 self.lines.entry(key).or_default().available_at
             }
@@ -561,6 +574,8 @@ impl Engine {
             _ => 0.0,
         };
         if busy_until > self.time[tid] {
+            let is_write = matches!(op, OpReq::Store(..) | OpReq::FetchAdd(..));
+            self.stats.record_stall(tid, is_write, busy_until - self.time[tid]);
             self.time[tid] = busy_until;
             g.slots[tid].pending = Some(op);
             return;
@@ -619,6 +634,10 @@ impl Engine {
                 let t = self.time[tid];
                 self.reply(g, shared, tid, Reply::TimeNs(t));
             }
+            OpReq::Counters => {
+                let total = self.stats.coherence().total();
+                self.reply(g, shared, tid, Reply::Counters(Box::new(total)));
+            }
         }
     }
 
@@ -626,10 +645,11 @@ impl Engine {
         let now = self.time[tid];
         let eps = self.topo.epsilon_ns();
         let read_c = self.topo.coherence().read_contention_ns;
-        let line = self.lines.entry(addr / self.topo.cacheline_bytes() as u32).or_default();
+        let key = addr / self.topo.cacheline_bytes() as u32;
+        let line = self.lines.entry(key).or_default();
         if line.sharers.contains(tid) {
             self.time[tid] = now + eps;
-            self.stats.count_op(OpKind::LocalRead);
+            self.stats.record_read(tid, key, true, false);
         } else {
             let start = now.max(line.available_at);
             let src = if let Some(o) = line.owner {
@@ -643,13 +663,14 @@ impl Engine {
                 self.topo.max_latency_ns()
             };
             let queue = self.noc_queue(start);
-            let line = self.lines.entry(addr / self.topo.cacheline_bytes() as u32).or_default();
+            let line = self.lines.entry(key).or_default();
             line.readers_since_write += 1;
+            let contended = line.readers_since_write > 1;
             let contention = read_c * (line.readers_since_write - 1) as f64;
             line.sharers.insert(tid);
             let jf = self.jitter();
             self.time[tid] = start + queue + (src + contention) * jf;
-            self.stats.count_op(OpKind::RemoteRead);
+            self.stats.record_read(tid, key, false, contended);
         }
     }
 
@@ -690,12 +711,13 @@ impl Engine {
             let queue = self.noc_queue(now);
             let line = self.lines.entry(key).or_default();
             line.readers_since_write += 1;
+            let contended = line.readers_since_write > 1;
             let contention = read_c * (line.readers_since_write - 1) as f64;
             line.sharers.insert(tid);
             max_l = max_l.max(src + contention + queue);
             sum_l += src + contention + queue;
             fetched += 1;
-            self.stats.count_op(OpKind::RemoteRead);
+            self.stats.record_read(tid, key, false, contended);
         }
         let jf = self.jitter();
         let cost = if fetched == 0 {
@@ -741,8 +763,7 @@ impl Engine {
         self.values.insert(addr, new_value);
         self.time[tid] = end;
         let invalidated = sharers_snapshot.iter().filter(|&s| s != tid).count();
-        self.stats.record_write(key, invalidated);
-        self.stats.count_op(if remote { OpKind::RemoteWrite } else { OpKind::LocalWrite });
+        self.stats.record_write(tid, key, remote, invalidated);
     }
 
     /// After a write to `addr`'s line completes: waiters whose predicate is
@@ -805,7 +826,7 @@ impl Engine {
                 self.time[w.tid] = end + (lat + mlp_extra + read_c * woken as f64) * jf;
                 woken += 1;
                 let reply_value = self.value(w.addrs[0]);
-                self.stats.count_op(OpKind::SpinWakeup);
+                self.stats.record_spin_wakeup(w.tid);
                 self.reply(g, shared, w.tid, Reply::Value(reply_value));
             } else {
                 remaining.push(w);
@@ -929,7 +950,7 @@ mod tests {
                 }
             })
             .unwrap();
-        assert_eq!(stats.total_mem_ops() >= 4, true);
+        assert!(stats.total_mem_ops() >= 4);
     }
 
     #[test]
@@ -1104,6 +1125,65 @@ mod tests {
             .unwrap();
         assert_eq!(stats.ops(OpKind::SpinWakeup), 63);
         assert!(stats.max_time_ns() > 0.0);
+    }
+
+    #[test]
+    fn coherence_counters_capture_rfo_and_stalls() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        let g64 = arena.alloc_padded_u32(64);
+        // Four threads hammer one counter, then rendezvous on a flag: the
+        // RMWs serialize (write stalls), the flag write invalidates the
+        // spinners' copies (RFO fan-out), and the spinners wake remotely.
+        let stats = SimBuilder::new(topo(), 4)
+            .run(move |ctx| {
+                let prev = ctx.fetch_add(a, 1);
+                if prev == 3 {
+                    ctx.store(g64, 1);
+                } else {
+                    ctx.spin_until(g64, |v| v == 1);
+                }
+            })
+            .unwrap();
+        let total = stats.coherence().total();
+        // Aggregate counters must agree with the legacy op-kind counts.
+        assert_eq!(total.local_reads, stats.ops(OpKind::LocalRead));
+        assert_eq!(total.remote_reads, stats.ops(OpKind::RemoteRead));
+        assert_eq!(
+            total.local_writes + total.remote_writes,
+            stats.ops(OpKind::LocalWrite) + stats.ops(OpKind::RemoteWrite)
+        );
+        assert_eq!(total.spin_wakeups, 3);
+        // Three of the four RMWs found the counter line busy.
+        assert!(total.write_stalls >= 3, "stalls: {total:?}");
+        assert!(total.write_stall_ns > 0.0);
+        // The release store invalidated the three spinners' copies.
+        assert!(total.rfo_invalidations >= 3, "fan-out: {total:?}");
+        // Per-thread view: the thread that never owned the counter line
+        // first must have paid a remote write.
+        assert!(stats.coherence().per_thread().iter().any(|c| c.remote_writes > 0));
+    }
+
+    #[test]
+    fn live_counter_snapshot_is_free_and_monotone() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        let stats = SimBuilder::new(topo(), 1)
+            .run(move |ctx| {
+                let before = ctx.coherence_counters();
+                let t0 = ctx.now_ns();
+                let mid = ctx.coherence_counters();
+                assert_eq!(ctx.now_ns(), t0, "snapshot must cost no virtual time");
+                ctx.store(a, 1);
+                ctx.load(a);
+                let after = ctx.coherence_counters();
+                let d = after.delta_since(&mid);
+                assert_eq!(d.local_writes, 1);
+                assert_eq!(d.local_reads, 1);
+                assert_eq!(before.total_mem_ops(), 0);
+            })
+            .unwrap();
+        assert_eq!(stats.coherence().total().total_mem_ops(), 2);
     }
 
     #[test]

@@ -146,10 +146,7 @@ fn noc_queue_serializes_concurrent_remote_traffic() {
     };
     let without = run(topo());
     let with = run(topo_noc());
-    assert!(
-        with > without + 10.0,
-        "NoC queueing should slow the burst: {without} vs {with}"
-    );
+    assert!(with > without + 10.0, "NoC queueing should slow the burst: {without} vs {with}");
 }
 
 #[test]
@@ -213,10 +210,7 @@ fn rmw_surcharge_makes_atomics_costlier_than_stores() {
                 let t1 = ctx.now_ns();
                 ctx.fetch_add(b, 1); // RMW on an equivalent line
                 let rmw_cost = ctx.now_ns() - t1;
-                assert!(
-                    rmw_cost > store_cost,
-                    "RMW ({rmw_cost}) must exceed store ({store_cost})"
-                );
+                assert!(rmw_cost > store_cost, "RMW ({rmw_cost}) must exceed store ({store_cost})");
             }
         })
         .unwrap();

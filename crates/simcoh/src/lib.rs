@@ -55,9 +55,9 @@
 
 pub mod arena;
 pub mod engine;
-pub mod error;
 #[cfg(test)]
 mod engine_tests;
+pub mod error;
 pub mod line;
 pub mod rng;
 pub mod stats;
@@ -65,4 +65,4 @@ pub mod stats;
 pub use arena::{Addr, Arena};
 pub use engine::{SimBuilder, SimThread};
 pub use error::SimError;
-pub use stats::{OpKind, RunStats};
+pub use stats::{CoherenceCounters, CoherenceStats, LineTraffic, Mark, OpKind, RunStats};

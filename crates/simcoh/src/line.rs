@@ -101,12 +101,7 @@ pub struct Line {
 
 impl Default for Line {
     fn default() -> Self {
-        Self {
-            owner: None,
-            sharers: CoreSet::EMPTY,
-            available_at: 0.0,
-            readers_since_write: 0,
-        }
+        Self { owner: None, sharers: CoreSet::EMPTY, available_at: 0.0, readers_since_write: 0 }
     }
 }
 

@@ -61,6 +61,124 @@ pub struct LineTraffic {
     pub invalidations: u64,
     /// Largest sharer-set size ever invalidated at once.
     pub peak_sharers: u32,
+    /// Remote read transfers that pulled this line.
+    pub remote_reads: u64,
+    /// Remote reads that paid the `c·(j−1)` reader-contention term, i.e.
+    /// arrived while other readers were already piling onto the line.
+    pub contended_reads: u64,
+}
+
+/// Per-thread coherence-operation counters, the observable form of the
+/// paper's Section III cost model: every simulated memory operation lands in
+/// exactly one read/write bucket, and the stall/fan-out fields expose the
+/// serialization effects that the latency numbers alone hide.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoherenceCounters {
+    /// Reads satisfied from the local cache (`R_L`, cost ε).
+    pub local_reads: u64,
+    /// Reads served by a remote transfer (`R_R`, cost `L_i`).
+    pub remote_reads: u64,
+    /// Remote reads that additionally paid reader contention `c·(j−1)`.
+    pub reader_contention_events: u64,
+    /// Stores/RMWs that already owned the line (`W_L`).
+    pub local_writes: u64,
+    /// Stores/RMWs that had to acquire ownership remotely (`W_R`).
+    pub remote_writes: u64,
+    /// Total invalidation messages this thread's writes fanned out (the RFO
+    /// crowd cost; a padded-flag layout shrinks this, a packed one inflates
+    /// it via false sharing).
+    pub rfo_invalidations: u64,
+    /// Times a store/RMW found its line busy (a write in flight) and had to
+    /// wait for `available_at` — write serialization.
+    pub write_stalls: u64,
+    /// Virtual ns spent in those write stalls.
+    pub write_stall_ns: f64,
+    /// Times a read/spin found its line busy and had to wait.
+    pub read_stalls: u64,
+    /// Virtual ns spent in those read stalls.
+    pub read_stall_ns: f64,
+    /// Blocking spin-waits woken by a write.
+    pub spin_wakeups: u64,
+}
+
+impl CoherenceCounters {
+    /// Field-wise accumulation (for totals across threads or episodes).
+    pub fn accumulate(&mut self, other: &CoherenceCounters) {
+        self.local_reads += other.local_reads;
+        self.remote_reads += other.remote_reads;
+        self.reader_contention_events += other.reader_contention_events;
+        self.local_writes += other.local_writes;
+        self.remote_writes += other.remote_writes;
+        self.rfo_invalidations += other.rfo_invalidations;
+        self.write_stalls += other.write_stalls;
+        self.write_stall_ns += other.write_stall_ns;
+        self.read_stalls += other.read_stalls;
+        self.read_stall_ns += other.read_stall_ns;
+        self.spin_wakeups += other.spin_wakeups;
+    }
+
+    /// Field-wise difference (`self − earlier`), for per-episode deltas
+    /// between two snapshots of monotonically growing counters.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not component-wise ≤ `self`.
+    pub fn delta_since(&self, earlier: &CoherenceCounters) -> CoherenceCounters {
+        CoherenceCounters {
+            local_reads: self.local_reads - earlier.local_reads,
+            remote_reads: self.remote_reads - earlier.remote_reads,
+            reader_contention_events: self.reader_contention_events
+                - earlier.reader_contention_events,
+            local_writes: self.local_writes - earlier.local_writes,
+            remote_writes: self.remote_writes - earlier.remote_writes,
+            rfo_invalidations: self.rfo_invalidations - earlier.rfo_invalidations,
+            write_stalls: self.write_stalls - earlier.write_stalls,
+            write_stall_ns: self.write_stall_ns - earlier.write_stall_ns,
+            read_stalls: self.read_stalls - earlier.read_stalls,
+            read_stall_ns: self.read_stall_ns - earlier.read_stall_ns,
+            spin_wakeups: self.spin_wakeups - earlier.spin_wakeups,
+        }
+    }
+
+    /// All memory operations (reads + writes, excluding wakeups/stalls
+    /// which are attributes of those operations rather than extra ones).
+    pub fn total_mem_ops(&self) -> u64 {
+        self.local_reads + self.remote_reads + self.local_writes + self.remote_writes
+    }
+}
+
+/// Snapshot of the per-thread coherence counters of a run.
+#[derive(Debug, Clone, Default)]
+pub struct CoherenceStats {
+    per_thread: Vec<CoherenceCounters>,
+}
+
+impl CoherenceStats {
+    pub(crate) fn new(nthreads: usize) -> Self {
+        Self { per_thread: vec![CoherenceCounters::default(); nthreads] }
+    }
+
+    pub(crate) fn thread_mut(&mut self, tid: usize) -> &mut CoherenceCounters {
+        &mut self.per_thread[tid]
+    }
+
+    /// Counters of each thread, indexed by tid.
+    pub fn per_thread(&self) -> &[CoherenceCounters] {
+        &self.per_thread
+    }
+
+    /// Counters of one thread.
+    pub fn thread(&self, tid: usize) -> &CoherenceCounters {
+        &self.per_thread[tid]
+    }
+
+    /// Sum over all threads.
+    pub fn total(&self) -> CoherenceCounters {
+        let mut acc = CoherenceCounters::default();
+        for c in &self.per_thread {
+            acc.accumulate(c);
+        }
+        acc
+    }
 }
 
 /// Statistics of one completed simulation run.
@@ -70,6 +188,7 @@ pub struct RunStats {
     op_counts: [u64; 6],
     marks: Vec<Mark>,
     line_traffic: std::collections::HashMap<u32, LineTraffic>,
+    coherence: CoherenceStats,
 }
 
 impl RunStats {
@@ -79,6 +198,7 @@ impl RunStats {
             op_counts: [0; 6],
             marks: Vec::new(),
             line_traffic: std::collections::HashMap::new(),
+            coherence: CoherenceStats::new(nthreads),
         }
     }
 
@@ -94,11 +214,62 @@ impl RunStats {
         self.marks.push(m);
     }
 
-    pub(crate) fn record_write(&mut self, line: u32, invalidated: usize) {
+    /// Accounts one read by `tid` of `line` (op counts, per-thread
+    /// coherence counters, per-line traffic).
+    pub(crate) fn record_read(&mut self, tid: usize, line: u32, local: bool, contended: bool) {
+        let c = self.coherence.thread_mut(tid);
+        if local {
+            c.local_reads += 1;
+            self.op_counts[OpKind::LocalRead.idx()] += 1;
+        } else {
+            c.remote_reads += 1;
+            if contended {
+                c.reader_contention_events += 1;
+            }
+            self.op_counts[OpKind::RemoteRead.idx()] += 1;
+            let t = self.line_traffic.entry(line).or_default();
+            t.remote_reads += 1;
+            if contended {
+                t.contended_reads += 1;
+            }
+        }
+    }
+
+    /// Accounts one committed write by `tid` to `line` that invalidated
+    /// `invalidated` other sharers.
+    pub(crate) fn record_write(&mut self, tid: usize, line: u32, remote: bool, invalidated: usize) {
+        let c = self.coherence.thread_mut(tid);
+        if remote {
+            c.remote_writes += 1;
+            self.op_counts[OpKind::RemoteWrite.idx()] += 1;
+        } else {
+            c.local_writes += 1;
+            self.op_counts[OpKind::LocalWrite.idx()] += 1;
+        }
+        c.rfo_invalidations += invalidated as u64;
         let t = self.line_traffic.entry(line).or_default();
         t.writes += 1;
         t.invalidations += invalidated as u64;
         t.peak_sharers = t.peak_sharers.max(invalidated as u32);
+    }
+
+    /// Accounts `ns` of virtual time `tid` spent waiting for a busy line
+    /// (`write` selects write- vs read-side serialization).
+    pub(crate) fn record_stall(&mut self, tid: usize, write: bool, ns: f64) {
+        let c = self.coherence.thread_mut(tid);
+        if write {
+            c.write_stalls += 1;
+            c.write_stall_ns += ns;
+        } else {
+            c.read_stalls += 1;
+            c.read_stall_ns += ns;
+        }
+    }
+
+    /// Accounts one blocking spin-wait of `tid` woken by a write.
+    pub(crate) fn record_spin_wakeup(&mut self, tid: usize) {
+        self.coherence.thread_mut(tid).spin_wakeups += 1;
+        self.op_counts[OpKind::SpinWakeup.idx()] += 1;
     }
 
     /// Virtual completion time of each thread, in ns.
@@ -118,11 +289,7 @@ impl RunStats {
 
     /// Total memory operations (excluding compute).
     pub fn total_mem_ops(&self) -> u64 {
-        OpKind::ALL
-            .iter()
-            .filter(|k| !matches!(k, OpKind::Compute))
-            .map(|&k| self.ops(k))
-            .sum()
+        OpKind::ALL.iter().filter(|k| !matches!(k, OpKind::Compute)).map(|&k| self.ops(k)).sum()
     }
 
     /// All marks, in the order they were committed in virtual time.
@@ -134,6 +301,11 @@ impl RunStats {
     /// (`addr / line_bytes`).
     pub fn line_traffic(&self) -> &std::collections::HashMap<u32, LineTraffic> {
         &self.line_traffic
+    }
+
+    /// Per-thread coherence-op counters accumulated over the run.
+    pub fn coherence(&self) -> &CoherenceStats {
+        &self.coherence
     }
 
     /// The `n` most-written lines, descending — the hot spots.
@@ -198,6 +370,62 @@ mod tests {
         let mut s = RunStats::new(1);
         s.count_op(OpKind::Compute);
         assert_eq!(s.total_mem_ops(), 0);
+    }
+
+    #[test]
+    fn coherence_counters_track_reads_writes_and_stalls() {
+        let mut s = RunStats::new(2);
+        s.record_read(0, 7, true, false);
+        s.record_read(1, 7, false, true);
+        s.record_write(1, 7, true, 3);
+        s.record_stall(0, true, 12.5);
+        s.record_stall(0, false, 2.5);
+        s.record_spin_wakeup(1);
+
+        let c0 = s.coherence().thread(0);
+        assert_eq!(c0.local_reads, 1);
+        assert_eq!(c0.write_stalls, 1);
+        assert_eq!(c0.write_stall_ns, 12.5);
+        assert_eq!(c0.read_stalls, 1);
+        assert_eq!(c0.read_stall_ns, 2.5);
+
+        let c1 = s.coherence().thread(1);
+        assert_eq!(c1.remote_reads, 1);
+        assert_eq!(c1.reader_contention_events, 1);
+        assert_eq!(c1.remote_writes, 1);
+        assert_eq!(c1.rfo_invalidations, 3);
+        assert_eq!(c1.spin_wakeups, 1);
+
+        // The aggregate op counts stay consistent with the per-thread view.
+        assert_eq!(s.ops(OpKind::LocalRead), 1);
+        assert_eq!(s.ops(OpKind::RemoteRead), 1);
+        assert_eq!(s.ops(OpKind::RemoteWrite), 1);
+        assert_eq!(s.ops(OpKind::SpinWakeup), 1);
+        let total = s.coherence().total();
+        assert_eq!(total.total_mem_ops(), 3);
+        assert_eq!(total.rfo_invalidations, 3);
+
+        // Line traffic picked up the read side too.
+        let t = s.line_traffic()[&7];
+        assert_eq!(t.writes, 1);
+        assert_eq!(t.invalidations, 3);
+        assert_eq!(t.remote_reads, 1);
+        assert_eq!(t.contended_reads, 1);
+    }
+
+    #[test]
+    fn coherence_delta_between_snapshots() {
+        let mut s = RunStats::new(1);
+        s.record_write(0, 1, false, 0);
+        let before = s.coherence().total();
+        s.record_write(0, 1, true, 5);
+        s.record_read(0, 2, false, false);
+        let after = s.coherence().total();
+        let d = after.delta_since(&before);
+        assert_eq!(d.local_writes, 0);
+        assert_eq!(d.remote_writes, 1);
+        assert_eq!(d.rfo_invalidations, 5);
+        assert_eq!(d.remote_reads, 1);
     }
 
     #[test]

@@ -169,9 +169,8 @@ impl TopologyBuilder {
     /// validation fails (asymmetric map, dangling layer ids, …).
     pub fn build(self) -> Topology {
         assert!(!self.layers.is_empty(), "register at least one layer");
-        let pair_layer = self
-            .pair_layer
-            .expect("provide a pair→layer map via hierarchy() or pair_layer_fn()");
+        let pair_layer =
+            self.pair_layer.expect("provide a pair→layer map via hierarchy() or pair_layer_fn()");
         let topo = Topology {
             name: self.name,
             num_cores: self.num_cores,

@@ -69,10 +69,7 @@ impl Layer {
             latency_ns.is_finite() && latency_ns > 0.0,
             "layer latency must be positive and finite, got {latency_ns}"
         );
-        assert!(
-            (0.0..=1.0).contains(&alpha),
-            "alpha must lie in [0, 1], got {alpha}"
-        );
+        assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0, 1], got {alpha}");
         Self { name: name.into(), latency_ns, alpha }
     }
 }

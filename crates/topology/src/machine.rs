@@ -207,10 +207,7 @@ impl Topology {
 
     /// The largest (outermost) layer latency of the machine, in ns.
     pub fn max_latency_ns(&self) -> f64 {
-        self.layers
-            .iter()
-            .map(|l| l.latency_ns)
-            .fold(self.epsilon_ns, f64::max)
+        self.layers.iter().map(|l| l.latency_ns).fold(self.epsilon_ns, f64::max)
     }
 
     /// Average of `latency_ns(a, b)` over all ordered pairs of *distinct*

@@ -27,12 +27,8 @@ pub enum Platform {
 
 impl Platform {
     /// All four platforms, ARM first, in the paper's order.
-    pub const ALL: [Platform; 4] = [
-        Platform::Phytium2000Plus,
-        Platform::ThunderX2,
-        Platform::Kunpeng920,
-        Platform::XeonGold,
-    ];
+    pub const ALL: [Platform; 4] =
+        [Platform::Phytium2000Plus, Platform::ThunderX2, Platform::Kunpeng920, Platform::XeonGold];
 
     /// The three ARMv8 platforms (the paper's evaluation targets).
     pub const ARM: [Platform; 3] =

@@ -62,10 +62,9 @@ fn main() {
                 let chunk = ITEMS / THREADS;
                 let (lo, hi) = (tid * chunk, (tid + 1) * chunk);
                 for stage in 0..STAGES as u32 {
-                    let (src, dst) =
-                        (&bufs[stage as usize % 2], &bufs[(stage as usize + 1) % 2]);
-                    for i in lo..hi {
-                        dst[i].store(update(src, i, stage), Ordering::Relaxed);
+                    let (src, dst) = (&bufs[stage as usize % 2], &bufs[(stage as usize + 1) % 2]);
+                    for (i, out) in dst.iter().enumerate().take(hi).skip(lo) {
+                        out.store(update(src, i, stage), Ordering::Relaxed);
                     }
                     // Publish this stripe and wait for every partner
                     // stripe before the next stage reads across stripes.
@@ -80,8 +79,8 @@ fn main() {
     let seq = buffers();
     for stage in 0..STAGES as u32 {
         let (src, dst) = (&seq[stage as usize % 2], &seq[(stage as usize + 1) % 2]);
-        for i in 0..ITEMS {
-            dst[i].store(update(src, i, stage), Ordering::Relaxed);
+        for (i, out) in dst.iter().enumerate() {
+            out.store(update(src, i, stage), Ordering::Relaxed);
         }
     }
     let reference = checksum(&seq[STAGES % 2]);

@@ -11,8 +11,8 @@
 //! cargo run --release --example stencil
 //! ```
 
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use armbar::core::prelude::*;
 use armbar::simcoh::Arena;
@@ -56,7 +56,10 @@ fn run(algorithm: AlgorithmId) -> (Vec<f64>, std::time::Duration) {
                         let mid = f64::from_bits(src[i].load(Ordering::Relaxed));
                         let right =
                             f64::from_bits(src[(i + 1).min(CELLS - 1)].load(Ordering::Relaxed));
-                        dst[i].store((0.25 * left + 0.5 * mid + 0.25 * right).to_bits(), Ordering::Relaxed);
+                        dst[i].store(
+                            (0.25 * left + 0.5 * mid + 0.25 * right).to_bits(),
+                            Ordering::Relaxed,
+                        );
                     }
                     // The barrier's Acquire/Release discipline publishes the
                     // relaxed stores above to every peer.
@@ -85,11 +88,7 @@ fn main() {
     let (optimized, t_opt) = run(AlgorithmId::Optimized);
 
     assert_eq!(
-        reference
-            .iter()
-            .zip(&optimized)
-            .filter(|(a, b)| a.to_bits() != b.to_bits())
-            .count(),
+        reference.iter().zip(&optimized).filter(|(a, b)| a.to_bits() != b.to_bits()).count(),
         0,
         "barrier choice must not change the physics"
     );

@@ -80,8 +80,7 @@ fn barrier_reuse_across_many_episodes() {
     // differently every episode.
     let topo = Arc::new(Topology::preset(Platform::ThunderX2));
     let mut arena = Arena::new();
-    let barrier: Arc<dyn Barrier> =
-        Arc::from(AlgorithmId::Optimized.build(&mut arena, 16, &topo));
+    let barrier: Arc<dyn Barrier> = Arc::from(AlgorithmId::Optimized.build(&mut arena, 16, &topo));
     SimBuilder::new(topo, 16)
         .run(move |ctx| {
             for e in 0..300u32 {

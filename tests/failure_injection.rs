@@ -41,9 +41,7 @@ fn lost_wakeup_is_reported_as_deadlock() {
     let topo = Arc::new(Topology::preset(Platform::ThunderX2));
     let mut arena = Arena::new();
     let barrier = Arc::new(LostWakeupBarrier::new(&mut arena));
-    let err = SimBuilder::new(topo, 8)
-        .run(move |ctx| barrier.wait(ctx))
-        .unwrap_err();
+    let err = SimBuilder::new(topo, 8).run(move |ctx| barrier.wait(ctx)).unwrap_err();
     match err {
         SimError::Deadlock { waiters } => assert_eq!(waiters.len(), 7),
         other => panic!("expected deadlock, got {other}"),
@@ -125,8 +123,6 @@ fn undersubscribed_barrier_deadlocks_cleanly() {
     let mut arena2 = Arena::new();
     let cmb: Arc<dyn Barrier> = Arc::from(AlgorithmId::Combining.build(&mut arena2, 8, &topo));
     let _ = barrier;
-    let err = SimBuilder::new(topo, 4)
-        .run(move |ctx| cmb.wait(ctx))
-        .unwrap_err();
+    let err = SimBuilder::new(topo, 4).run(move |ctx| cmb.wait(ctx)).unwrap_err();
     assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
 }

@@ -1,0 +1,271 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `criterion` its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with the chainable configuration methods,
+//! [`BenchmarkId`], [`Throughput`], the [`Bencher::iter`] loop, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Two execution modes, selected by CLI args (as in real criterion):
+//!
+//! * **`--test`** (`cargo bench -- --test`): each benchmark body runs
+//!   exactly once, unmeasured — the CI smoke mode;
+//! * otherwise: a short timed loop per benchmark (warm-up iterations, then
+//!   `sample_size` measured iterations) reporting mean wall-clock per
+//!   iteration. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Declared work-per-iteration, echoed in reports as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure inside the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `--test`: run once, no timing.
+    Smoke,
+    /// Timed loop.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine` (or runs it once in `--test` mode). The return value
+    /// is passed through [`black_box`] so the work is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                let warmup = self.sample_size.div_ceil(4).max(1);
+                for _ in 0..warmup {
+                    black_box(routine());
+                }
+                let start = Instant::now();
+                for _ in 0..self.sample_size {
+                    black_box(routine());
+                }
+                self.mean_ns = start.elapsed().as_nanos() as f64 / self.sample_size as f64;
+            }
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting bench work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's warm-up is derived from
+    /// `sample_size` rather than wall-clock time.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub always runs exactly
+    /// `sample_size` measured iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        match self.criterion.mode {
+            Mode::Smoke => println!("test {}/{id} ... ok", self.name),
+            Mode::Measure => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) if bencher.mean_ns > 0.0 => {
+                        format!("  ({:.1} Melem/s)", n as f64 / bencher.mean_ns * 1e3)
+                    }
+                    Some(Throughput::Bytes(n)) if bencher.mean_ns > 0.0 => {
+                        format!("  ({:.1} MB/s)", n as f64 / bencher.mean_ns * 1e3)
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "{}/{id}: {:.3} us/iter over {} samples{rate}",
+                    self.name,
+                    bencher.mean_ns / 1e3,
+                    self.sample_size
+                );
+            }
+        }
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { mode: Mode::Measure }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration: `--test` switches to run-once smoke mode;
+    /// every other flag criterion would accept is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.mode = Mode::Smoke;
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles benchmark functions under one name, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measure_mode_runs_and_times() {
+        let mut c = Criterion { mode: Mode::Measure };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("smoke");
+        group.bench_with_input(BenchmarkId::from_parameter("once"), &(), |b, _| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

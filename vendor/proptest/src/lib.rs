@@ -1,0 +1,389 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `proptest` its tests use: the [`Strategy`] trait with
+//! `prop_map`, strategies over integer/float ranges, tuples, uniform
+//! selection and `any::<bool>()`, the `proptest!` macro, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion forms.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * sampling is **deterministic** — each test function derives its RNG
+//!   seed from its own name, so failures reproduce exactly across runs
+//!   and machines (the simulator underneath is deterministic too);
+//! * there is **no shrinking** — a failing case reports its case number
+//!   and message and panics immediately.
+
+/// Runner plumbing: deterministic RNG, failure type, per-test state.
+pub mod test_runner {
+    /// SplitMix64 — small, fast, and good enough for test-case sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Creates an RNG from an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            Self(seed)
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Why a test case failed (assertion message).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Per-test-function sampling state.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose RNG seed is derived from `name`, so every
+        /// run of a given test samples the same cases.
+        pub fn new(name: &str) -> Self {
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01B3);
+            }
+            Self { rng: TestRng::from_seed(h) }
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Test-loop configuration (`cases` is the only knob this subset honors;
+/// `max_shrink_iters` is accepted for upstream compatibility and ignored
+/// because this subset reports failing inputs without shrinking them).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases sampled per test function.
+    pub cases: u32,
+    /// Upstream shrink budget; unused here (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 1024 }
+    }
+}
+
+/// A source of values for one test argument.
+pub trait Strategy {
+    /// The type of the produced values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategies!(usize, u8, u16, u32, u64, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Constructs the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Canonical strategy for `bool`: a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Sampling from explicit collections.
+    pub mod sample {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// Strategy drawing uniformly from a fixed vector.
+        #[derive(Debug, Clone)]
+        pub struct Select<T>(Vec<T>);
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                let i = (rng.next_u64() % self.0.len() as u64) as usize;
+                self.0[i].clone()
+            }
+        }
+
+        /// Uniform selection from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples `config.cases` argument tuples and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), runner.rng());)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// The glob-import surface used by tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::new("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..10), runner.rng());
+            assert!((3..10).contains(&v));
+            let w = Strategy::sample(&(5u32..=7), runner.rng());
+            assert!((5..=7).contains(&w));
+            let f = Strategy::sample(&(1.5f64..2.5), runner.rng());
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn select_and_map_compose() {
+        let mut runner = crate::test_runner::TestRunner::new("select");
+        let s = prop::sample::select(vec![1u32, 2, 3]).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = s.sample(runner.rng());
+            assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRunner::new("same");
+        let mut b = crate::test_runner::TestRunner::new("same");
+        for _ in 0..10 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// The macro itself: tuple strategies + prop_assert forms.
+        #[test]
+        fn macro_generates_runnable_tests(
+            x in 0usize..100,
+            flip in any::<bool>(),
+            (lo, hi) in (0u32..50, 50u32..100),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(lo < hi, "lo {lo} must stay below hi {hi}");
+            prop_assert_eq!(flip as u32 * 2, if flip { 2 } else { 0 });
+        }
+    }
+}
