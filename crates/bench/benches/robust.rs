@@ -1,0 +1,80 @@
+//! Hardening overhead: `RobustBarrier`'s bounded polling + poison checks
+//! versus the raw algorithm on the host backend. The wrapper re-implements
+//! spin waits as polling loops with a deadline check every 64 polls, so
+//! healthy-path episodes should cost only a few percent extra — this bench
+//! keeps that claim honest.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use armbar_core::prelude::*;
+use armbar_core::HostMem;
+use armbar_simcoh::Arena;
+use armbar_topology::{Platform, Topology};
+
+fn raw_episodes(p: usize, id: AlgorithmId, iters: u64) {
+    let topo = Topology::preset(Platform::Kunpeng920);
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
+    let mem = HostMem::new(&arena);
+    std::thread::scope(|s| {
+        for tid in 0..p {
+            let mem = Arc::clone(&mem);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                let ctx = mem.ctx(tid, p);
+                for _ in 0..iters {
+                    barrier.wait(&ctx);
+                }
+            });
+        }
+    });
+}
+
+fn robust_episodes(p: usize, id: AlgorithmId, iters: u64) {
+    let topo = Topology::preset(Platform::Kunpeng920);
+    let mut arena = Arena::new();
+    let inner = id.build(&mut arena, p, &topo);
+    let robust = Arc::new(RobustBarrier::new(
+        &mut arena,
+        topo.cacheline_bytes(),
+        inner,
+        RobustConfig { deadline: Duration::from_secs(30), ..RobustConfig::default() },
+    ));
+    let mem = HostMem::new(&arena);
+    std::thread::scope(|s| {
+        for tid in 0..p {
+            let mem = Arc::clone(&mem);
+            let robust = Arc::clone(&robust);
+            s.spawn(move || {
+                let ctx = mem.ctx(tid, p);
+                for _ in 0..iters {
+                    robust.wait(&ctx).expect("healthy episode");
+                }
+            });
+        }
+    });
+}
+
+fn bench_hardening_overhead(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let p = threads.clamp(1, 4);
+    let mut group = c.benchmark_group(format!("robust_overhead_p{p}"));
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    for id in [AlgorithmId::Sense, AlgorithmId::Dissemination, AlgorithmId::Optimized] {
+        group.bench_with_input(BenchmarkId::new("raw", format!("{id}")), &(), |b, _| {
+            b.iter(|| raw_episodes(p, id, 200));
+        });
+        group.bench_with_input(BenchmarkId::new("robust", format!("{id}")), &(), |b, _| {
+            b.iter(|| robust_episodes(p, id, 200));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hardening_overhead);
+criterion_main!(benches);

@@ -6,6 +6,7 @@ use armbar_core::prelude::*;
 use armbar_epcc::{
     latency_table, phase_breakdown, sim_overhead_ns, trace_episodes, EpisodeTrace, OverheadConfig,
 };
+use armbar_faults::{chaos_matrix, render_csv, render_json, Backend, ChaosConfig, Scenario};
 use armbar_model::{optimal_fanin_int, recommend_wakeup, WakeupChoice};
 use armbar_simcoh::Arena;
 use armbar_topology::{Platform, Topology};
@@ -30,6 +31,12 @@ USAGE:
       Per-episode arrival/notification timings plus coherence-op counter
       deltas (local/remote reads, RFO invalidation fan-out, stalls) as
       structured CSV or JSON.
+  armbar chaos [--platforms NAME,...] [--algos NAME,...] [--scenarios NAME,...]
+               [--backend sim|host|both] [--threads N] [--episodes N]
+               [--seed N] [--deadline-ms N] [--format csv|json] [--out FILE]
+      Fault-injection survival table: every algorithm x platform under
+      seeded straggler / latency / lost-wakeup / crash scenarios —
+      deterministic on the simulator, deadline-guarded on the host.
 
 Platforms match case-insensitively ignoring punctuation, as a positional
 argument or via --platform: phytium, thunderx2, kunpeng920, xeon.";
@@ -257,6 +264,108 @@ pub fn trace(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `armbar chaos [--platforms ...] [--algos ...] [--scenarios ...]
+/// [--backend sim|host|both] [--threads N] [--episodes N] [--seed N]
+/// [--deadline-ms N] [--format csv|json] [--out FILE]`
+pub fn chaos(rest: &[String]) -> Result<(), String> {
+    let defaults = ChaosConfig::default();
+
+    let platforms = match flag_value(rest, "--platforms").or_else(|| flag_value(rest, "--platform"))
+    {
+        Some(spec) => {
+            let mut out = Vec::new();
+            for part in spec.split(',') {
+                out.push(parse_platform(&[part.trim().to_string()])?);
+            }
+            out
+        }
+        // Default: the three ARM machines of the paper.
+        None => Platform::ARM.to_vec(),
+    };
+    let algorithms = if flag_value(rest, "--algos").is_some() {
+        parse_algos(rest)?
+    } else {
+        AlgorithmId::ALL.to_vec()
+    };
+    let scenarios = match flag_value(rest, "--scenarios") {
+        Some(spec) => {
+            let mut out = Vec::new();
+            for part in spec.split(',') {
+                let sc = Scenario::parse(part.trim()).ok_or_else(|| {
+                    format!(
+                        "unknown scenario {part:?} (known: {})",
+                        Scenario::ALL.map(Scenario::label).join(", ")
+                    )
+                })?;
+                out.push(sc);
+            }
+            out
+        }
+        None => defaults.scenarios,
+    };
+    let backends = match flag_value(rest, "--backend").as_deref() {
+        None => vec![Backend::Sim],
+        Some("both") => Backend::ALL.to_vec(),
+        Some(s) => vec![Backend::parse(s)
+            .ok_or_else(|| format!("unknown backend {s:?} (expected sim, host, or both)"))?],
+    };
+    let threads = match flag_value(rest, "--threads") {
+        Some(s) => match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad thread count {s:?} (need at least 1)")),
+            Ok(n) => n,
+        },
+        None => defaults.threads,
+    };
+    let episodes = match flag_value(rest, "--episodes") {
+        Some(s) => match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad episode count {s:?} (need at least 1)")),
+            Ok(n) => n,
+        },
+        None => defaults.episodes,
+    };
+    let seed = match flag_value(rest, "--seed") {
+        Some(s) => match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        }
+        .map_err(|_| format!("bad seed {s:?}"))?,
+        None => defaults.seed,
+    };
+    let deadline = match flag_value(rest, "--deadline-ms") {
+        Some(s) => match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad deadline {s:?} (need at least 1 ms)")),
+            Ok(ms) => std::time::Duration::from_millis(ms),
+        },
+        None => defaults.deadline,
+    };
+    let config = ChaosConfig {
+        platforms,
+        algorithms,
+        scenarios,
+        backends,
+        threads,
+        episodes,
+        seed,
+        deadline,
+    };
+    let format = flag_value(rest, "--format").unwrap_or_else(|| "csv".into());
+    if format != "csv" && format != "json" {
+        return Err(format!("unknown format {format:?} (expected csv or json)"));
+    }
+
+    let cells = chaos_matrix(&config);
+    let text =
+        if format == "csv" { render_csv(&cells, &config) } else { render_json(&cells, &config) };
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("wrote {} chaos cells to {path}", cells.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 /// Column order shared by the CSV header and both renderers.
 const TRACE_COLUMNS: &str = "episode,arrival_ns,notification_ns,total_ns,\
 local_reads,remote_reads,reader_contention,local_writes,remote_writes,\
@@ -457,6 +566,33 @@ mod tests {
             "json".into(),
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn chaos_runs_a_small_sim_matrix() {
+        chaos(&[
+            "--platforms".to_string(),
+            "kunpeng".into(),
+            "--algos".into(),
+            "SENSE,DIS".into(),
+            "--scenarios".into(),
+            "baseline,straggler,crash".into(),
+            "--threads".into(),
+            "4".into(),
+            "--seed".into(),
+            "0x7".into(),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn chaos_rejects_bad_flags() {
+        assert!(chaos(&["--scenarios".to_string(), "meteor".into()]).is_err());
+        assert!(chaos(&["--backend".to_string(), "quantum".into()]).is_err());
+        assert!(chaos(&["--threads".to_string(), "0".into()]).is_err());
+        assert!(chaos(&["--deadline-ms".to_string(), "0".into()]).is_err());
+        assert!(chaos(&["--seed".to_string(), "xyz".into()]).is_err());
+        assert!(chaos(&["--format".to_string(), "xml".into()]).is_err());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! armbar phases <platform> [--threads 64]
 //! armbar trace <platform> [--algorithm OPT] [--threads 64] [--episodes 8]
 //!              [--format csv|json] [--out FILE]
+//! armbar chaos [--platforms kunpeng,phytium] [--algos SENSE,OPT]
+//!              [--scenarios straggler,crash] [--backend sim|host|both]
+//!              [--threads 8] [--seed 0xC4A05] [--format csv|json]
 //! ```
 
 mod cmds;
@@ -27,6 +30,7 @@ fn main() -> ExitCode {
         "recommend" => cmds::recommend(rest),
         "phases" => cmds::phases(rest),
         "trace" => cmds::trace(rest),
+        "chaos" => cmds::chaos(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);
             Ok(())

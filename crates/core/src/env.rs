@@ -105,10 +105,10 @@ impl MemCtx for armbar_simcoh::SimThread {
         SimThread::fetch_add(self, addr, delta)
     }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
-        SimThread::spin_until(self, addr, move |v| v == value)
+        SimThread::spin_until_eq(self, addr, value)
     }
     fn spin_until_ge(&self, addr: Addr, value: u32) -> u32 {
-        SimThread::spin_until(self, addr, move |v| v >= value)
+        SimThread::spin_until_ge(self, addr, value)
     }
     fn spin_until_all_ge(&self, addrs: &[Addr], value: u32) {
         SimThread::spin_until_all_ge(self, addrs, value)

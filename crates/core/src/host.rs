@@ -7,21 +7,127 @@
 //! flag publication is Release, flag observation is Acquire, counters are
 //! AcqRel read-modify-writes.
 //!
-//! Spin loops issue [`std::hint::spin_loop`] and yield to the OS
-//! periodically, so barriers remain live even when threads are heavily
-//! oversubscribed (e.g. 64 simulated participants on a laptop core).
+//! Spin loops follow a three-stage [`SpinPolicy`]: busy spinning with
+//! [`std::hint::spin_loop`], then periodic `yield_now`, then capped
+//! exponential-backoff sleeping — so barriers stay live *and* stop burning
+//! whole cores when threads are heavily oversubscribed (e.g. 64 simulated
+//! participants on a laptop core). The thresholds are configurable per
+//! context ([`HostMem::ctx_with_policy`]) or process-wide via environment
+//! variables (`ARMBAR_SPIN_YIELD`, `ARMBAR_BACKOFF_CAP_US`).
 
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use armbar_simcoh::{Addr, Arena};
 
 use crate::env::MemCtx;
 
-/// How many spin iterations between `yield_now` calls. Low enough that an
-/// oversubscribed host makes progress, high enough that dedicated cores
-/// rarely leave userspace.
-const SPINS_PER_YIELD: u32 = 128;
+/// Staged waiting strategy for host spin loops: `spins_per_yield` busy
+/// iterations between yields, `yields_before_backoff` yields before the
+/// loop starts sleeping, then exponential backoff from `initial_backoff`
+/// doubling up to `max_backoff`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpinPolicy {
+    /// Busy-spin iterations between `yield_now` calls. Low enough that an
+    /// oversubscribed host makes progress, high enough that dedicated
+    /// cores rarely leave userspace.
+    pub spins_per_yield: u32,
+    /// Yields before the waiter escalates to sleeping.
+    pub yields_before_backoff: u32,
+    /// First sleep once backoff begins.
+    pub initial_backoff: Duration,
+    /// Ceiling of the exponential backoff — bounds worst-case wakeup
+    /// latency once a waiter has gone to sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for SpinPolicy {
+    fn default() -> Self {
+        Self {
+            spins_per_yield: 128,
+            yields_before_backoff: 64,
+            initial_backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl SpinPolicy {
+    /// The process-wide policy: the default, overridden by the environment
+    /// variables `ARMBAR_SPIN_YIELD` (spins between yields) and
+    /// `ARMBAR_BACKOFF_CAP_US` (backoff ceiling, microseconds; `0` disables
+    /// sleeping entirely). Read once and cached.
+    pub fn from_env() -> Self {
+        static CACHED: std::sync::OnceLock<SpinPolicy> = std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| {
+                Self::from_vars(
+                    std::env::var("ARMBAR_SPIN_YIELD").ok().as_deref(),
+                    std::env::var("ARMBAR_BACKOFF_CAP_US").ok().as_deref(),
+                )
+            })
+            .clone()
+    }
+
+    /// Applies the environment-variable overrides to the default policy.
+    /// Unparsable or zero `spin_yield` values are ignored; a `cap_us` of
+    /// zero turns backoff off (pure spin + yield).
+    fn from_vars(spin_yield: Option<&str>, cap_us: Option<&str>) -> Self {
+        let mut p = Self::default();
+        if let Some(n) = spin_yield.and_then(|s| s.trim().parse::<u32>().ok()) {
+            if n > 0 {
+                p.spins_per_yield = n;
+            }
+        }
+        if let Some(us) = cap_us.and_then(|s| s.trim().parse::<u64>().ok()) {
+            if us == 0 {
+                p.yields_before_backoff = u32::MAX;
+            } else {
+                p.max_backoff = Duration::from_micros(us);
+                p.initial_backoff = p.initial_backoff.min(p.max_backoff);
+            }
+        }
+        p
+    }
+
+    /// A fresh staged waiter following this policy.
+    pub fn waiter(&self) -> SpinWait<'_> {
+        SpinWait { policy: self, spins: 0, yields: 0, backoff: self.initial_backoff }
+    }
+}
+
+/// Cursor through one spin episode: call [`SpinWait::pause`] after every
+/// failed poll and it escalates spin → yield → capped exponential sleep.
+pub struct SpinWait<'a> {
+    policy: &'a SpinPolicy,
+    spins: u64,
+    yields: u32,
+    backoff: Duration,
+}
+
+impl SpinWait<'_> {
+    /// One wait step at the current escalation level.
+    pub fn pause(&mut self) {
+        self.spins += 1;
+        if !self.spins.is_multiple_of(self.policy.spins_per_yield as u64) {
+            std::hint::spin_loop();
+            return;
+        }
+        if self.yields < self.policy.yields_before_backoff {
+            self.yields += 1;
+            std::thread::yield_now();
+            return;
+        }
+        std::thread::sleep(self.backoff);
+        self.backoff = (self.backoff * 2).min(self.policy.max_backoff);
+    }
+
+    /// Failed polls so far.
+    pub fn spins(&self) -> u64 {
+        self.spins
+    }
+}
 
 /// A shared arena of host atomics matching an [`Arena`] layout.
 pub struct HostMem {
@@ -37,14 +143,29 @@ impl HostMem {
         Arc::new(Self { words })
     }
 
-    /// A per-thread operation context. `nthreads` is the number of barrier
+    /// A per-thread operation context using the process-wide
+    /// [`SpinPolicy::from_env`]. `nthreads` is the number of barrier
     /// participants; `tid` must be unique per participant.
     ///
     /// # Panics
     /// Panics if `tid >= nthreads`.
     pub fn ctx(self: &Arc<Self>, tid: usize, nthreads: usize) -> HostCtx {
+        self.ctx_with_policy(tid, nthreads, SpinPolicy::from_env())
+    }
+
+    /// Like [`HostMem::ctx`], but with an explicit spin policy — the
+    /// builder knob for callers that know their subscription level.
+    ///
+    /// # Panics
+    /// Panics if `tid >= nthreads`.
+    pub fn ctx_with_policy(
+        self: &Arc<Self>,
+        tid: usize,
+        nthreads: usize,
+        policy: SpinPolicy,
+    ) -> HostCtx {
         assert!(tid < nthreads, "tid {tid} out of range for {nthreads} threads");
-        HostCtx { mem: Arc::clone(self), tid, nthreads }
+        HostCtx { mem: Arc::clone(self), tid, nthreads, policy }
     }
 
     #[inline]
@@ -59,23 +180,24 @@ pub struct HostCtx {
     mem: Arc<HostMem>,
     tid: usize,
     nthreads: usize,
+    policy: SpinPolicy,
 }
 
 impl HostCtx {
+    /// This context's staged-waiting configuration.
+    pub fn policy(&self) -> &SpinPolicy {
+        &self.policy
+    }
+
     fn spin<F: Fn(u32) -> bool>(&self, addr: Addr, pred: F) -> u32 {
         let w = self.mem.word(addr);
-        let mut spins = 0u32;
+        let mut wait = self.policy.waiter();
         loop {
             let v = w.load(Ordering::Acquire);
             if pred(v) {
                 return v;
             }
-            spins += 1;
-            if spins.is_multiple_of(SPINS_PER_YIELD) {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            wait.pause();
         }
     }
 }
@@ -105,17 +227,12 @@ impl MemCtx for HostCtx {
     fn spin_until_all_ge(&self, addrs: &[Addr], value: u32) {
         // One polling loop over all flags: the loads of different lines
         // issue back-to-back, letting the misses overlap.
-        let mut spins = 0u32;
+        let mut wait = self.policy.waiter();
         loop {
             if addrs.iter().all(|&a| self.mem.word(a).load(Ordering::Acquire) >= value) {
                 return;
             }
-            spins += 1;
-            if spins.is_multiple_of(SPINS_PER_YIELD) {
-                std::thread::yield_now();
-            } else {
-                std::hint::spin_loop();
-            }
+            wait.pause();
         }
     }
     fn compute_ns(&self, ns: f64) {
@@ -216,5 +333,77 @@ mod tests {
         let t0 = std::time::Instant::now();
         ctx.compute_ns(2_000_000.0); // 2 ms
         assert!(t0.elapsed() >= std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn env_overrides_parse_and_clamp() {
+        let p = SpinPolicy::from_vars(Some("512"), Some("5000"));
+        assert_eq!(p.spins_per_yield, 512);
+        assert_eq!(p.max_backoff, Duration::from_millis(5));
+        assert!(p.initial_backoff <= p.max_backoff);
+
+        // Garbage and zero spin values fall back to the default.
+        let d = SpinPolicy::default();
+        assert_eq!(SpinPolicy::from_vars(Some("bogus"), None), d);
+        assert_eq!(SpinPolicy::from_vars(Some("0"), None).spins_per_yield, d.spins_per_yield);
+
+        // Cap of zero disables sleeping.
+        assert_eq!(SpinPolicy::from_vars(None, Some("0")).yields_before_backoff, u32::MAX);
+
+        // A cap below the initial sleep drags the initial sleep down.
+        let tight = SpinPolicy::from_vars(None, Some("1"));
+        assert_eq!(tight.initial_backoff, Duration::from_micros(1));
+    }
+
+    #[test]
+    fn spin_wait_escalates_to_sleeping() {
+        // One spin per yield and zero yields: every pause sleeps, so a
+        // handful of pauses must take measurable wall time and the backoff
+        // must stay capped.
+        let p = SpinPolicy {
+            spins_per_yield: 1,
+            yields_before_backoff: 0,
+            initial_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(400),
+        };
+        let mut w = p.waiter();
+        let t0 = std::time::Instant::now();
+        for _ in 0..4 {
+            w.pause();
+        }
+        // 100 + 200 + 400 + 400 us of sleeping, minus scheduler slop.
+        assert!(t0.elapsed() >= Duration::from_micros(900), "{:?}", t0.elapsed());
+        assert_eq!(w.spins(), 4);
+        assert_eq!(w.backoff, p.max_backoff);
+    }
+
+    #[test]
+    fn oversubscribed_spin_completes() {
+        // More waiter threads than the host is likely to have cores, all
+        // released by one late store: the staged policy must not starve the
+        // releasing thread.
+        let mut arena = Arena::new();
+        let flag = arena.alloc_u32();
+        let mem = HostMem::new(&arena);
+        let waiters = 16;
+        let policy = SpinPolicy {
+            spins_per_yield: 8,
+            yields_before_backoff: 4,
+            initial_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_micros(200),
+        };
+        std::thread::scope(|s| {
+            for t in 1..=waiters {
+                let mem = Arc::clone(&mem);
+                let policy = policy.clone();
+                s.spawn(move || {
+                    let ctx = mem.ctx_with_policy(t, waiters + 1, policy);
+                    assert_eq!(ctx.spin_until_eq(flag, 7), 7);
+                });
+            }
+            let ctx = mem.ctx(0, waiters + 1);
+            ctx.compute_ns(1_000_000.0); // 1 ms head start for the waiters
+            ctx.store(flag, 7);
+        });
     }
 }

@@ -49,6 +49,7 @@ pub mod algorithms;
 pub mod env;
 pub mod host;
 pub mod registry;
+pub mod robust;
 pub mod trees;
 pub mod wakeup;
 
@@ -57,16 +58,18 @@ pub use algorithms::{
     HyperBarrier, McsBarrier, SenseBarrier, TournamentBarrier,
 };
 pub use env::{Barrier, MemCtx};
-pub use host::{HostCtx, HostMem};
+pub use host::{HostCtx, HostMem, SpinPolicy};
 pub use registry::AlgorithmId;
+pub use robust::{BarrierError, PoisonGuard, RobustBarrier, RobustConfig};
 pub use wakeup::{Wakeup, WakeupKind};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::algorithms::fway::{Fanin, FwayBarrier, FwayConfig};
     pub use crate::env::{Barrier, MemCtx};
-    pub use crate::host::{HostCtx, HostMem};
+    pub use crate::host::{HostCtx, HostMem, SpinPolicy};
     pub use crate::registry::AlgorithmId;
+    pub use crate::robust::{BarrierError, RobustBarrier, RobustConfig};
     pub use crate::wakeup::WakeupKind;
 }
 

@@ -1,0 +1,504 @@
+//! Hardened episodes: deadlines and poisoning on top of any [`Barrier`].
+//!
+//! The algorithms in this crate, like the paper's, assume every participant
+//! arrives and every wakeup lands. On the host backend a violated
+//! assumption — a crashed participant, a store that never happened, a
+//! straggler that outlives everyone's patience — turns `wait` into an
+//! infinite spin. [`RobustBarrier`] makes those failures *observable*
+//! instead:
+//!
+//! * **Deadlines** — [`RobustBarrier::wait`] re-implements the inner
+//!   barrier's spin waits as bounded polling loops (same Acquire loads,
+//!   staged by a [`SpinPolicy`]) and returns
+//!   [`BarrierError::Timeout`] when an episode exceeds its deadline,
+//!   reporting the address the thread was stuck on and how many polls it
+//!   burned.
+//! * **Poisoning** — in the style of `std::sync::Mutex`: a participant
+//!   that panics while holding a [`PoisonGuard`] (or while inside `wait`)
+//!   marks the barrier poisoned, and every current and future waiter fails
+//!   fast with [`BarrierError::Poisoned`] rather than spinning until its
+//!   own deadline. A timeout also poisons, so one detected hang releases
+//!   the whole team at the speed of a cache-line invalidation.
+//!
+//! The wrapper is backend-agnostic (it only speaks [`MemCtx`]), but it is
+//! *aimed at the host*: the simulator already converts these failures into
+//! typed `SimError`s at zero cost, and its virtual clock makes wall-clock
+//! deadlines meaningless there. Use raw barriers under simulation and
+//! `RobustBarrier` on real threads.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use armbar_simcoh::{Addr, Arena};
+
+use crate::env::{Barrier, MemCtx};
+use crate::host::SpinPolicy;
+
+/// How a hardened episode failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BarrierError {
+    /// The episode did not complete within the deadline. `addr` is the
+    /// word this thread was spinning on when time ran out and `spins` how
+    /// many failed polls it had accumulated there — enough to tell a lost
+    /// wakeup (stuck on the wake flag) from a missing arrival (stuck on a
+    /// peer's arrival flag).
+    Timeout { tid: usize, addr: Addr, spins: u64 },
+    /// Another participant (`by`) crashed or timed out and poisoned the
+    /// barrier; this thread failed fast instead of waiting for a wakeup
+    /// that can never come.
+    Poisoned { tid: usize, by: usize },
+}
+
+impl std::fmt::Display for BarrierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BarrierError::Timeout { tid, addr, spins } => write!(
+                f,
+                "barrier timeout: t{tid} gave up on addr {addr:#x} after {spins} failed polls"
+            ),
+            BarrierError::Poisoned { tid, by } => {
+                write!(f, "barrier poisoned: t{tid} failed fast (poisoned by t{by})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BarrierError {}
+
+/// Deadline and waiting strategy for a [`RobustBarrier`].
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// Per-`wait` deadline. Generous by default: a deadline exists to turn
+    /// a hang into an error, not to race healthy episodes.
+    pub deadline: Duration,
+    /// Staged spin/yield/backoff policy for the bounded waits.
+    pub policy: SpinPolicy,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        Self { deadline: Duration::from_secs(5), policy: SpinPolicy::from_env() }
+    }
+}
+
+/// Typed unwind payload used to exit an inner `wait` that can no longer
+/// succeed. Caught by [`RobustBarrier::wait_deadline`] and converted into a
+/// [`BarrierError`]; never escapes this module.
+enum WaitAbort {
+    Timeout { addr: Addr, spins: u64 },
+    Poisoned { by: usize },
+}
+
+/// A [`Barrier`] wrapper adding deadlines and std-Mutex-style poisoning.
+///
+/// All mutable state (the poison word) lives in the shared arena, so one
+/// instance is shared by all participants exactly like the barrier it
+/// wraps, on either backend.
+pub struct RobustBarrier {
+    inner: Box<dyn Barrier>,
+    /// Padded poison word: `0` = healthy, `tid + 1` = poisoned by `tid`.
+    poison: Addr,
+    config: RobustConfig,
+}
+
+impl RobustBarrier {
+    /// Wraps `inner`, allocating the poison word from `arena` alone on a
+    /// `line_bytes`-sized cache line (so fail-fast polling never false-shares
+    /// with barrier state). Must be called before the arena is materialized.
+    pub fn new(
+        arena: &mut Arena,
+        line_bytes: usize,
+        inner: Box<dyn Barrier>,
+        config: RobustConfig,
+    ) -> Self {
+        let poison = arena.alloc_padded_u32(line_bytes);
+        Self { inner, poison, config }
+    }
+
+    /// The wrapped barrier's label.
+    pub fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    /// Who poisoned the barrier, if anyone.
+    pub fn poisoned_by(&self, ctx: &dyn MemCtx) -> Option<usize> {
+        match ctx.load(self.poison) {
+            0 => None,
+            tid1 => Some(tid1 as usize - 1),
+        }
+    }
+
+    /// Clears the poison mark so a *new team* can reuse the allocation.
+    /// Best-effort: the wrapped barrier's own state (counters, epoch flags)
+    /// may still reflect the interrupted episode; monotonic epoch-based
+    /// algorithms usually self-heal on the next episode, counter-based
+    /// ones may not. Prefer rebuilding the barrier after a failure.
+    pub fn clear_poison(&self, ctx: &dyn MemCtx) {
+        ctx.store(self.poison, 0);
+    }
+
+    /// An episode guard for the calling participant: while it is live, a
+    /// panic on this thread poisons the barrier so blocked peers fail fast
+    /// (the host-backend analogue of `SimError::ThreadPanic`). Hold it
+    /// across the whole parallel section, not just the `wait` calls.
+    pub fn guard<'a>(&'a self, ctx: &'a dyn MemCtx) -> PoisonGuard<'a> {
+        PoisonGuard { poison: self.poison, ctx, armed: true }
+    }
+
+    /// Blocks until all participants arrive, the configured deadline
+    /// expires, or the barrier is poisoned.
+    pub fn wait(&self, ctx: &dyn MemCtx) -> Result<(), BarrierError> {
+        self.wait_deadline(ctx, self.config.deadline)
+    }
+
+    /// [`RobustBarrier::wait`] with an explicit deadline for this episode.
+    ///
+    /// On timeout the barrier is poisoned (so peers stuck in the same dead
+    /// episode fail fast as [`BarrierError::Poisoned`]) and the wrapped
+    /// barrier's state must be considered lost — see
+    /// [`RobustBarrier::clear_poison`].
+    pub fn wait_deadline(&self, ctx: &dyn MemCtx, deadline: Duration) -> Result<(), BarrierError> {
+        silence_wait_aborts();
+        if let Some(by) = self.poisoned_by(ctx) {
+            return Err(BarrierError::Poisoned { tid: ctx.tid(), by });
+        }
+        let bounded = BoundedCtx {
+            inner: ctx,
+            poison: self.poison,
+            deadline: Instant::now() + deadline,
+            policy: self.config.policy.clone(),
+        };
+        match catch_unwind(AssertUnwindSafe(|| self.inner.wait(&bounded))) {
+            Ok(()) => Ok(()),
+            Err(payload) => match payload.downcast::<WaitAbort>() {
+                Ok(abort) => Err(match *abort {
+                    WaitAbort::Timeout { addr, spins } => {
+                        // Poison so peers blocked on the same dead episode
+                        // fail fast instead of each burning a full deadline.
+                        ctx.store(self.poison, ctx.tid() as u32 + 1);
+                        BarrierError::Timeout { tid: ctx.tid(), addr, spins }
+                    }
+                    WaitAbort::Poisoned { by } => BarrierError::Poisoned { tid: ctx.tid(), by },
+                }),
+                Err(other) => {
+                    // A genuine panic inside the wrapped algorithm: poison
+                    // for the peers, then let the panic keep unwinding.
+                    ctx.store(self.poison, ctx.tid() as u32 + 1);
+                    resume_unwind(other);
+                }
+            },
+        }
+    }
+}
+
+/// The [`WaitAbort`] escape is an implementation detail: it is always
+/// caught by `wait_deadline`, so the default panic hook must not spray a
+/// "Box<dyn Any>" message and backtrace on every timeout.
+fn silence_wait_aborts() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<WaitAbort>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Poisons the barrier if dropped during a panic — see
+/// [`RobustBarrier::guard`].
+pub struct PoisonGuard<'a> {
+    poison: Addr,
+    ctx: &'a dyn MemCtx,
+    armed: bool,
+}
+
+impl PoisonGuard<'_> {
+    /// Consumes the guard without poisoning even if a panic is in flight
+    /// (for participants that leave the team in an orderly way).
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            self.ctx.store(self.poison, self.ctx.tid() as u32 + 1);
+        }
+    }
+}
+
+/// Poll-check cadence of the bounded spin loops: the poison word is read
+/// and the clock consulted every this many failed polls. The poison line is
+/// shared read-mostly, so the checks stay out of the coherence traffic of
+/// the barrier's own flags; the first check happens on the first failed
+/// poll so poisoning is noticed even at tiny deadlines.
+const CHECK_EVERY: u64 = 64;
+
+/// A [`MemCtx`] view that re-implements the spin waits as bounded polling
+/// loops over `load`, escaping by unwinding with a [`WaitAbort`] when the
+/// deadline passes or the poison word is set. Everything else forwards.
+struct BoundedCtx<'a> {
+    inner: &'a dyn MemCtx,
+    poison: Addr,
+    deadline: Instant,
+    policy: SpinPolicy,
+}
+
+impl BoundedCtx<'_> {
+    /// Deadline/poison check, rate-limited by the poll counter; diverges
+    /// (by unwinding) when the episode is lost.
+    fn check(&self, stuck_at: Addr, polls: u64) {
+        if !polls.is_multiple_of(CHECK_EVERY) {
+            return;
+        }
+        let p = self.inner.load(self.poison);
+        if p != 0 {
+            std::panic::panic_any(WaitAbort::Poisoned { by: p as usize - 1 });
+        }
+        if Instant::now() >= self.deadline {
+            std::panic::panic_any(WaitAbort::Timeout { addr: stuck_at, spins: polls });
+        }
+    }
+
+    fn poll(&self, addr: Addr, pred: impl Fn(u32) -> bool) -> u32 {
+        let mut wait = self.policy.waiter();
+        loop {
+            let v = self.inner.load(addr);
+            if pred(v) {
+                return v;
+            }
+            self.check(addr, wait.spins());
+            wait.pause();
+        }
+    }
+}
+
+impl MemCtx for BoundedCtx<'_> {
+    fn tid(&self) -> usize {
+        self.inner.tid()
+    }
+    fn nthreads(&self) -> usize {
+        self.inner.nthreads()
+    }
+    fn load(&self, addr: Addr) -> u32 {
+        self.inner.load(addr)
+    }
+    fn store(&self, addr: Addr, value: u32) {
+        self.inner.store(addr, value)
+    }
+    fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
+        self.inner.fetch_add(addr, delta)
+    }
+    fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
+        self.poll(addr, |v| v == value)
+    }
+    fn spin_until_ge(&self, addr: Addr, value: u32) -> u32 {
+        self.poll(addr, |v| v >= value)
+    }
+    fn spin_until_all_ge(&self, addrs: &[Addr], value: u32) {
+        let mut wait = self.policy.waiter();
+        loop {
+            match addrs.iter().find(|&&a| self.inner.load(a) < value) {
+                None => return,
+                Some(&stuck) => self.check(stuck, wait.spins()),
+            }
+            wait.pause();
+        }
+    }
+    fn compute_ns(&self, ns: f64) {
+        self.inner.compute_ns(ns)
+    }
+    fn mark(&self, label: u32) {
+        self.inner.mark(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostMem;
+    use crate::registry::AlgorithmId;
+    use armbar_topology::{Platform, Topology};
+    use std::sync::Arc;
+
+    fn fast_config(deadline_ms: u64) -> RobustConfig {
+        RobustConfig {
+            deadline: Duration::from_millis(deadline_ms),
+            policy: SpinPolicy {
+                yields_before_backoff: 8,
+                max_backoff: Duration::from_micros(200),
+                ..SpinPolicy::default()
+            },
+        }
+    }
+
+    /// The last arriver "forgets" its release store: a lost wakeup.
+    struct LostWakeup {
+        counter: Addr,
+        wake: Addr,
+    }
+
+    impl Barrier for LostWakeup {
+        fn wait(&self, ctx: &dyn MemCtx) {
+            let p = ctx.nthreads() as u32;
+            if ctx.fetch_add(self.counter, 1) < p - 1 {
+                ctx.spin_until_eq(self.wake, 1);
+            }
+        }
+        fn name(&self) -> &str {
+            "lost-wakeup"
+        }
+    }
+
+    #[test]
+    fn healthy_episodes_pass_through() {
+        let topo = Topology::preset(Platform::Kunpeng920);
+        let p = 4;
+        let mut arena = Arena::new();
+        let inner = AlgorithmId::Optimized.build(&mut arena, p, &topo);
+        let robust = Arc::new(RobustBarrier::new(&mut arena, 64, inner, RobustConfig::default()));
+        assert_eq!(robust.name(), "OPT");
+        let mem = HostMem::new(&arena);
+        std::thread::scope(|s| {
+            for tid in 0..p {
+                let mem = Arc::clone(&mem);
+                let robust = Arc::clone(&robust);
+                s.spawn(move || {
+                    let ctx = mem.ctx(tid, p);
+                    for _ in 0..50 {
+                        robust.wait(&ctx).unwrap();
+                    }
+                    assert_eq!(robust.poisoned_by(&ctx), None);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn lost_wakeup_times_out_and_poisons() {
+        let p = 4;
+        let mut arena = Arena::new();
+        let inner = Box::new(LostWakeup {
+            counter: arena.alloc_padded_u32(64),
+            wake: arena.alloc_padded_u32(64),
+        });
+        let robust = Arc::new(RobustBarrier::new(&mut arena, 64, inner, fast_config(300)));
+        let mem = HostMem::new(&arena);
+        let t0 = Instant::now();
+        let results: Vec<Result<(), BarrierError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|tid| {
+                    let mem = Arc::clone(&mem);
+                    let robust = Arc::clone(&robust);
+                    s.spawn(move || robust.wait(&mem.ctx(tid, p)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // The last arriver returns Ok (it never waits); every waiter gets a
+        // typed error, at least one of them the primary Timeout.
+        assert!(t0.elapsed() < Duration::from_secs(10), "waiters must not hang");
+        let oks = results.iter().filter(|r| r.is_ok()).count();
+        let timeouts =
+            results.iter().filter(|r| matches!(r, Err(BarrierError::Timeout { .. }))).count();
+        let errors = results.len() - oks;
+        assert_eq!(oks, 1, "{results:?}");
+        assert_eq!(errors, p - 1, "{results:?}");
+        assert!(timeouts >= 1, "{results:?}");
+        let ctx = mem.ctx(0, p);
+        assert!(robust.poisoned_by(&ctx).is_some());
+        // Later arrivals fail fast without waiting out a deadline.
+        let t1 = Instant::now();
+        assert!(matches!(robust.wait(&ctx), Err(BarrierError::Poisoned { .. })));
+        assert!(t1.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn crashed_participant_poisons_waiters() {
+        let topo = Topology::preset(Platform::ThunderX2);
+        let p = 4;
+        let mut arena = Arena::new();
+        let inner = AlgorithmId::Mcs.build(&mut arena, p, &topo);
+        let robust = Arc::new(RobustBarrier::new(&mut arena, 64, inner, fast_config(5_000)));
+        let mem = HostMem::new(&arena);
+        let results: Vec<Result<(), BarrierError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|tid| {
+                    let mem = Arc::clone(&mem);
+                    let robust = Arc::clone(&robust);
+                    s.spawn(move || {
+                        let ctx = mem.ctx(tid, p);
+                        if tid == 2 {
+                            // Dies before ever reaching the barrier; the
+                            // guard poisons on the way out.
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                let _guard = robust.guard(&ctx);
+                                panic!("injected crash");
+                            }));
+                            assert!(r.is_err());
+                            return Err(BarrierError::Poisoned { tid, by: tid });
+                        }
+                        robust.wait(&ctx)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (tid, r) in results.iter().enumerate() {
+            if tid == 2 {
+                continue;
+            }
+            match r {
+                Err(BarrierError::Poisoned { by, .. }) => assert_eq!(*by, 2),
+                other => panic!("t{tid}: expected Poisoned, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disarmed_guard_does_not_poison() {
+        let mut arena = Arena::new();
+        let topo = Topology::preset(Platform::Kunpeng920);
+        let inner = AlgorithmId::Sense.build(&mut arena, 1, &topo);
+        let robust = RobustBarrier::new(&mut arena, 64, inner, RobustConfig::default());
+        let mem = HostMem::new(&arena);
+        let ctx = mem.ctx(0, 1);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let guard = robust.guard(&ctx);
+            guard.disarm();
+            panic!("after disarm");
+        }));
+        assert!(r.is_err());
+        assert_eq!(robust.poisoned_by(&ctx), None);
+    }
+
+    #[test]
+    fn clear_poison_restores_service() {
+        let mut arena = Arena::new();
+        let topo = Topology::preset(Platform::Kunpeng920);
+        let inner = AlgorithmId::Sense.build(&mut arena, 1, &topo);
+        let robust = RobustBarrier::new(&mut arena, 64, inner, RobustConfig::default());
+        let mem = HostMem::new(&arena);
+        let ctx = mem.ctx(0, 1);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = robust.guard(&ctx);
+            panic!("poison it");
+        }));
+        assert!(r.is_err());
+        assert!(matches!(robust.wait(&ctx), Err(BarrierError::Poisoned { .. })));
+        robust.clear_poison(&ctx);
+        robust.wait(&ctx).unwrap();
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let t = BarrierError::Timeout { tid: 3, addr: 0x40, spins: 999 };
+        let s = t.to_string();
+        assert!(s.contains("t3") && s.contains("0x40") && s.contains("999"), "{s}");
+        let p = BarrierError::Poisoned { tid: 1, by: 2 };
+        assert!(p.to_string().contains("poisoned by t2"));
+    }
+}

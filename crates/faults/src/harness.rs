@@ -1,0 +1,453 @@
+//! The chaos matrix: algorithms × platforms × scenarios → survival table.
+//!
+//! Each cell runs one barrier under one seeded [`Scenario`] and classifies
+//! the result:
+//!
+//! * **simulator cells** are fully deterministic — faults surface as typed
+//!   [`SimError`]s (deadlock, panic, live-lock) and the same seed replays
+//!   the same table bit-for-bit;
+//! * **host cells** run real threads under [`RobustBarrier`], so a fault
+//!   can never hang the harness past the configured deadline — it surfaces
+//!   as a typed `BarrierError` instead. Survivable scenarios classify
+//!   deterministically; for lost wakeups the *detection* is deterministic
+//!   on the simulator while the host guarantees bounded-time detection
+//!   (which error each peer reports depends on thread interleaving, so the
+//!   table collapses them into one status).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use armbar_core::{
+    AlgorithmId, Barrier, BarrierError, HostMem, RobustBarrier, RobustConfig, SpinPolicy,
+};
+use armbar_simcoh::{Arena, SimBuilder, SimError};
+use armbar_topology::{Platform, Topology};
+
+use crate::plan::{FaultPlan, Scenario};
+use crate::FaultyCtx;
+
+/// Which execution backend a chaos cell ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The deterministic coherence simulator.
+    Sim,
+    /// Real threads on host atomics, deadline-guarded by `RobustBarrier`.
+    Host,
+}
+
+impl Backend {
+    /// Both backends, in table order.
+    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Host];
+
+    /// Stable table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Host => "host",
+        }
+    }
+
+    /// Parses a table label (case-insensitive), for CLI use.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.to_ascii_lowercase();
+        Self::ALL.into_iter().find(|b| b.label() == s)
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What to run: the cross product of everything listed here, in listed
+/// order (the row order of the survival table is fully determined).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Modeled machines (the simulator charges their coherence costs; the
+    /// host uses their cache-line size for arena layout).
+    pub platforms: Vec<Platform>,
+    /// Barrier algorithms under test.
+    pub algorithms: Vec<AlgorithmId>,
+    /// Fault scenarios per algorithm.
+    pub scenarios: Vec<Scenario>,
+    /// Execution backends.
+    pub backends: Vec<Backend>,
+    /// Participating threads per cell.
+    pub threads: usize,
+    /// Barrier episodes per cell (keep ≥ 3 so every planned fault fires).
+    pub episodes: u32,
+    /// Master seed: plans, victims, and jitter all derive from it.
+    pub seed: u64,
+    /// Per-episode deadline for host cells.
+    pub deadline: Duration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            platforms: vec![Platform::Kunpeng920],
+            algorithms: AlgorithmId::ALL.to_vec(),
+            scenarios: Scenario::ALL.to_vec(),
+            backends: vec![Backend::Sim],
+            threads: 8,
+            episodes: 3,
+            seed: 0xC4A05,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// How one cell ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// All threads completed every episode.
+    Completed,
+    /// The fault was caught by a typed error; `mechanism` names how.
+    Detected { mechanism: String },
+    /// The episode hung and the deadline tripped (host only) — the fault
+    /// was detected, but only as lost progress.
+    TimedOut,
+}
+
+/// One row of the survival table.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Execution backend.
+    pub backend: Backend,
+    /// Modeled machine.
+    pub platform: Platform,
+    /// Barrier algorithm.
+    pub algorithm: AlgorithmId,
+    /// Injected scenario.
+    pub scenario: Scenario,
+    /// Participating threads.
+    pub threads: usize,
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+}
+
+impl ChaosCell {
+    /// Table status: `ok` (baseline completed), `recovered` (completed
+    /// despite planned faults), `detected` (typed error), or `timed-out`.
+    pub fn status(&self) -> &'static str {
+        match (&self.outcome, self.scenario) {
+            (CellOutcome::Completed, Scenario::Baseline) => "ok",
+            (CellOutcome::Completed, _) => "recovered",
+            (CellOutcome::Detected { .. }, _) => "detected",
+            (CellOutcome::TimedOut, _) => "timed-out",
+        }
+    }
+
+    /// Free-text detail for `detected` rows, empty otherwise.
+    pub fn detail(&self) -> &str {
+        match &self.outcome {
+            CellOutcome::Detected { mechanism } => mechanism,
+            _ => "",
+        }
+    }
+}
+
+/// Runs the full matrix described by `config` and returns one cell per
+/// (backend × platform × algorithm × scenario) combination, in that
+/// nesting order.
+pub fn chaos_matrix(config: &ChaosConfig) -> Vec<ChaosCell> {
+    silence_injected_crashes();
+    let mut cells = Vec::new();
+    for &backend in &config.backends {
+        for &platform in &config.platforms {
+            for &algorithm in &config.algorithms {
+                for &scenario in &config.scenarios {
+                    let outcome = match backend {
+                        Backend::Sim => run_sim_cell(platform, algorithm, scenario, config),
+                        Backend::Host => run_host_cell(platform, algorithm, scenario, config),
+                    };
+                    cells.push(ChaosCell {
+                        backend,
+                        platform,
+                        algorithm,
+                        scenario,
+                        threads: config.threads,
+                        outcome,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Keeps planned crashes from spraying panic messages and backtraces over
+/// the survival table: they are expected, caught, and classified.
+fn silence_injected_crashes() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            if !msg.is_some_and(|m| m.starts_with("injected crash")) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_sim_cell(
+    platform: Platform,
+    algorithm: AlgorithmId,
+    scenario: Scenario,
+    config: &ChaosConfig,
+) -> CellOutcome {
+    let topo = Arc::new(Topology::preset(platform));
+    let p = config.threads.min(topo.num_cores());
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(algorithm.build(&mut arena, p, &topo));
+    let plan = FaultPlan::scenario(scenario, config.seed, p);
+    let episodes = config.episodes;
+    let result = SimBuilder::new(topo, p).seed(config.seed).run(move |sim| {
+        let ctx = FaultyCtx::new(sim, &plan);
+        for _ in 0..episodes {
+            barrier.wait(&ctx);
+        }
+    });
+    match result {
+        Ok(_) => CellOutcome::Completed,
+        Err(SimError::Deadlock { waiters }) => CellOutcome::Detected {
+            mechanism: match waiters.first() {
+                Some(w) => format!("deadlock; {} blocked; first: {w}", waiters.len()),
+                None => "deadlock".to_string(),
+            },
+        },
+        Err(SimError::ThreadPanic { tid, .. }) => {
+            CellOutcome::Detected { mechanism: format!("panic; t{tid} died mid-episode") }
+        }
+        Err(SimError::OpBudgetExhausted { .. }) => {
+            CellOutcome::Detected { mechanism: "live-lock; op budget exhausted".to_string() }
+        }
+    }
+}
+
+fn run_host_cell(
+    platform: Platform,
+    algorithm: AlgorithmId,
+    scenario: Scenario,
+    config: &ChaosConfig,
+) -> CellOutcome {
+    let topo = Topology::preset(platform);
+    let p = config.threads.min(topo.num_cores());
+    let mut arena = Arena::new();
+    let inner = algorithm.build(&mut arena, p, &topo);
+    let robust = RobustBarrier::new(
+        &mut arena,
+        topo.cacheline_bytes(),
+        inner,
+        RobustConfig { deadline: config.deadline, policy: SpinPolicy::from_env() },
+    );
+    let plan = FaultPlan::scenario(scenario, config.seed, p);
+    let mem = HostMem::new(&arena);
+    let episodes = config.episodes;
+
+    // Per-thread verdicts: did it finish, fail typed, or crash?
+    enum Verdict {
+        Done,
+        Failed(#[allow(dead_code)] BarrierError),
+        Crashed,
+    }
+
+    let verdicts: Vec<Verdict> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|tid| {
+                let robust = &robust;
+                let plan = &plan;
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    let host = mem.ctx(tid, p);
+                    let ctx = FaultyCtx::new(&host, plan);
+                    let body = || -> Result<(), BarrierError> {
+                        let guard = robust.guard(&ctx);
+                        for _ in 0..episodes {
+                            robust.wait(&ctx)?;
+                        }
+                        guard.disarm();
+                        Ok(())
+                    };
+                    match catch_unwind(AssertUnwindSafe(body)) {
+                        Ok(Ok(())) => Verdict::Done,
+                        Ok(Err(e)) => Verdict::Failed(e),
+                        Err(_) => Verdict::Crashed, // injected crash; guard poisoned
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker must not die unwound")).collect()
+    });
+
+    // Aggregate with a fixed precedence so the cell outcome does not depend
+    // on which peer happened to observe the failure first:
+    // crash > timeout/poison > completed.
+    if verdicts.iter().any(|v| matches!(v, Verdict::Crashed)) {
+        return CellOutcome::Detected {
+            mechanism: "panic; crash poisoned the episode".to_string(),
+        };
+    }
+    if verdicts.iter().any(|v| matches!(v, Verdict::Failed(_))) {
+        return CellOutcome::TimedOut;
+    }
+    CellOutcome::Completed
+}
+
+/// Renders cells as CSV with a `#`-prefixed provenance header. Contains no
+/// wall-clock values, so equal seeds yield byte-identical output.
+pub fn render_csv(cells: &[ChaosCell], config: &ChaosConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# chaos: seed {:#x}, episodes {}, deadline {} ms\n",
+        config.seed,
+        config.episodes,
+        config.deadline.as_millis()
+    ));
+    out.push_str("backend,platform,threads,algorithm,scenario,status,detail\n");
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            c.backend,
+            c.platform.label(),
+            c.threads,
+            c.algorithm.label(),
+            c.scenario,
+            c.status(),
+            c.detail()
+        ));
+    }
+    out
+}
+
+/// Renders cells as a JSON document (same fields as the CSV).
+pub fn render_json(cells: &[ChaosCell], config: &ChaosConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", config.seed));
+    out.push_str(&format!("  \"episodes\": {},\n", config.episodes));
+    out.push_str(&format!("  \"deadline_ms\": {},\n", config.deadline.as_millis()));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"platform\": \"{}\", \"threads\": {}, \
+             \"algorithm\": \"{}\", \"scenario\": \"{}\", \"status\": \"{}\", \
+             \"detail\": \"{}\"}}{}\n",
+            c.backend,
+            c.platform.label(),
+            c.threads,
+            c.algorithm.label(),
+            c.scenario,
+            c.status(),
+            c.detail().replace('"', "'"),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ChaosConfig {
+        ChaosConfig {
+            algorithms: vec![AlgorithmId::Sense, AlgorithmId::Dissemination],
+            threads: 4,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn sim_matrix_classifies_survivable_scenarios_as_survived() {
+        let cells = chaos_matrix(&small_config());
+        for c in &cells {
+            if Scenario::SURVIVABLE.contains(&c.scenario) {
+                assert!(
+                    matches!(c.outcome, CellOutcome::Completed),
+                    "{}/{}/{} should survive, got {:?}",
+                    c.algorithm.label(),
+                    c.scenario,
+                    c.backend,
+                    c.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_matrix_detects_crashes_with_typed_errors() {
+        let cells = chaos_matrix(&small_config());
+        for c in cells.iter().filter(|c| c.scenario == Scenario::Crash) {
+            assert!(
+                matches!(&c.outcome, CellOutcome::Detected { mechanism } if mechanism.starts_with("panic")),
+                "{}: crash must surface as a panic, got {:?}",
+                c.algorithm.label(),
+                c.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn sim_matrix_replays_bit_identically() {
+        let config = small_config();
+        let a = render_csv(&chaos_matrix(&config), &config);
+        let b = render_csv(&chaos_matrix(&config), &config);
+        assert_eq!(a, b);
+        let mut reseeded = small_config();
+        reseeded.seed ^= 1;
+        let c = render_csv(&chaos_matrix(&reseeded), &reseeded);
+        assert_ne!(a, c, "different seed must perturb the table");
+    }
+
+    #[test]
+    fn host_cells_never_hang_and_report_typed_outcomes() {
+        let config = ChaosConfig {
+            backends: vec![Backend::Host],
+            algorithms: vec![AlgorithmId::Dissemination],
+            scenarios: vec![Scenario::Baseline, Scenario::LostWakeup, Scenario::Crash],
+            threads: 4,
+            deadline: Duration::from_millis(300),
+            ..ChaosConfig::default()
+        };
+        let cells = chaos_matrix(&config);
+        assert_eq!(cells.len(), 3);
+        assert!(matches!(cells[0].outcome, CellOutcome::Completed), "{:?}", cells[0].outcome);
+        // Dissemination: every thread stores a flag each round, so the
+        // dropped store always hangs the episode -> deadline trips.
+        assert!(matches!(cells[1].outcome, CellOutcome::TimedOut), "{:?}", cells[1].outcome);
+        assert!(
+            matches!(&cells[2].outcome, CellOutcome::Detected { mechanism } if mechanism.starts_with("panic")),
+            "{:?}",
+            cells[2].outcome
+        );
+    }
+
+    #[test]
+    fn renderers_are_stable_and_quote_free() {
+        let config = ChaosConfig {
+            algorithms: vec![AlgorithmId::Sense],
+            scenarios: vec![Scenario::Baseline, Scenario::Crash],
+            threads: 2,
+            ..ChaosConfig::default()
+        };
+        let cells = chaos_matrix(&config);
+        let csv = render_csv(&cells, &config);
+        assert!(csv.starts_with("# chaos: seed 0xc4a05"));
+        assert_eq!(csv.lines().count(), 2 + cells.len());
+        for line in csv.lines().skip(2) {
+            assert_eq!(line.matches(',').count(), 6, "unescaped comma in: {line}");
+        }
+        let json = render_json(&cells, &config);
+        assert!(json.contains("\"scenario\": \"crash\""));
+        assert!(json.contains("\"status\": \"detected\""));
+    }
+}

@@ -1,0 +1,253 @@
+//! Declarative, seeded fault plans.
+
+use armbar_simcoh::rng::SplitMix64;
+
+/// One injected fault. Thread-targeted faults name their victim
+/// explicitly so a plan is self-describing in test output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The victim's first memory operation is preceded by `delay_ns` of
+    /// extra compute: it arrives late at every barrier after that point.
+    Straggler { tid: usize, delay_ns: f64 },
+    /// The victim's `nth_store` (1-based, counted across its lifetime) is
+    /// silently dropped — the classic lost wakeup / lost arrival.
+    LostWakeup { tid: usize, nth_store: u64 },
+    /// The victim panics when its operation count reaches `after_ops` —
+    /// a participant crashing mid-episode.
+    Crash { tid: usize, after_ops: u64 },
+    /// Every thread's memory operations are preceded by a seeded random
+    /// delay in `[0, max_extra_ns)` — OS noise, SMIs, frequency wobble.
+    Latency { max_extra_ns: f64 },
+}
+
+/// The named fault scenarios of the chaos matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// No faults — the control row of the survival table.
+    Baseline,
+    /// One seeded victim arrives late.
+    Straggler,
+    /// All threads see perturbed operation latency.
+    Latency,
+    /// One seeded victim drops one seeded store.
+    LostWakeup,
+    /// One seeded victim crashes after a few operations.
+    Crash,
+}
+
+impl Scenario {
+    /// Every scenario, in survival-table row order.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Baseline,
+        Scenario::Straggler,
+        Scenario::Latency,
+        Scenario::LostWakeup,
+        Scenario::Crash,
+    ];
+
+    /// Scenarios a correct barrier must *absorb* (complete despite the
+    /// fault), as opposed to ones it can only *detect*.
+    pub const SURVIVABLE: [Scenario; 3] =
+        [Scenario::Baseline, Scenario::Straggler, Scenario::Latency];
+
+    /// Stable table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::Straggler => "straggler",
+            Scenario::Latency => "latency",
+            Scenario::LostWakeup => "lost-wakeup",
+            Scenario::Crash => "crash",
+        }
+    }
+
+    /// Parses a table label (case-insensitive), for CLI use.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.to_ascii_lowercase();
+        Self::ALL.into_iter().find(|sc| sc.label() == s)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A deterministic set of faults to inject into one run. The seed feeds
+/// both the plan generation ([`FaultPlan::scenario`]) and the per-thread
+/// jitter streams of [`crate::FaultyCtx`], so a `(plan, program)` pair
+/// replays bit-identically.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (inject nothing) with the given jitter seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, faults: Vec::new() }
+    }
+
+    /// Adds a fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The seeded realization of a named scenario for `p` threads: victim
+    /// choice and fault parameters are drawn from `seed`, so the same
+    /// `(scenario, seed, p)` triple always builds the same plan.
+    pub fn scenario(scenario: Scenario, seed: u64, p: usize) -> Self {
+        assert!(p >= 1, "need at least one thread");
+        // Mix the scenario into the stream so each matrix row draws
+        // independent victims from one user-facing seed.
+        let mix = (scenario.label().len() as u64) << 56;
+        let mut rng = SplitMix64::new(seed ^ mix ^ 0xFA_17);
+        let victim = (rng.next_u64() % p as u64) as usize;
+        let plan = Self::new(seed);
+        match scenario {
+            Scenario::Baseline => plan,
+            Scenario::Straggler => plan.with(Fault::Straggler {
+                tid: victim,
+                // 50–150 µs: several barrier episodes long on every modeled
+                // machine, far below any sane host deadline.
+                delay_ns: 50_000.0 + rng.next_f64() * 100_000.0,
+            }),
+            Scenario::Latency => {
+                plan.with(Fault::Latency { max_extra_ns: 100.0 + rng.next_f64() * 400.0 })
+            }
+            // Bounds chosen so the fault is guaranteed to fire within a
+            // three-episode run of even the leanest algorithm (the central
+            // counter does ~2 ops and ≤ 1 store per thread per episode).
+            Scenario::LostWakeup => {
+                plan.with(Fault::LostWakeup { tid: victim, nth_store: 1 + rng.next_u64() % 3 })
+            }
+            Scenario::Crash => {
+                plan.with(Fault::Crash { tid: victim, after_ops: 2 + rng.next_u64() % 4 })
+            }
+        }
+    }
+
+    /// The jitter seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The planned faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Straggler delay for `tid`, if planned (summed if several).
+    pub(crate) fn straggler_delay(&self, tid: usize) -> Option<f64> {
+        let total: f64 = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Straggler { tid: t, delay_ns } if *t == tid => Some(*delay_ns),
+                _ => None,
+            })
+            .sum();
+        (total > 0.0).then_some(total)
+    }
+
+    /// The store ordinal to drop for `tid`, if planned.
+    pub(crate) fn lost_store(&self, tid: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::LostWakeup { tid: t, nth_store } if *t == tid => Some(*nth_store),
+            _ => None,
+        })
+    }
+
+    /// The op count at which `tid` crashes, if planned.
+    pub(crate) fn crash_after(&self, tid: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Crash { tid: t, after_ops } if *t == tid => Some(*after_ops),
+            _ => None,
+        })
+    }
+
+    /// The latency-perturbation amplitude, if planned.
+    pub(crate) fn latency_amp(&self) -> Option<f64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::Latency { max_extra_ns } => Some(*max_extra_ns),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_in_the_seed() {
+        for sc in Scenario::ALL {
+            let a = FaultPlan::scenario(sc, 42, 8);
+            let b = FaultPlan::scenario(sc, 42, 8);
+            assert_eq!(a.faults(), b.faults(), "{sc}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_pick_different_victims_eventually() {
+        let victims: std::collections::HashSet<usize> = (0..32)
+            .filter_map(|seed| match FaultPlan::scenario(Scenario::Crash, seed, 8).faults()[0] {
+                Fault::Crash { tid, .. } => Some(tid),
+                _ => None,
+            })
+            .collect();
+        assert!(victims.len() > 1, "32 seeds never varied the victim");
+    }
+
+    #[test]
+    fn victims_stay_in_range() {
+        for seed in 0..64 {
+            for p in [1usize, 2, 7, 64] {
+                for sc in [Scenario::Straggler, Scenario::LostWakeup, Scenario::Crash] {
+                    for f in FaultPlan::scenario(sc, seed, p).faults() {
+                        let tid = match f {
+                            Fault::Straggler { tid, .. }
+                            | Fault::LostWakeup { tid, .. }
+                            | Fault::Crash { tid, .. } => *tid,
+                            Fault::Latency { .. } => 0,
+                        };
+                        assert!(tid < p, "{sc} seed {seed}: victim {tid} out of range {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_plans_nothing() {
+        assert!(FaultPlan::scenario(Scenario::Baseline, 7, 4).faults().is_empty());
+    }
+
+    #[test]
+    fn accessors_filter_by_tid() {
+        let plan = FaultPlan::new(0)
+            .with(Fault::Straggler { tid: 1, delay_ns: 10.0 })
+            .with(Fault::Straggler { tid: 1, delay_ns: 5.0 })
+            .with(Fault::LostWakeup { tid: 2, nth_store: 3 })
+            .with(Fault::Crash { tid: 0, after_ops: 9 })
+            .with(Fault::Latency { max_extra_ns: 50.0 });
+        assert_eq!(plan.straggler_delay(1), Some(15.0));
+        assert_eq!(plan.straggler_delay(0), None);
+        assert_eq!(plan.lost_store(2), Some(3));
+        assert_eq!(plan.lost_store(1), None);
+        assert_eq!(plan.crash_after(0), Some(9));
+        assert_eq!(plan.latency_amp(), Some(50.0));
+    }
+
+    #[test]
+    fn scenario_labels_round_trip() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.label()), Some(sc));
+            assert_eq!(Scenario::parse(&sc.label().to_uppercase()), Some(sc));
+        }
+        assert_eq!(Scenario::parse("nonsense"), None);
+    }
+}

@@ -16,7 +16,7 @@ use parking_lot::{Condvar, Mutex};
 use armbar_topology::{CoreId, Topology};
 
 use crate::arena::Addr;
-use crate::error::SimError;
+use crate::error::{DeadlockWaiter, SimError, WaitKind};
 use crate::line::{CoreSet, Line};
 use crate::rng::SplitMix64;
 use crate::stats::{CoherenceCounters, Mark, OpKind, RunStats};
@@ -39,7 +39,7 @@ enum OpReq {
     Load(Addr),
     Store(Addr, u32),
     FetchAdd(Addr, u32),
-    SpinUntil(Addr, Pred),
+    SpinUntil(Addr, Pred, WaitKind),
     /// Wait until every listed word is ≥ the epoch. The fetches of the
     /// involved lines overlap (memory-level parallelism), unlike a chain of
     /// `SpinUntil`s.
@@ -151,8 +151,24 @@ impl SimThread {
     /// value. While blocked, this thread holds a read copy of the line, so
     /// every intervening write pays invalidation costs to it — exactly the
     /// crowd effect of hardware spin-waiting.
+    ///
+    /// The predicate is opaque to deadlock diagnostics; prefer
+    /// [`SimThread::spin_until_eq`] / [`SimThread::spin_until_ge`] when the
+    /// condition has one of those shapes, so a hang reports its target.
     pub fn spin_until(&self, addr: Addr, pred: impl Fn(u32) -> bool + Send + 'static) -> u32 {
-        self.call_value(OpReq::SpinUntil(addr, Box::new(pred)))
+        self.call_value(OpReq::SpinUntil(addr, Box::new(pred), WaitKind::Pred))
+    }
+
+    /// Spins until the word at `addr` equals `value`. Identical costs to
+    /// [`SimThread::spin_until`], but a deadlock report names the target.
+    pub fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
+        self.call_value(OpReq::SpinUntil(addr, Box::new(move |v| v == value), WaitKind::Eq(value)))
+    }
+
+    /// Spins until the word at `addr` is ≥ `value` (monotonic epochs), with
+    /// the target recorded for deadlock diagnostics.
+    pub fn spin_until_ge(&self, addr: Addr, value: u32) -> u32 {
+        self.call_value(OpReq::SpinUntil(addr, Box::new(move |v| v >= value), WaitKind::Ge(value)))
     }
 
     /// Spins until every word in `addrs` is ≥ `value`. A polling loop over
@@ -215,6 +231,8 @@ struct Waiter {
     tid: usize,
     addrs: Vec<Addr>,
     cond: WaitCond,
+    /// Reporting-only copy of the wait condition for deadlock diagnostics.
+    kind: WaitKind,
 }
 
 /// Configures and launches simulations.
@@ -428,8 +446,23 @@ impl Engine {
         }
     }
 
-    fn drain_waiter_info(&mut self) -> Vec<(usize, u32)> {
-        self.waiters.drain(..).map(|w| (w.tid, w.addrs[0])).collect()
+    fn drain_waiter_info(&mut self) -> Vec<DeadlockWaiter> {
+        let values = &self.values;
+        let value_of = |a: Addr| *values.get(&a).unwrap_or(&0);
+        self.waiters
+            .drain(..)
+            .map(|w| {
+                // For batched waits, point at the first flag still below the
+                // epoch — that is the arrival the waiter never observed.
+                let addr = match w.kind {
+                    WaitKind::AllGe(epoch) => {
+                        w.addrs.iter().copied().find(|&a| value_of(a) < epoch).unwrap_or(w.addrs[0])
+                    }
+                    _ => w.addrs[0],
+                };
+                DeadlockWaiter { tid: w.tid, addr, kind: w.kind, last_value: value_of(addr) }
+            })
+            .collect()
     }
 
     fn abort(&mut self, g: &mut parking_lot::MutexGuard<'_, State>, shared: &Shared) {
@@ -560,7 +593,7 @@ impl Engine {
             OpReq::Load(a)
             | OpReq::Store(a, _)
             | OpReq::FetchAdd(a, _)
-            | OpReq::SpinUntil(a, _) => {
+            | OpReq::SpinUntil(a, _, _) => {
                 let key = *a / self.topo.cacheline_bytes() as u32;
                 self.lines.entry(key).or_default().available_at
             }
@@ -598,7 +631,7 @@ impl Engine {
                 self.wake_waiters(g, shared, addr, tid);
                 self.reply(g, shared, tid, Reply::Value(old));
             }
-            OpReq::SpinUntil(addr, pred) => {
+            OpReq::SpinUntil(addr, pred, kind) => {
                 let v = self.value(addr);
                 self.do_read(tid, addr);
                 if pred(v) {
@@ -609,6 +642,7 @@ impl Engine {
                         tid,
                         addrs: vec![addr],
                         cond: WaitCond::Pred(pred),
+                        kind,
                     });
                 }
             }
@@ -618,7 +652,12 @@ impl Engine {
                     self.reply(g, shared, tid, Reply::Value(epoch));
                 } else {
                     g.slots[tid].parked = true;
-                    self.waiters.push(Waiter { tid, addrs, cond: WaitCond::AllGe(epoch) });
+                    self.waiters.push(Waiter {
+                        tid,
+                        addrs,
+                        cond: WaitCond::AllGe(epoch),
+                        kind: WaitKind::AllGe(epoch),
+                    });
                 }
             }
             OpReq::Compute(ns) => {
@@ -1014,6 +1053,53 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn deadlock_reports_wait_kind_and_target() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        let b = arena.alloc_padded_u32(64);
+        let err = SimBuilder::new(topo(), 2)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.spin_until_eq(a, 3);
+                } else {
+                    ctx.spin_until_ge(b, 7);
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { waiters } => {
+                let w0 = waiters.iter().find(|w| w.tid == 0).unwrap();
+                assert_eq!((w0.addr, w0.kind, w0.last_value), (a, WaitKind::Eq(3), 0));
+                let w1 = waiters.iter().find(|w| w.tid == 1).unwrap();
+                assert_eq!((w1.addr, w1.kind), (b, WaitKind::Ge(7)));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn batched_deadlock_points_at_the_missing_flag() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_padded_u32(64);
+        let b = arena.alloc_padded_u32(64);
+        let err = SimBuilder::new(topo(), 1)
+            .run(move |ctx| {
+                ctx.store(a, 1); // a satisfied, b never written
+                ctx.spin_until_all_ge(&[a, b], 1);
+            })
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { waiters } => {
+                assert_eq!(waiters.len(), 1);
+                assert_eq!(waiters[0].addr, b, "must name the flag still unsatisfied");
+                assert_eq!(waiters[0].kind, WaitKind::AllGe(1));
+                assert_eq!(waiters[0].last_value, 0);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
     }
 
     #[test]

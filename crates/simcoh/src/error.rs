@@ -1,15 +1,67 @@
 //! Simulation failure modes.
 
+/// What a blocked simulated thread was waiting *for* — recorded when the
+/// thread parks so that a deadlock report can say not just where a thread
+/// was stuck but what condition could never be met (a lost-wakeup report
+/// reads "t3 on addr 0x40 waiting for == 1" instead of a bare address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// `spin_until_eq`: waiting for the word to equal the value.
+    Eq(u32),
+    /// `spin_until_ge`: waiting for the word to reach the epoch.
+    Ge(u32),
+    /// `spin_until_all_ge`: waiting for *every* watched word to reach the
+    /// epoch; the reported address is one that had not yet.
+    AllGe(u32),
+    /// An opaque `spin_until` predicate (no target value recoverable).
+    Pred,
+}
+
+impl std::fmt::Display for WaitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitKind::Eq(v) => write!(f, "== {v}"),
+            WaitKind::Ge(v) => write!(f, ">= {v}"),
+            WaitKind::AllGe(v) => write!(f, "all >= {v}"),
+            WaitKind::Pred => write!(f, "<predicate>"),
+        }
+    }
+}
+
+/// One thread blocked forever in a deadlocked simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlockWaiter {
+    /// The blocked thread.
+    pub tid: usize,
+    /// The address it was spinning on (for all-ge waits: the first watched
+    /// address still below the epoch).
+    pub addr: u32,
+    /// The condition that could never be satisfied.
+    pub kind: WaitKind,
+    /// The word's value at detection time — what the waiter actually saw.
+    pub last_value: u32,
+}
+
+impl std::fmt::Display for DeadlockWaiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "t{} on addr {:#x} waiting for {} (saw {})",
+            self.tid, self.addr, self.kind, self.last_value
+        )
+    }
+}
+
 /// Why a simulation could not complete.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// Every live simulated thread is blocked in `spin_until` and no write
     /// can ever satisfy any of them: the program under simulation (usually
     /// a barrier implementation) has deadlocked.
     ///
-    /// Carries the ids of the blocked threads and the addresses they were
-    /// spinning on.
-    Deadlock { waiters: Vec<(usize, u32)> },
+    /// Carries, per blocked thread, the address it was spinning on, the
+    /// wait condition, and the value last observed there.
+    Deadlock { waiters: Vec<DeadlockWaiter> },
     /// The simulation exceeded the configured operation budget — a live-lock
     /// or runaway loop in the simulated program.
     OpBudgetExhausted { ops: u64 },
@@ -22,11 +74,11 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Deadlock { waiters } => {
                 write!(f, "simulated deadlock: {} thread(s) blocked forever: ", waiters.len())?;
-                for (i, (tid, addr)) in waiters.iter().enumerate() {
+                for (i, w) in waiters.iter().enumerate() {
                     if i > 0 {
                         write!(f, ", ")?;
                     }
-                    write!(f, "t{tid} on addr {addr:#x}")?;
+                    write!(f, "{w}")?;
                 }
                 Ok(())
             }
@@ -47,11 +99,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn deadlock_message_lists_waiters() {
-        let e = SimError::Deadlock { waiters: vec![(0, 0x40), (3, 0x80)] };
+    fn deadlock_message_lists_waiters_with_conditions() {
+        let e = SimError::Deadlock {
+            waiters: vec![
+                DeadlockWaiter { tid: 0, addr: 0x40, kind: WaitKind::Eq(1), last_value: 0 },
+                DeadlockWaiter { tid: 3, addr: 0x80, kind: WaitKind::Ge(7), last_value: 6 },
+            ],
+        };
         let s = e.to_string();
-        assert!(s.contains("t0 on addr 0x40"), "{s}");
-        assert!(s.contains("t3 on addr 0x80"), "{s}");
+        assert!(s.contains("t0 on addr 0x40 waiting for == 1 (saw 0)"), "{s}");
+        assert!(s.contains("t3 on addr 0x80 waiting for >= 7 (saw 6)"), "{s}");
+    }
+
+    #[test]
+    fn wait_kind_display_covers_all_variants() {
+        assert_eq!(WaitKind::Eq(2).to_string(), "== 2");
+        assert_eq!(WaitKind::Ge(3).to_string(), ">= 3");
+        assert_eq!(WaitKind::AllGe(4).to_string(), "all >= 4");
+        assert_eq!(WaitKind::Pred.to_string(), "<predicate>");
     }
 
     #[test]

@@ -64,5 +64,5 @@ pub mod stats;
 
 pub use arena::{Addr, Arena};
 pub use engine::{SimBuilder, SimThread};
-pub use error::SimError;
+pub use error::{DeadlockWaiter, SimError, WaitKind};
 pub use stats::{CoherenceCounters, CoherenceStats, LineTraffic, Mark, OpKind, RunStats};

@@ -10,6 +10,7 @@
 
 pub use armbar_core as core;
 pub use armbar_epcc as epcc;
+pub use armbar_faults as faults;
 pub use armbar_model as model;
 pub use armbar_simcoh as simcoh;
 pub use armbar_topology as topology;

@@ -1,10 +1,16 @@
-//! Failure injection: the simulator must *diagnose* broken synchronization
-//! rather than hang — deadlocked barriers, panicking participants, and
-//! live-locked programs all surface as typed errors.
+//! Failure injection: *both* backends must diagnose broken synchronization
+//! rather than hang. The simulator reports deadlocked barriers, panicking
+//! participants, and live-locked programs as typed `SimError`s; the host
+//! turns the same failures into typed `BarrierError`s via `RobustBarrier`
+//! deadlines and poisoning; and the seeded chaos matrix replays the whole
+//! story deterministically.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use armbar::core::prelude::*;
+use armbar::core::HostMem;
+use armbar::faults::{chaos_matrix, render_csv, Backend, ChaosConfig, Scenario};
 use armbar::simcoh::{Arena, SimBuilder, SimError};
 use armbar::{Platform, Topology};
 
@@ -106,6 +112,124 @@ fn runaway_loop_hits_the_op_budget() {
         })
         .unwrap_err();
     assert!(matches!(err, SimError::OpBudgetExhausted { .. }), "{err}");
+}
+
+#[test]
+fn host_lost_wakeup_times_out_within_the_deadline() {
+    // The same broken barrier, on real threads: without RobustBarrier this
+    // spins forever; with it, the hang becomes a typed Timeout and the
+    // poison releases the rest of the team long before their own deadlines.
+    let p = 4;
+    let deadline = Duration::from_millis(300);
+    let topo = Topology::preset(Platform::Kunpeng920);
+    let mut arena = Arena::new();
+    let inner: Box<dyn Barrier> = Box::new(LostWakeupBarrier::new(&mut arena));
+    let robust = RobustBarrier::new(
+        &mut arena,
+        topo.cacheline_bytes(),
+        inner,
+        RobustConfig { deadline, ..RobustConfig::default() },
+    );
+    let mem = HostMem::new(&arena);
+
+    let start = Instant::now();
+    let results: Vec<Result<(), BarrierError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|tid| {
+                let robust = &robust;
+                let mem = Arc::clone(&mem);
+                s.spawn(move || robust.wait(&mem.ctx(tid, p)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    // The non-releasing last arrival sails through; everyone else fails
+    // typed: at least one primary Timeout, the rest fail fast as Poisoned.
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 1);
+    assert!(results.iter().any(|r| matches!(r, Err(BarrierError::Timeout { .. }))), "{results:?}");
+    for r in &results {
+        assert!(
+            !matches!(r, Err(BarrierError::Timeout { spins: 0, .. })),
+            "a timeout must report its failed polls: {r:?}"
+        );
+    }
+    // One deadline (plus scheduling slack), not one deadline per waiter.
+    assert!(elapsed < deadline * 4, "took {elapsed:?} for a {deadline:?} deadline");
+}
+
+#[test]
+fn host_crashed_participant_poisons_the_waiters() {
+    let p = 4;
+    let topo = Topology::preset(Platform::Kunpeng920);
+    let mut arena = Arena::new();
+    let inner = AlgorithmId::Mcs.build(&mut arena, p, &topo);
+    let robust = RobustBarrier::new(
+        &mut arena,
+        topo.cacheline_bytes(),
+        inner,
+        RobustConfig { deadline: Duration::from_secs(5), ..RobustConfig::default() },
+    );
+    let mem = HostMem::new(&arena);
+
+    let results: Vec<Option<Result<(), BarrierError>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|tid| {
+                let robust = &robust;
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    let ctx = mem.ctx(tid, p);
+                    let guard = robust.guard(&ctx);
+                    if tid == 2 {
+                        panic!("injected failure in participant 2");
+                    }
+                    let r = robust.wait(&ctx);
+                    guard.disarm();
+                    r
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().ok()).collect()
+    });
+
+    assert!(results[2].is_none(), "the crasher itself must unwind");
+    for (tid, r) in results.iter().enumerate().filter(|&(tid, _)| tid != 2) {
+        match r {
+            Some(Err(BarrierError::Poisoned { by: 2, .. })) => {}
+            other => panic!("t{tid}: expected Poisoned by t2, got {other:?}"),
+        }
+    }
+    let probe = mem.ctx(0, p);
+    assert_eq!(robust.poisoned_by(&probe), Some(2));
+}
+
+#[test]
+fn chaos_matrix_replays_byte_identically() {
+    // The acceptance smoke: same seed, same survival table, bit for bit —
+    // and every algorithm absorbs the survivable scenarios.
+    let config = ChaosConfig {
+        platforms: vec![Platform::Kunpeng920, Platform::ThunderX2],
+        scenarios: Scenario::SURVIVABLE.to_vec(),
+        backends: vec![Backend::Sim],
+        threads: 8,
+        ..ChaosConfig::default()
+    };
+    let first = chaos_matrix(&config);
+    assert_eq!(first.len(), 2 * AlgorithmId::ALL.len() * Scenario::SURVIVABLE.len());
+    for cell in &first {
+        assert!(
+            matches!(cell.status(), "ok" | "recovered"),
+            "{}/{} on {}: {:?}",
+            cell.algorithm.label(),
+            cell.scenario,
+            cell.platform.label(),
+            cell.outcome
+        );
+    }
+    let a = render_csv(&first, &config);
+    let b = render_csv(&chaos_matrix(&config), &config);
+    assert_eq!(a, b, "same seed must reproduce the same survival table");
 }
 
 #[test]
