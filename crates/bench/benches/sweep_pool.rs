@@ -1,0 +1,36 @@
+//! Sweep-engine benchmark: the same quick-scale curve through a serial
+//! pool and a parallel one.
+//!
+//! The scientific output is identical by construction (the determinism
+//! tests pin that); what criterion measures here is the wall-clock payoff
+//! of fanning the per-point simulations out across workers. On a
+//! single-core runner the two groups coincide — the speedup column is
+//! only meaningful on multi-core hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use armbar_core::prelude::*;
+use armbar_experiments::runner::{algo_curve_on, topo};
+use armbar_experiments::Scale;
+use armbar_sweep::SweepPool;
+use armbar_topology::Platform;
+
+fn bench_sweep_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_pool_quick_curve");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let t = topo(Platform::Kunpeng920);
+    let scale = Scale::quick();
+    let workers = armbar_sweep::available_parallelism();
+    println!("[sweep] {workers} worker(s) available");
+    for (label, pool) in [("serial", SweepPool::new(1)), ("parallel", SweepPool::new(workers))] {
+        group.bench_with_input(BenchmarkId::new(label, pool.workers()), &(), |b, _| {
+            b.iter(|| algo_curve_on(&pool, &t, AlgorithmId::Optimized, &scale));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_pool);
+criterion_main!(benches);

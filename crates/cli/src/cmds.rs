@@ -6,9 +6,10 @@ use armbar_core::prelude::*;
 use armbar_epcc::{
     latency_table, phase_breakdown, sim_overhead_ns, trace_episodes, EpisodeTrace, OverheadConfig,
 };
-use armbar_faults::{chaos_matrix, render_csv, render_json, Backend, ChaosConfig, Scenario};
+use armbar_faults::{chaos_matrix_on, render_csv, render_json, Backend, ChaosConfig, Scenario};
 use armbar_model::{optimal_fanin_int, recommend_wakeup, WakeupChoice};
-use armbar_simcoh::Arena;
+use armbar_simcoh::{Arena, SimError};
+use armbar_sweep::{Job, SweepPool};
 use armbar_topology::{Platform, Topology};
 
 /// Top-level usage text.
@@ -20,26 +21,30 @@ USAGE:
       List the built-in machine models.
   armbar latency <platform>
       Regenerate the machine's core-to-core latency table (Tables I-III).
-  armbar sweep <platform> [--threads N,N,...] [--algos NAME,NAME,...]
+  armbar sweep <platform> [--threads N,N,...] [--algos NAME,NAME,...] [--jobs N]
       Simulated barrier overhead per algorithm and thread count.
   armbar recommend <platform> [--threads N]
       Model-driven configuration (fan-in, wake-up) with validation runs.
   armbar phases <platform> [--threads N]
       Arrival/notification phase breakdown of the marked algorithms.
-  armbar trace <platform> [--algorithm NAME] [--threads N] [--episodes N]
-               [--format csv|json] [--out FILE]
+  armbar trace <platform> [--algorithm NAME[,NAME,...]] [--threads N]
+               [--episodes N] [--jobs N] [--format csv|json] [--out FILE]
       Per-episode arrival/notification timings plus coherence-op counter
       deltas (local/remote reads, RFO invalidation fan-out, stalls) as
-      structured CSV or JSON.
+      structured CSV or JSON. Several algorithms trace concurrently.
   armbar chaos [--platforms NAME,...] [--algos NAME,...] [--scenarios NAME,...]
                [--backend sim|host|both] [--threads N] [--episodes N]
-               [--seed N] [--deadline-ms N] [--format csv|json] [--out FILE]
+               [--seed N] [--deadline-ms N] [--jobs N] [--format csv|json]
+               [--out FILE]
       Fault-injection survival table: every algorithm x platform under
       seeded straggler / latency / lost-wakeup / crash scenarios —
       deterministic on the simulator, deadline-guarded on the host.
 
-Platforms match case-insensitively ignoring punctuation, as a positional
-argument or via --platform: phytium, thunderx2, kunpeng920, xeon.";
+Sweeps fan out over min(--jobs | ARMBAR_JOBS, available cores) workers;
+results are byte-identical at any worker count (host-backend cells always
+run serially — they measure wall time). Platforms match case-insensitively
+ignoring punctuation, as a positional argument or via --platform: phytium,
+thunderx2, kunpeng920, xeon.";
 
 /// Parses `--flag value` style options out of `rest`; returns the value.
 fn flag_value(rest: &[String], flag: &str) -> Option<String> {
@@ -87,6 +92,18 @@ fn parse_threads(rest: &[String], default: &[usize], max: usize) -> Result<Vec<u
         return Err("--threads needs at least one value".into());
     }
     Ok(out)
+}
+
+/// `--jobs N` → a pool of `min(N, available cores)` workers; without the
+/// flag, the ambient pool (`ARMBAR_JOBS` or all cores).
+fn parse_pool(rest: &[String]) -> Result<SweepPool, String> {
+    match flag_value(rest, "--jobs") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(SweepPool::new(n.min(armbar_sweep::available_parallelism()))),
+            _ => Err(format!("bad --jobs value {s:?} (need a positive integer)")),
+        },
+        None => Ok(SweepPool::ambient()),
+    }
 }
 
 fn parse_algos(rest: &[String]) -> Result<Vec<AlgorithmId>, String> {
@@ -139,12 +156,27 @@ pub fn latency(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `armbar sweep <platform> [--threads ...] [--algos ...]`
+/// `armbar sweep <platform> [--threads ...] [--algos ...] [--jobs N]`
 pub fn sweep(rest: &[String]) -> Result<(), String> {
     let platform = parse_platform(rest)?;
     let topo = Arc::new(Topology::preset(platform));
     let threads = parse_threads(rest, &[2, 4, 8, 16, 32, 64], topo.num_cores())?;
     let algos = parse_algos(rest)?;
+    let pool = parse_pool(rest)?;
+
+    // One independent simulation per (threads × algorithm) cell, fanned
+    // out over the pool; results come back in submission (row-major)
+    // order, so the table prints exactly as the serial path would.
+    let topo_ref = &topo;
+    let jobs: Vec<Job<'_, Result<f64, SimError>>> = threads
+        .iter()
+        .flat_map(|&p| {
+            algos.iter().map(move |&id| {
+                Job::parallel(move || sim_overhead_ns(topo_ref, p, id, OverheadConfig::default()))
+            })
+        })
+        .collect();
+    let mut cells = pool.run(jobs).into_iter();
 
     println!("barrier overhead (us/episode) on simulated {}:", topo.name());
     print!("{:>8}", "threads");
@@ -154,9 +186,8 @@ pub fn sweep(rest: &[String]) -> Result<(), String> {
     println!();
     for &p in &threads {
         print!("{p:>8}");
-        for &id in &algos {
-            let ns = sim_overhead_ns(&topo, p, id, OverheadConfig::default())
-                .map_err(|e| e.to_string())?;
+        for _ in &algos {
+            let ns = cells.next().expect("cell count mismatch").map_err(|e| e.to_string())?;
             print!("{:>11.2}", ns / 1000.0);
         }
         println!();
@@ -221,16 +252,23 @@ pub fn phases(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `armbar trace <platform> [--algorithm NAME] [--threads N] [--episodes N]
-/// [--format csv|json] [--out FILE]`
+/// `armbar trace <platform> [--algorithm NAME[,NAME,...]] [--threads N]
+/// [--episodes N] [--jobs N] [--format csv|json] [--out FILE]`
 pub fn trace(rest: &[String]) -> Result<(), String> {
     let platform = parse_platform(rest)?;
     let topo = Arc::new(Topology::preset(platform));
     let p = parse_threads(rest, &[topo.num_cores()], topo.num_cores())?[0];
-    let algo = match flag_value(rest, "--algorithm").or_else(|| flag_value(rest, "--algo")) {
-        Some(s) => AlgorithmId::parse(&s)
-            .ok_or_else(|| format!("unknown algorithm {s:?} (try SENSE, DIS, OPT, ...)"))?,
-        None => AlgorithmId::Optimized,
+    let algos = match flag_value(rest, "--algorithm").or_else(|| flag_value(rest, "--algo")) {
+        Some(spec) => {
+            let mut out = Vec::new();
+            for part in spec.split(',') {
+                out.push(AlgorithmId::parse(part.trim()).ok_or_else(|| {
+                    format!("unknown algorithm {part:?} (try SENSE, DIS, OPT, ...)")
+                })?);
+            }
+            out
+        }
+        None => vec![AlgorithmId::Optimized],
     };
     let episodes: u32 = match flag_value(rest, "--episodes") {
         Some(s) => s.parse().map_err(|_| format!("bad episode count {s:?}"))?,
@@ -243,21 +281,49 @@ pub fn trace(rest: &[String]) -> Result<(), String> {
     if format != "csv" && format != "json" {
         return Err(format!("unknown format {format:?} (expected csv or json)"));
     }
+    let pool = parse_pool(rest)?;
 
-    let mut arena = Arena::new();
-    let barrier: Arc<dyn Barrier> = Arc::from(algo.build(&mut arena, p, &topo));
+    // One deterministic simulation per algorithm; concurrent traces
+    // cannot perturb each other, and output order follows the flag order.
     let cfg = OverheadConfig { episodes, ..OverheadConfig::default() };
-    let traces = trace_episodes(&topo, p, barrier, cfg).map_err(|e| e.to_string())?;
+    let topo_ref = &topo;
+    let jobs: Vec<Job<'_, Result<Vec<EpisodeTrace>, String>>> = algos
+        .iter()
+        .map(|&algo| {
+            Job::parallel(move || {
+                let mut arena = Arena::new();
+                let barrier: Arc<dyn Barrier> = Arc::from(algo.build(&mut arena, p, topo_ref));
+                trace_episodes(topo_ref, p, barrier, cfg).map_err(|e| e.to_string())
+            })
+        })
+        .collect();
+    let per_algo: Vec<Vec<EpisodeTrace>> = pool.run(jobs).into_iter().collect::<Result<_, _>>()?;
 
     let text = if format == "csv" {
-        trace_csv(&topo, p, algo, &traces)
+        // Multiple algorithms concatenate as self-describing CSV blocks
+        // (each carries its own `#` provenance header).
+        algos
+            .iter()
+            .zip(&per_algo)
+            .map(|(&algo, traces)| trace_csv(&topo, p, algo, traces))
+            .collect::<String>()
+    } else if let ([algo], [traces]) = (algos.as_slice(), per_algo.as_slice()) {
+        trace_json(&topo, p, *algo, traces)
     } else {
-        trace_json(&topo, p, algo, &traces)
+        // Multiple algorithms become a JSON array of the per-algorithm
+        // documents.
+        let docs: Vec<String> = algos
+            .iter()
+            .zip(&per_algo)
+            .map(|(&algo, traces)| trace_json(&topo, p, algo, traces).trim_end().to_string())
+            .collect();
+        format!("[\n{}\n]\n", docs.join(",\n"))
     };
+    let total: usize = per_algo.iter().map(Vec::len).sum();
     match flag_value(rest, "--out") {
         Some(path) => {
             std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
-            eprintln!("wrote {} episodes to {path}", traces.len());
+            eprintln!("wrote {total} episodes to {path}");
         }
         None => print!("{text}"),
     }
@@ -266,7 +332,7 @@ pub fn trace(rest: &[String]) -> Result<(), String> {
 
 /// `armbar chaos [--platforms ...] [--algos ...] [--scenarios ...]
 /// [--backend sim|host|both] [--threads N] [--episodes N] [--seed N]
-/// [--deadline-ms N] [--format csv|json] [--out FILE]`
+/// [--deadline-ms N] [--jobs N] [--format csv|json] [--out FILE]`
 pub fn chaos(rest: &[String]) -> Result<(), String> {
     let defaults = ChaosConfig::default();
 
@@ -352,8 +418,9 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
     if format != "csv" && format != "json" {
         return Err(format!("unknown format {format:?} (expected csv or json)"));
     }
+    let pool = parse_pool(rest)?;
 
-    let cells = chaos_matrix(&config);
+    let cells = chaos_matrix_on(&pool, &config);
     let text =
         if format == "csv" { render_csv(&cells, &config) } else { render_json(&cells, &config) };
     match flag_value(rest, "--out") {
@@ -600,5 +667,58 @@ mod tests {
         assert!(trace(&["phytium".to_string(), "--episodes".into(), "0".into()]).is_err());
         assert!(trace(&["phytium".to_string(), "--format".into(), "xml".into()]).is_err());
         assert!(trace(&["phytium".to_string(), "--algorithm".into(), "bogus".into()]).is_err());
+        assert!(trace(&["phytium".to_string(), "--algorithm".into(), "OPT,bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_clamps() {
+        assert_eq!(parse_pool(&[]).unwrap().workers(), SweepPool::ambient().workers());
+        assert_eq!(parse_pool(&["--jobs".to_string(), "1".into()]).unwrap().workers(), 1);
+        let big = parse_pool(&["--jobs".to_string(), "9999".into()]).unwrap();
+        assert!(big.workers() <= armbar_sweep::available_parallelism());
+        assert!(parse_pool(&["--jobs".to_string(), "0".into()]).is_err());
+        assert!(parse_pool(&["--jobs".to_string(), "lots".into()]).is_err());
+    }
+
+    #[test]
+    fn trace_handles_multiple_algorithms() {
+        // Two algorithms through the pool: runs end-to-end and writes one
+        // CSV block per algorithm, in flag order.
+        let out = std::env::temp_dir().join("armbar_trace_multi.csv");
+        trace(&[
+            "thunderx2".to_string(),
+            "--algorithm".into(),
+            "SENSE,OPT".into(),
+            "--threads".into(),
+            "8".into(),
+            "--episodes".into(),
+            "2".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        let headers: Vec<&str> = text.lines().filter(|l| l.starts_with("# trace:")).collect();
+        assert_eq!(headers.len(), 2);
+        assert!(headers[0].contains("SENSE"));
+        assert!(headers[1].contains("OPT"));
+    }
+
+    #[test]
+    fn sweep_accepts_jobs_flag() {
+        sweep(&[
+            "kunpeng".to_string(),
+            "--threads".into(),
+            "2,8".into(),
+            "--algos".into(),
+            "DIS,OPT".into(),
+            "--jobs".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(sweep(&["kunpeng".to_string(), "--jobs".into(), "zero".into()]).is_err());
     }
 }

@@ -70,25 +70,53 @@ impl SpinPolicy {
             .clone()
     }
 
-    /// Applies the environment-variable overrides to the default policy.
-    /// Unparsable or zero `spin_yield` values are ignored; a `cap_us` of
-    /// zero turns backoff off (pure spin + yield).
+    /// Applies the environment-variable overrides to the default policy,
+    /// reporting rejected values on stderr (once per process): a spin
+    /// override silently replaced by the default would make a liveness
+    /// tuning knob appear to work while doing nothing.
     fn from_vars(spin_yield: Option<&str>, cap_us: Option<&str>) -> Self {
-        let mut p = Self::default();
-        if let Some(n) = spin_yield.and_then(|s| s.trim().parse::<u32>().ok()) {
-            if n > 0 {
-                p.spins_per_yield = n;
-            }
+        let (p, warnings) = Self::from_vars_checked(spin_yield, cap_us);
+        if !warnings.is_empty() {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                for w in &warnings {
+                    eprintln!("armbar: {w}");
+                }
+            });
         }
-        if let Some(us) = cap_us.and_then(|s| s.trim().parse::<u64>().ok()) {
-            if us == 0 {
-                p.yields_before_backoff = u32::MAX;
-            } else {
+        p
+    }
+
+    /// The override logic itself: returns the resulting policy plus one
+    /// warning per rejected value. A valid `spin_yield` must be a positive
+    /// integer; a `cap_us` of zero is valid and turns backoff off (pure
+    /// spin + yield).
+    fn from_vars_checked(spin_yield: Option<&str>, cap_us: Option<&str>) -> (Self, Vec<String>) {
+        let mut p = Self::default();
+        let mut warnings = Vec::new();
+        match spin_yield.map(|s| (s, s.trim().parse::<u32>())) {
+            Some((_, Ok(n))) if n > 0 => p.spins_per_yield = n,
+            Some((raw, _)) => warnings.push(format!(
+                "ignoring ARMBAR_SPIN_YIELD={raw:?} (expected a positive integer); \
+                 using the default of {}",
+                p.spins_per_yield
+            )),
+            None => {}
+        }
+        match cap_us.map(|s| (s, s.trim().parse::<u64>())) {
+            Some((_, Ok(0))) => p.yields_before_backoff = u32::MAX,
+            Some((_, Ok(us))) => {
                 p.max_backoff = Duration::from_micros(us);
                 p.initial_backoff = p.initial_backoff.min(p.max_backoff);
             }
+            Some((raw, Err(_))) => warnings.push(format!(
+                "ignoring ARMBAR_BACKOFF_CAP_US={raw:?} (expected microseconds, 0 disables \
+                 backoff); using the default of {} us",
+                p.max_backoff.as_micros()
+            )),
+            None => {}
         }
-        p
+        (p, warnings)
     }
 
     /// A fresh staged waiter following this policy.
@@ -353,6 +381,33 @@ mod tests {
         // A cap below the initial sleep drags the initial sleep down.
         let tight = SpinPolicy::from_vars(None, Some("1"));
         assert_eq!(tight.initial_backoff, Duration::from_micros(1));
+    }
+
+    #[test]
+    fn malformed_env_overrides_warn_instead_of_silently_defaulting() {
+        // Valid values: no warnings.
+        let (_, w) = SpinPolicy::from_vars_checked(Some("512"), Some("0"));
+        assert!(w.is_empty(), "{w:?}");
+        let (_, w) = SpinPolicy::from_vars_checked(None, None);
+        assert!(w.is_empty(), "{w:?}");
+
+        // Unparseable values are rejected loudly, naming the variable.
+        let (p, w) = SpinPolicy::from_vars_checked(Some("fast"), Some("1e6"));
+        assert_eq!(p, SpinPolicy::default());
+        assert_eq!(w.len(), 2);
+        assert!(w[0].contains("ARMBAR_SPIN_YIELD=\"fast\""), "{}", w[0]);
+        assert!(w[1].contains("ARMBAR_BACKOFF_CAP_US=\"1e6\""), "{}", w[1]);
+
+        // Zero spins-per-yield would mean "yield every iteration, never
+        // spin" — out of the knob's domain, so it warns too.
+        let (p, w) = SpinPolicy::from_vars_checked(Some("0"), None);
+        assert_eq!(p.spins_per_yield, SpinPolicy::default().spins_per_yield);
+        assert_eq!(w.len(), 1);
+
+        // One bad value does not take the other down with it.
+        let (p, w) = SpinPolicy::from_vars_checked(Some("-7"), Some("250"));
+        assert_eq!(p.max_backoff, Duration::from_micros(250));
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

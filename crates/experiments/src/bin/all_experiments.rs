@@ -1,10 +1,31 @@
 //! Runs every experiment in the workspace and writes all CSVs to
 //! `results/` — the full paper regeneration in one command.
+//!
+//! ```text
+//! all_experiments [--quick] [--jobs N] [--out DIR]
+//! ```
+//!
+//! `--quick` runs the reduced test scale (CI smoke), `--jobs N` sets the
+//! sweep-pool worker count (default: `ARMBAR_JOBS` or all cores; output
+//! is byte-identical at any value), `--out DIR` redirects the CSVs.
 use armbar_experiments::{figs, runner::results_dir, Scale};
 
 fn main() {
-    let scale = Scale::full();
-    let dir = results_dir();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned());
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::quick() } else { Scale::full() };
+    if let Some(jobs) = flag_value("--jobs") {
+        match jobs.parse::<usize>() {
+            Ok(n) if n >= 1 => armbar_sweep::set_global_jobs(n),
+            _ => {
+                eprintln!("error: bad --jobs value {jobs:?} (need a positive integer)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let dir = flag_value("--out").map(std::path::PathBuf::from).unwrap_or_else(results_dir);
+
     let suites: Vec<(&str, Vec<armbar_experiments::Report>)> = vec![
         ("tables_1_2_3", figs::tables_1_2_3::run(&scale)),
         ("fig05", figs::fig05::run(&scale)),

@@ -1,10 +1,16 @@
 //! Sweep runners shared by all experiments.
+//!
+//! Every sweep point is an independent simulation (a pure function of
+//! `(topology, seed, program)`), so the curve runners fan their points out
+//! over the ambient [`SweepPool`] — `--jobs`/`ARMBAR_JOBS` workers —
+//! while collecting results in submission order. Output is byte-identical
+//! to the serial path at any worker count.
 
 use std::sync::Arc;
 
 use armbar_core::prelude::*;
-use armbar_epcc::{repeat_sim, sim_overhead_of, OverheadConfig};
-use armbar_simcoh::Arena;
+use armbar_epcc::{repeat_sim_of_on, repeat_sim_on, OverheadConfig};
+use armbar_sweep::{Job, SweepPool};
 use armbar_topology::{Platform, Topology};
 
 /// Experiment scale: full (paper-faithful) for the binaries, reduced for
@@ -36,14 +42,13 @@ impl Scale {
         Self { reps: 2, episodes: 10, sweep: vec![1, 4, 16, 64] }
     }
 
-    /// The measurement configuration for rep `r`.
+    /// The measurement configuration for rep `r`, on the workspace-wide
+    /// seed schedule ([`armbar_epcc::SEED_STRIDE`]) shared by every
+    /// repeated-measurement path — registry algorithms and custom barrier
+    /// configurations see identical per-rep seeds.
     pub fn cfg(&self, rep: u64) -> OverheadConfig {
-        OverheadConfig {
-            warmup: 4,
-            episodes: self.episodes,
-            delay_ns: 100.0,
-            seed: 0x5EED_u64.wrapping_add(rep.wrapping_mul(0x9E37_79B9)),
-        }
+        OverheadConfig { warmup: 4, episodes: self.episodes, delay_ns: 100.0, seed: 0x5EED }
+            .rep(rep)
     }
 }
 
@@ -56,43 +61,89 @@ pub fn topo(platform: Platform) -> Arc<Topology> {
 /// Mean overhead (ns) of a registry algorithm at `p` threads over
 /// `scale.reps` repetitions.
 pub fn algo_overhead_ns(topo: &Arc<Topology>, p: usize, id: AlgorithmId, scale: &Scale) -> f64 {
-    repeat_sim(topo, p, id, scale.cfg(0), scale.reps)
+    algo_overhead_ns_on(&SweepPool::ambient(), topo, p, id, scale)
+}
+
+/// [`algo_overhead_ns`] on an explicit pool.
+pub fn algo_overhead_ns_on(
+    pool: &SweepPool,
+    topo: &Arc<Topology>,
+    p: usize,
+    id: AlgorithmId,
+    scale: &Scale,
+) -> f64 {
+    repeat_sim_on(pool, topo, p, id, scale.cfg(0), scale.reps)
         .unwrap_or_else(|e| panic!("{id} at p={p} on {}: {e}", topo.name()))
         .mean
 }
 
-/// Mean overhead (ns) of a custom f-way configuration at `p` threads.
+/// Mean overhead (ns) of a custom f-way configuration at `p` threads, on
+/// the same seed schedule as the registry path.
 pub fn fway_overhead_ns(topo: &Arc<Topology>, p: usize, config: FwayConfig, scale: &Scale) -> f64 {
-    let mut samples = Vec::with_capacity(scale.reps as usize);
-    for r in 0..scale.reps {
-        let mut arena = Arena::new();
-        let barrier: Arc<dyn Barrier> =
-            Arc::new(FwayBarrier::with_config(&mut arena, p, topo, config));
-        let v = sim_overhead_of(topo, p, barrier, scale.cfg(r))
-            .unwrap_or_else(|e| panic!("fway {config:?} at p={p}: {e}"));
-        samples.push(v);
-    }
-    samples.iter().sum::<f64>() / samples.len() as f64
+    fway_overhead_ns_on(&SweepPool::ambient(), topo, p, config, scale)
+}
+
+/// [`fway_overhead_ns`] on an explicit pool.
+pub fn fway_overhead_ns_on(
+    pool: &SweepPool,
+    topo: &Arc<Topology>,
+    p: usize,
+    config: FwayConfig,
+    scale: &Scale,
+) -> f64 {
+    repeat_sim_of_on(
+        pool,
+        topo,
+        p,
+        |arena| Arc::new(FwayBarrier::with_config(arena, p, topo, config)),
+        scale.cfg(0),
+        scale.reps,
+    )
+    .unwrap_or_else(|e| panic!("fway {config:?} at p={p}: {e}"))
+    .mean
 }
 
 /// An overhead-vs-threads curve for a registry algorithm.
 pub fn algo_curve(topo: &Arc<Topology>, id: AlgorithmId, scale: &Scale) -> Vec<(usize, f64)> {
-    scale
-        .sweep
+    algo_curve_on(&SweepPool::ambient(), topo, id, scale)
+}
+
+/// [`algo_curve`] on an explicit pool: one parallel job per sweep point
+/// (repetitions inside a point run inline on that point's worker).
+pub fn algo_curve_on(
+    pool: &SweepPool,
+    topo: &Arc<Topology>,
+    id: AlgorithmId,
+    scale: &Scale,
+) -> Vec<(usize, f64)> {
+    let points: Vec<usize> =
+        scale.sweep.iter().copied().filter(|&p| p <= topo.num_cores()).collect();
+    let jobs = points
         .iter()
-        .filter(|&&p| p <= topo.num_cores())
-        .map(|&p| (p, algo_overhead_ns(topo, p, id, scale)))
-        .collect()
+        .map(|&p| Job::parallel(move || algo_overhead_ns_on(pool, topo, p, id, scale)))
+        .collect();
+    points.iter().copied().zip(pool.run(jobs)).collect()
 }
 
 /// An overhead-vs-threads curve for a custom f-way configuration.
 pub fn fway_curve(topo: &Arc<Topology>, config: FwayConfig, scale: &Scale) -> Vec<(usize, f64)> {
-    scale
-        .sweep
+    fway_curve_on(&SweepPool::ambient(), topo, config, scale)
+}
+
+/// [`fway_curve`] on an explicit pool.
+pub fn fway_curve_on(
+    pool: &SweepPool,
+    topo: &Arc<Topology>,
+    config: FwayConfig,
+    scale: &Scale,
+) -> Vec<(usize, f64)> {
+    let points: Vec<usize> =
+        scale.sweep.iter().copied().filter(|&p| p <= topo.num_cores()).collect();
+    let jobs = points
         .iter()
-        .filter(|&&p| p <= topo.num_cores())
-        .map(|&p| (p, fway_overhead_ns(topo, p, config, scale)))
-        .collect()
+        .map(|&p| Job::parallel(move || fway_overhead_ns_on(pool, topo, p, config, scale)))
+        .collect();
+    points.iter().copied().zip(pool.run(jobs)).collect()
 }
 
 /// Directory where the binaries drop CSVs (workspace `results/`).
@@ -137,5 +188,34 @@ mod tests {
     fn scale_cfg_seeds_differ_per_rep() {
         let s = Scale::quick();
         assert_ne!(s.cfg(0).seed, s.cfg(1).seed);
+    }
+
+    #[test]
+    fn scale_cfg_follows_the_shared_seed_schedule() {
+        let s = Scale::quick();
+        assert_eq!(s.cfg(3).seed, s.cfg(0).rep(3).seed);
+        assert_eq!(s.cfg(0).seed, 0x5EED);
+    }
+
+    #[test]
+    fn registry_stour_curve_matches_equivalent_fway_config() {
+        // Regression for the seed-protocol bug: the registry STOUR curve
+        // and the custom FwayConfig::stour() curve measure the same
+        // barrier and must now be seed-matched point for point — the
+        // paper's STOUR-vs-optimized comparison depends on it.
+        let scale = Scale::quick();
+        let t = topo(Platform::Kunpeng920);
+        let registry = algo_curve(&t, AlgorithmId::Stour, &scale);
+        let custom = fway_curve(&t, FwayConfig::stour(), &scale);
+        assert_eq!(registry, custom);
+    }
+
+    #[test]
+    fn curves_are_identical_at_any_worker_count() {
+        let scale = Scale::quick();
+        let t = topo(Platform::ThunderX2);
+        let serial = algo_curve_on(&SweepPool::new(1), &t, AlgorithmId::Mcs, &scale);
+        let parallel = algo_curve_on(&SweepPool::new(4), &t, AlgorithmId::Mcs, &scale);
+        assert_eq!(serial, parallel);
     }
 }

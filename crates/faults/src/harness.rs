@@ -22,6 +22,7 @@ use armbar_core::{
     AlgorithmId, Barrier, BarrierError, HostMem, RobustBarrier, RobustConfig, SpinPolicy,
 };
 use armbar_simcoh::{Arena, SimBuilder, SimError};
+use armbar_sweep::{Job, SweepPool};
 use armbar_topology::{Platform, Topology};
 
 use crate::plan::{FaultPlan, Scenario};
@@ -151,31 +152,46 @@ impl ChaosCell {
 
 /// Runs the full matrix described by `config` and returns one cell per
 /// (backend × platform × algorithm × scenario) combination, in that
-/// nesting order.
+/// nesting order. Cells fan out over the ambient [`SweepPool`]
+/// (`--jobs`/`ARMBAR_JOBS` workers); see [`chaos_matrix_on`].
 pub fn chaos_matrix(config: &ChaosConfig) -> Vec<ChaosCell> {
+    chaos_matrix_on(&SweepPool::ambient(), config)
+}
+
+/// [`chaos_matrix`] on an explicit pool. Simulator cells are pure
+/// functions of the seed and run concurrently; host cells spawn real
+/// threads, race a wall-clock deadline, and would misclassify under
+/// oversubscription — they are [`Job::serial`] and run alone with the
+/// pool idle. Either way the table order (and thus the rendered CSV/JSON)
+/// is fixed by the submission order, independent of the worker count.
+pub fn chaos_matrix_on(pool: &SweepPool, config: &ChaosConfig) -> Vec<ChaosCell> {
     silence_injected_crashes();
-    let mut cells = Vec::new();
+    let mut jobs: Vec<Job<'_, ChaosCell>> = Vec::new();
     for &backend in &config.backends {
         for &platform in &config.platforms {
             for &algorithm in &config.algorithms {
                 for &scenario in &config.scenarios {
-                    let outcome = match backend {
-                        Backend::Sim => run_sim_cell(platform, algorithm, scenario, config),
-                        Backend::Host => run_host_cell(platform, algorithm, scenario, config),
-                    };
-                    cells.push(ChaosCell {
+                    let cell = move |outcome| ChaosCell {
                         backend,
                         platform,
                         algorithm,
                         scenario,
                         threads: config.threads,
                         outcome,
+                    };
+                    jobs.push(match backend {
+                        Backend::Sim => Job::parallel(move || {
+                            cell(run_sim_cell(platform, algorithm, scenario, config))
+                        }),
+                        Backend::Host => Job::serial(move || {
+                            cell(run_host_cell(platform, algorithm, scenario, config))
+                        }),
                     });
                 }
             }
         }
     }
-    cells
+    pool.run(jobs)
 }
 
 /// Keeps planned crashes from spraying panic messages and backtraces over
@@ -394,6 +410,16 @@ mod tests {
                 c.outcome
             );
         }
+    }
+
+    #[test]
+    fn matrix_is_identical_at_any_worker_count() {
+        // The sweep-pool fan-out must not reorder or perturb the table:
+        // jobs=1 is the serial reference, jobs=4 must match byte for byte.
+        let config = small_config();
+        let serial = render_csv(&chaos_matrix_on(&SweepPool::new(1), &config), &config);
+        let parallel = render_csv(&chaos_matrix_on(&SweepPool::new(4), &config), &config);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod plan;
 
 pub use ctx::FaultyCtx;
 pub use harness::{
-    chaos_matrix, render_csv, render_json, Backend, CellOutcome, ChaosCell, ChaosConfig,
+    chaos_matrix, chaos_matrix_on, render_csv, render_json, Backend, CellOutcome, ChaosCell,
+    ChaosConfig,
 };
 pub use plan::{Fault, FaultPlan, Scenario};
