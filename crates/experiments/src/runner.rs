@@ -5,6 +5,12 @@
 //! over the ambient [`SweepPool`] — `--jobs`/`ARMBAR_JOBS` workers —
 //! while collecting results in submission order. Output is byte-identical
 //! to the serial path at any worker count.
+//!
+//! Below the pool, each worker keeps an ambient `armbar_simcoh::SimTeam`:
+//! the P simulated-thread workers of an episode are spawned once per
+//! (worker, P) and reused across every rep and sweep point, which is a
+//! large share of the post-overhaul `all_experiments --quick` speedup
+//! (see DESIGN.md §11).
 
 use std::sync::Arc;
 

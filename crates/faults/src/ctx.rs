@@ -234,7 +234,7 @@ mod tests {
             })
             .unwrap_err();
         match err {
-            SimError::ThreadPanic { tid, message } => {
+            SimError::ThreadPanic { tid, message, .. } => {
                 assert_eq!(tid, 1);
                 assert!(message.contains("injected crash"), "{message}");
                 assert!(message.contains("op 3"), "{message}");

@@ -13,6 +13,12 @@
 //!   on the simulator while the host guarantees bounded-time detection
 //!   (which error each peer reports depends on thread interleaving, so the
 //!   table collapses them into one status).
+//!
+//! Simulator cells run through `SimBuilder::run` and therefore on the
+//! ambient `armbar_simcoh::SimTeam`: worker threads are reused across
+//! cells, and an episode that dies of a deadlock abort or an injected
+//! panic cannot poison the next one — the team catches both per episode
+//! (covered by `armbar_simcoh::team` tests).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;

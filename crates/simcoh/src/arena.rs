@@ -37,6 +37,24 @@ impl Arena {
         self.next == 0
     }
 
+    /// Number of 4-byte word slots the allocation spans — the exact size of
+    /// the simulator's dense value table for programs that only touch arena
+    /// addresses.
+    pub fn word_slots(&self) -> usize {
+        self.len().div_ceil(4)
+    }
+
+    /// Number of `line_bytes`-sized cache-line slots the allocation spans —
+    /// the exact size of the simulator's dense directory for programs that
+    /// only touch arena addresses.
+    ///
+    /// # Panics
+    /// Panics unless `line_bytes` is a power of two ≥ 4.
+    pub fn line_slots(&self, line_bytes: usize) -> usize {
+        assert!(line_bytes >= 4 && line_bytes.is_power_of_two(), "bad line size {line_bytes}");
+        self.len().div_ceil(line_bytes)
+    }
+
     /// Allocates `bytes` bytes aligned to `align` (a power of two ≥ 4).
     ///
     /// # Panics
@@ -149,6 +167,20 @@ mod tests {
         assert_eq!(a.len(), 40);
         a.alloc_padded_u32(64);
         assert_eq!(a.len(), 128);
+    }
+
+    #[test]
+    fn slot_counts_cover_the_allocation() {
+        let mut a = Arena::new();
+        assert_eq!(a.word_slots(), 0);
+        assert_eq!(a.line_slots(64), 0);
+        a.alloc_u32_array(3); // 12 bytes
+        assert_eq!(a.word_slots(), 3);
+        assert_eq!(a.line_slots(64), 1);
+        a.alloc_padded_u32(64); // rounds up to 64, ends at 128
+        assert_eq!(a.word_slots(), 32);
+        assert_eq!(a.line_slots(64), 2);
+        assert_eq!(a.line_slots(128), 1);
     }
 
     #[test]

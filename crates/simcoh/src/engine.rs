@@ -1,21 +1,45 @@
-//! The discrete-event engine: deterministic lock-step execution of real
-//! thread bodies with per-operation coherence costing.
+//! The discrete-event engine: deterministic execution of real thread bodies
+//! with per-operation coherence costing.
 //!
 //! Simulated threads are OS threads; each [`SimThread`] operation is a
-//! rendezvous with the engine, which processes exactly one operation at a
-//! time, always the one whose issuing thread has the smallest virtual time
-//! (ties broken by thread id). Host scheduling therefore cannot influence
-//! results: a run is a pure function of `(topology, seed, program)`.
+//! rendezvous with the engine, which processes operations in virtual-time
+//! order (ties broken by thread id). Host scheduling therefore cannot
+//! influence results: a run is a pure function of `(topology, seed,
+//! program)`.
+//!
+//! ## Cooperative scheduling
+//!
+//! There is no dedicated scheduler thread. The engine state lives inside one
+//! mutex, and whichever worker posts an operation runs the engine *inline*
+//! under that lock until no further operation is processable. The scheduling
+//! rule exploits a lookahead invariant: a thread that is executing user code
+//! ("running") will post its next operation at exactly its current
+//! engine-known virtual time, so the operation at the head of the ready
+//! queue can be processed as soon as its `(time, tid)` key is smaller than
+//! every running thread's key — *without* waiting for global settlement.
+//! The processing order is provably identical to a lock-step "wait for all,
+//! pick the minimum" scheduler, but a serial phase (one thread strictly
+//! ahead of the rest) executes with zero context switches: the worker posts,
+//! services its own operation, and continues.
+//!
+//! Replies travel through per-thread lock-free cells (a sequence counter
+//! plus a slot) and wake a blocked worker with `thread::unpark` — receipt
+//! never touches the lock, and pending wakeups are deferred until the engine
+//! lock is released so a woken worker never piles onto a held mutex. State
+//! tables are dense `Vec`s indexed by arena-derived word/line slots rather
+//! than hash maps — see `DESIGN.md` §11 for the performance numbers.
 
-use std::collections::HashMap;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::cell::UnsafeCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use armbar_topology::{CoreId, Topology};
 
-use crate::arena::Addr;
+use crate::arena::{Addr, Arena};
 use crate::error::{DeadlockWaiter, SimError, WaitKind};
 use crate::line::{CoreSet, Line};
 use crate::rng::SplitMix64;
@@ -24,7 +48,7 @@ use crate::stats::{CoherenceCounters, Mark, OpKind, RunStats};
 /// Typed panic payload used to tear down worker threads when the simulation
 /// aborts (deadlock, budget exhaustion). Recognized and swallowed by the
 /// worker wrapper; never reported as a user panic.
-struct AbortSignal;
+pub(crate) struct AbortSignal;
 
 /// Saturation point of the per-extra-sharer invalidation charge. Real
 /// interconnects multicast invalidations; the serialization at the network
@@ -32,6 +56,24 @@ struct AbortSignal;
 /// centralized barrier would cost Θ(P²·inv_ns), whereas measurements (the
 /// paper's Figures 5–6) show near-linear growth from 32 to 64 threads.
 const INV_FANOUT_CAP: usize = 16;
+
+/// Iterations a worker spins on its reply cell before parking. Only used on
+/// multi-core hosts, where the engine can publish the reply concurrently; on
+/// a single-core host nothing can progress while we spin, so workers park
+/// immediately (see [`spin_replies`]).
+const REPLY_SPIN_LIMIT: u32 = 64;
+
+/// Deferred-compute accumulator cap: after this many lazily-buffered
+/// `compute_ns` calls the thread posts a heartbeat op, so a compute-only
+/// infinite loop still trips the operation budget instead of hanging.
+const DEFERRED_COMPUTE_FLUSH: u64 = 1024;
+
+/// Whether spinning on the reply cell can ever help: only when another core
+/// could be running the engine concurrently.
+fn spin_replies() -> bool {
+    static SPIN: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SPIN.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()) > 1)
+}
 
 type Pred = Box<dyn Fn(u32) -> bool + Send>;
 
@@ -44,7 +86,6 @@ enum OpReq {
     /// involved lines overlap (memory-level parallelism), unlike a chain of
     /// `SpinUntil`s.
     SpinUntilAllGe(Vec<Addr>, u32),
-    Compute(f64),
     Mark(u32),
     Now,
     /// Zero-cost snapshot of the machine-wide coherence counters.
@@ -58,23 +99,153 @@ enum Reply {
     Abort,
 }
 
+/// Total order on virtual times for the scheduler's ready/running keys.
+/// `total_cmp` matches the tie-breaking of the original `min_by` scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Scheduler key: `(virtual time, tid)`. Unique per thread (a thread is in
+/// exactly one of the ready queue or the running set), so comparisons are
+/// never ambiguous.
+type SchedKey = (TimeKey, usize);
+
+/// Per-thread lock-free reply mailbox. The engine (always the lock holder)
+/// writes the reply and then bumps `seq` with release ordering; the owning
+/// worker observes the bump with acquire ordering and takes the reply
+/// without touching the lock. Alignment keeps cells on distinct cache lines
+/// so spinning workers do not false-share.
+#[repr(align(128))]
+struct ReplyCell {
+    seq: AtomicU32,
+    reply: UnsafeCell<Option<Reply>>,
+}
+
+// SAFETY: the cell is a single-producer single-consumer mailbox. Only the
+// engine (serialized by the state mutex) writes `reply`, and only while the
+// owning worker is provably blocked awaiting it; the owner reads only after
+// observing the `seq` bump that the write precedes (release/acquire pair).
+unsafe impl Sync for ReplyCell {}
+
+impl ReplyCell {
+    fn new() -> Self {
+        Self { seq: AtomicU32::new(0), reply: UnsafeCell::new(None) }
+    }
+}
+
 struct Slot {
     pending: Option<OpReq>,
-    reply: Option<Reply>,
     finished: bool,
-    parked: bool,
 }
 
+enum WaitCond {
+    /// Single-address predicate wait.
+    Pred(Pred),
+    /// All listed addresses ≥ epoch (batched, MLP-overlapped).
+    AllGe(u32),
+}
+
+struct Waiter {
+    tid: usize,
+    addrs: Vec<Addr>,
+    cond: WaitCond,
+    /// Reporting-only copy of the wait condition for deadlock diagnostics.
+    kind: WaitKind,
+}
+
+/// The complete mutable episode state, engine tables included. Everything
+/// lives behind one mutex so the worker that holds it can both post its
+/// operation and run the engine to quiescence.
 struct State {
     slots: Vec<Slot>,
+    /// Posted-but-unprocessed operations, keyed by `(time, tid)`.
+    ready: BinaryHeap<Reverse<SchedKey>>,
+    /// Threads executing user code; their next post arrives at their key.
+    running: BTreeSet<SchedKey>,
+    waiters: Vec<Waiter>,
+    time: Vec<f64>,
+    /// Dense per-line directory, indexed `addr >> line_shift`.
+    lines: Vec<Line>,
+    /// Dense word values, indexed `addr >> 2`.
+    values: Vec<u32>,
+    stats: RunStats,
+    rng: SplitMix64,
+    ops: u64,
+    op_budget: u64,
+    /// Machine-wide interconnect serialization point: each remote transfer
+    /// occupies the network for `noc_ns`, so all-to-all communication
+    /// phases (dissemination) queue here while O(log P)-message tree phases
+    /// barely notice.
+    noc_available_at: f64,
+    /// Threads whose replies were published during the current engine pass.
+    /// Their `unpark` is deferred until after the state lock is released, so
+    /// a woken worker never immediately blocks on the held mutex (which
+    /// would double the context switches per operation).
+    wake_list: Vec<usize>,
+    finished: usize,
     panics: Vec<(usize, String)>,
+    /// Waiter snapshot taken when a body panic tears the run down; attached
+    /// to the resulting `ThreadPanic` diagnostic.
+    panic_waiters: Vec<DeadlockWaiter>,
     aborted: bool,
+    outcome: Option<Result<(), SimError>>,
 }
 
-struct Shared {
+impl State {
+    fn new(
+        nthreads: usize,
+        seed: u64,
+        op_budget: u64,
+        reserve_bytes: usize,
+        line_shift: u32,
+    ) -> Self {
+        Self {
+            slots: (0..nthreads).map(|_| Slot { pending: None, finished: false }).collect(),
+            ready: BinaryHeap::with_capacity(nthreads),
+            running: (0..nthreads).map(|t| (TimeKey(0.0), t)).collect(),
+            waiters: Vec::new(),
+            time: vec![0.0; nthreads],
+            lines: vec![Line::default(); reserve_bytes.div_ceil(1usize << line_shift)],
+            values: vec![0; reserve_bytes.div_ceil(4)],
+            stats: RunStats::new(nthreads),
+            rng: SplitMix64::new(seed),
+            ops: 0,
+            op_budget,
+            noc_available_at: 0.0,
+            wake_list: Vec::with_capacity(nthreads),
+            finished: 0,
+            panics: Vec::new(),
+            panic_waiters: Vec::new(),
+            aborted: false,
+            outcome: None,
+        }
+    }
+}
+
+/// Everything one episode's threads share: the state mutex, the reply cells,
+/// the worker park handles, and the immutable machine model.
+pub(crate) struct Shared {
     mx: Mutex<State>,
-    sched_cv: Condvar,
-    thread_cv: Vec<Condvar>,
+    done_cv: Condvar,
+    cells: Vec<ReplyCell>,
+    /// Park/unpark handles, registered by each worker at episode entry
+    /// (before it can post, and therefore before anything can address it).
+    handles: Vec<std::sync::OnceLock<std::thread::Thread>>,
+    topo: Arc<Topology>,
+    line_shift: u32,
 }
 
 /// Handle through which a simulated thread performs memory operations.
@@ -86,9 +257,32 @@ pub struct SimThread {
     shared: Arc<Shared>,
     tid: usize,
     nthreads: usize,
+    /// Locally accumulated `compute_ns` time `(total ns, op count)` not yet
+    /// applied to the engine clock. A compute touches no line, draws no
+    /// jitter and occupies no interconnect — its only effect is to raise
+    /// this thread's own scheduling key — so it needs no rendezvous: the
+    /// accumulator is folded into the clock at the next real operation (or
+    /// at thread finish). Other threads' operations gate on this thread's
+    /// key exactly as they would have gated on the posted compute op, so
+    /// results are bit-identical; only the context switches disappear.
+    deferred: std::cell::Cell<(f64, u64)>,
 }
 
 impl SimThread {
+    /// Must be called on the worker thread itself: registers its park handle
+    /// so reply deliveries can wake it.
+    pub(crate) fn new(shared: Arc<Shared>, tid: usize, nthreads: usize) -> Self {
+        shared.handles[tid]
+            .set(std::thread::current())
+            .expect("worker registered twice for one episode");
+        Self { shared, tid, nthreads, deferred: std::cell::Cell::new((0.0, 0)) }
+    }
+
+    /// Takes the not-yet-applied compute accumulator (for the finish path).
+    pub(crate) fn take_deferred(&self) -> (f64, u64) {
+        self.deferred.replace((0.0, 0))
+    }
+
     /// This thread's id (= its core id).
     #[inline]
     pub fn tid(&self) -> usize {
@@ -102,24 +296,57 @@ impl SimThread {
     }
 
     fn call(&self, op: OpReq) -> Reply {
-        let mut g = self.shared.mx.lock();
-        if g.aborted {
-            drop(g);
+        let cell = &self.shared.cells[self.tid];
+        // Our own sequence number only advances when the engine replies to
+        // us, and we have consumed every previous reply; read it before
+        // posting so the bump cannot be missed.
+        let my_seq = cell.seq.load(Ordering::Acquire);
+        let wakes = {
+            let mut g = self.shared.mx.lock();
+            if g.aborted {
+                drop(g);
+                std::panic::panic_any(AbortSignal);
+            }
+            debug_assert!(g.slots[self.tid].pending.is_none(), "op already pending");
+            let old_key = (TimeKey(g.time[self.tid]), self.tid);
+            let was_running = g.running.remove(&old_key);
+            debug_assert!(was_running, "posting thread must be in the running set");
+            let (def_ns, def_count) = self.deferred.replace((0.0, 0));
+            if def_count > 0 {
+                g.time[self.tid] += def_ns;
+                g.ops += def_count;
+                g.stats.count_ops(OpKind::Compute, def_count);
+            }
+            let key = (TimeKey(g.time[self.tid]), self.tid);
+            g.slots[self.tid].pending = Some(op);
+            g.ready.push(Reverse(key));
+            self.shared.run_engine(&mut g);
+            std::mem::take(&mut g.wake_list)
+        };
+        self.shared.unpark(&wakes, self.tid);
+        // Fast path: when our own op was processable (the common case for
+        // serial phases), the inline engine run above already delivered the
+        // reply — no context switch, no further synchronization. Otherwise
+        // park; the deliverer's deferred `unpark` cannot be lost (a token
+        // posted before we park makes the park return immediately), and a
+        // stale token merely costs one extra loop iteration.
+        let mut spins = 0u32;
+        while cell.seq.load(Ordering::Acquire) == my_seq {
+            if spin_replies() && spins < REPLY_SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            std::thread::park();
+        }
+        // SAFETY: the seq bump (release) happens after the engine published
+        // our reply, and the engine will not touch the cell again until our
+        // next post.
+        let r = unsafe { (*cell.reply.get()).take() }.expect("reply published without a value");
+        if matches!(r, Reply::Abort) {
             std::panic::panic_any(AbortSignal);
         }
-        debug_assert!(g.slots[self.tid].pending.is_none(), "op already pending");
-        g.slots[self.tid].pending = Some(op);
-        self.shared.sched_cv.notify_one();
-        loop {
-            if let Some(r) = g.slots[self.tid].reply.take() {
-                if matches!(r, Reply::Abort) {
-                    drop(g);
-                    std::panic::panic_any(AbortSignal);
-                }
-                return r;
-            }
-            self.shared.thread_cv[self.tid].wait(&mut g);
-        }
+        r
     }
 
     fn call_value(&self, op: OpReq) -> u32 {
@@ -186,9 +413,18 @@ impl SimThread {
     }
 
     /// Advances this thread's clock by `ns` of pure local computation.
+    ///
+    /// Free of any engine rendezvous: the time is accumulated locally and
+    /// folded into the clock at the next real operation. A long compute-only
+    /// stretch still posts a heartbeat every [`DEFERRED_COMPUTE_FLUSH`] ops
+    /// so the live-lock budget keeps counting.
     pub fn compute_ns(&self, ns: f64) {
         assert!(ns >= 0.0 && ns.is_finite(), "bad compute duration {ns}");
-        self.call_value(OpReq::Compute(ns));
+        let (acc, count) = self.deferred.get();
+        self.deferred.set((acc + ns, count + 1));
+        if count + 1 >= DEFERRED_COMPUTE_FLUSH {
+            self.call(OpReq::Now); // flushes the accumulator as a side effect
+        }
     }
 
     /// Records a timestamp with a user label (see `RunStats::marks`).
@@ -220,27 +456,13 @@ impl SimThread {
     }
 }
 
-enum WaitCond {
-    /// Single-address predicate wait.
-    Pred(Pred),
-    /// All listed addresses ≥ epoch (batched, MLP-overlapped).
-    AllGe(u32),
-}
-
-struct Waiter {
-    tid: usize,
-    addrs: Vec<Addr>,
-    cond: WaitCond,
-    /// Reporting-only copy of the wait condition for deadlock diagnostics.
-    kind: WaitKind,
-}
-
 /// Configures and launches simulations.
 pub struct SimBuilder {
-    topo: Arc<Topology>,
-    nthreads: usize,
-    seed: u64,
-    op_budget: u64,
+    pub(crate) topo: Arc<Topology>,
+    pub(crate) nthreads: usize,
+    pub(crate) seed: u64,
+    pub(crate) op_budget: u64,
+    pub(crate) reserve_bytes: usize,
 }
 
 impl SimBuilder {
@@ -259,7 +481,7 @@ impl SimBuilder {
             topo.name()
         );
         assert!(topo.num_cores() <= 128, "simulator supports at most 128 cores");
-        Self { topo, nthreads, seed: 0x5EED, op_budget: 200_000_000 }
+        Self { topo, nthreads, seed: 0x5EED, op_budget: 200_000_000, reserve_bytes: 0 }
     }
 
     /// Sets the jitter seed (default `0x5EED`). Runs with equal seeds are
@@ -276,78 +498,46 @@ impl SimBuilder {
         self
     }
 
+    /// Pre-sizes the engine's dense value/directory tables to cover every
+    /// address `arena` has handed out, eliminating growth reallocation
+    /// during the run. Purely a performance hint — results are identical
+    /// with or without it (the tables grow on demand).
+    pub fn reserve_for(mut self, arena: &Arena) -> Self {
+        self.reserve_bytes = arena.len();
+        self
+    }
+
+    pub(crate) fn into_shared(self) -> Shared {
+        let line_bytes = self.topo.cacheline_bytes();
+        debug_assert!(line_bytes.is_power_of_two(), "topology validates the line size");
+        let line_shift = line_bytes.trailing_zeros();
+        Shared {
+            mx: Mutex::new(State::new(
+                self.nthreads,
+                self.seed,
+                self.op_budget,
+                self.reserve_bytes,
+                line_shift,
+            )),
+            done_cv: Condvar::new(),
+            cells: (0..self.nthreads).map(|_| ReplyCell::new()).collect(),
+            handles: (0..self.nthreads).map(|_| std::sync::OnceLock::new()).collect(),
+            topo: self.topo,
+            line_shift,
+        }
+    }
+
     /// Runs `body` on every simulated thread to completion and returns the
     /// run statistics, or an error on deadlock / live-lock / panic.
+    ///
+    /// Episodes execute on a per-host-thread ambient [`crate::SimTeam`]
+    /// whose workers are reused across calls; set `ARMBAR_SIM_TEAM=0` to
+    /// spawn fresh workers per run instead (results are identical).
     pub fn run(
         self,
         body: impl Fn(&SimThread) + Send + Sync + 'static,
     ) -> Result<RunStats, SimError> {
-        silence_abort_panics();
-        let nthreads = self.nthreads;
-        let shared = Arc::new(Shared {
-            mx: Mutex::new(State {
-                slots: (0..nthreads)
-                    .map(|_| Slot { pending: None, reply: None, finished: false, parked: false })
-                    .collect(),
-                panics: Vec::new(),
-                aborted: false,
-            }),
-            sched_cv: Condvar::new(),
-            thread_cv: (0..nthreads).map(|_| Condvar::new()).collect(),
-        });
-        let body = Arc::new(body);
-
-        let mut handles = Vec::with_capacity(nthreads);
-        for tid in 0..nthreads {
-            let shared = Arc::clone(&shared);
-            let body = Arc::clone(&body);
-            handles.push(std::thread::spawn(move || {
-                let ctx = SimThread { shared: Arc::clone(&shared), tid, nthreads };
-                let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
-                let mut g = shared.mx.lock();
-                g.slots[tid].finished = true;
-                if let Err(p) = result {
-                    // NB: `&*p` reborrows the payload itself; `&p` would
-                    // unsize the Box and defeat the downcasts.
-                    if !(*p).is::<AbortSignal>() {
-                        g.panics.push((tid, panic_message(&*p)));
-                    }
-                }
-                shared.sched_cv.notify_one();
-            }));
-        }
-
-        let mut engine = Engine {
-            topo: self.topo,
-            time: vec![0.0; nthreads],
-            lines: HashMap::new(),
-            values: HashMap::new(),
-            waiters: Vec::new(),
-            stats: RunStats::new(nthreads),
-            rng: SplitMix64::new(self.seed),
-            ops: 0,
-            noc_available_at: 0.0,
-        };
-
-        let outcome = engine.drive(&shared, self.op_budget);
-
-        for h in handles {
-            let _ = h.join();
-        }
-
-        let panics = {
-            let g = shared.mx.lock();
-            g.panics.clone()
-        };
-        if let Some((tid, message)) = panics.into_iter().next() {
-            return Err(SimError::ThreadPanic { tid, message });
-        }
-        outcome?;
-
-        for tid in 0..nthreads {
-            engine.stats.set_thread_time(tid, engine.time[tid]);
-        }
-        Ok(engine.stats)
+        crate::team::run_with_ambient_team(self, Arc::new(body))
     }
 }
 
@@ -355,7 +545,7 @@ impl SimBuilder {
 /// stderr report for [`AbortSignal`] tear-down panics — they are an internal
 /// control-flow mechanism, not failures — while delegating everything else
 /// to the previous hook.
-fn silence_abort_panics() {
+pub(crate) fn silence_abort_panics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -367,7 +557,7 @@ fn silence_abort_panics() {
     });
 }
 
-fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -377,125 +567,228 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-struct Engine {
-    topo: Arc<Topology>,
-    time: Vec<f64>,
-    lines: HashMap<u32, Line>,
-    values: HashMap<Addr, u32>,
-    waiters: Vec<Waiter>,
-    stats: RunStats,
-    rng: SplitMix64,
-    ops: u64,
-    /// Machine-wide interconnect serialization point: each remote transfer
-    /// occupies the network for `noc_ns`, so all-to-all communication
-    /// phases (dissemination) queue here while O(log P)-message tree phases
-    /// barely notice.
-    noc_available_at: f64,
-}
-
-impl Engine {
-    fn drive(&mut self, shared: &Shared, op_budget: u64) -> Result<(), SimError> {
-        let mut g = shared.mx.lock();
-        loop {
-            if !g.panics.is_empty() {
-                // A body panicked (surfaced by the caller as ThreadPanic).
-                // Tear everyone else down — parked waiters AND threads that
-                // are still running or mid-rendezvous — so the caller can
-                // join the workers.
-                let waiters = self.drain_waiter_info();
-                let _ = waiters;
-                self.abort(&mut g, shared);
-                return Ok(());
+impl Shared {
+    /// Marks `tid` finished (recording its panic message, if any), lets the
+    /// engine drain anything its departure unblocked, and wakes the driver.
+    pub(crate) fn finish_thread(
+        &self,
+        tid: usize,
+        panic_msg: Option<String>,
+        deferred: (f64, u64),
+    ) {
+        let (wakes, all_done) = {
+            let mut g = self.mx.lock();
+            let key = (TimeKey(g.time[tid]), tid);
+            g.running.remove(&key); // may already be gone after an abort
+            let (def_ns, def_count) = deferred;
+            if def_count > 0 && !g.aborted {
+                // Trailing computes never followed by a real op: fold them
+                // in now so per-thread times include them.
+                g.time[tid] += def_ns;
+                g.ops += def_count;
+                g.stats.count_ops(OpKind::Compute, def_count);
             }
-            if g.slots.iter().all(|s| s.finished) {
-                // Completed. Wake any stragglers parked in spin_until: with
-                // peers gone they can never be satisfied; abort them.
-                if g.slots.iter().any(|s| s.parked) {
-                    let waiters = self.drain_waiter_info();
-                    self.abort(&mut g, shared);
-                    return Err(SimError::Deadlock { waiters });
-                }
-                return Ok(());
+            if let Some(m) = panic_msg {
+                g.panics.push((tid, m));
             }
-
-            let all_settled = g.slots.iter().all(|s| s.finished || s.parked || s.pending.is_some());
-            if !all_settled {
-                shared.sched_cv.wait(&mut g);
-                continue;
-            }
-
-            let runnable = (0..g.slots.len())
-                .filter(|&t| g.slots[t].pending.is_some())
-                .min_by(|&a, &b| self.time[a].total_cmp(&self.time[b]).then(a.cmp(&b)));
-
-            let Some(tid) = runnable else {
-                // Everyone alive is parked: deadlock.
-                let waiters = self.drain_waiter_info();
-                self.abort(&mut g, shared);
-                return Err(SimError::Deadlock { waiters });
-            };
-
-            self.ops += 1;
-            if self.ops > op_budget {
-                self.abort(&mut g, shared);
-                return Err(SimError::OpBudgetExhausted { ops: self.ops });
-            }
-
-            let op = g.slots[tid].pending.take().expect("pending op vanished");
-            self.step(&mut g, shared, tid, op);
+            debug_assert!(!g.slots[tid].finished, "thread finished twice");
+            g.slots[tid].finished = true;
+            g.finished += 1;
+            self.run_engine(&mut g);
+            (std::mem::take(&mut g.wake_list), g.finished == g.slots.len())
+        };
+        self.unpark(&wakes, tid);
+        if all_done {
+            self.done_cv.notify_all();
         }
     }
 
-    fn drain_waiter_info(&mut self) -> Vec<DeadlockWaiter> {
-        let values = &self.values;
-        let value_of = |a: Addr| *values.get(&a).unwrap_or(&0);
-        self.waiters
-            .drain(..)
+    /// Issues the deferred wakeups of an engine pass (self excluded: the
+    /// caller checks its own reply cell directly, and skipping it avoids a
+    /// stale park token).
+    fn unpark(&self, tids: &[usize], me: usize) {
+        for &t in tids {
+            if t != me {
+                self.handles[t].get().expect("woken thread never registered").unpark();
+            }
+        }
+    }
+
+    /// Driver side: blocks until every participant has passed its finish
+    /// point, then converts the episode outcome into the public result.
+    pub(crate) fn collect(&self) -> Result<RunStats, SimError> {
+        let mut g = self.mx.lock();
+        let n = g.slots.len();
+        while g.finished < n {
+            self.done_cv.wait(&mut g);
+        }
+        // A body panic takes precedence over the (sentinel-Ok) outcome.
+        if !g.panics.is_empty() {
+            let (tid, message) = g.panics.remove(0);
+            let waiters = std::mem::take(&mut g.panic_waiters);
+            return Err(SimError::ThreadPanic { tid, message, waiters });
+        }
+        match g.outcome.take().expect("all threads finished without an outcome") {
+            Err(e) => Err(e),
+            Ok(()) => {
+                let mut stats = std::mem::replace(&mut g.stats, RunStats::new(0));
+                for tid in 0..n {
+                    stats.set_thread_time(tid, g.time[tid]);
+                }
+                Ok(stats)
+            }
+        }
+    }
+
+    /// Processes ready operations until none is processable, then applies
+    /// the terminal checks. Called with the state lock held, from whichever
+    /// thread last changed the schedule.
+    fn run_engine(&self, g: &mut State) {
+        while g.outcome.is_none() && g.panics.is_empty() {
+            let Some(&Reverse(key)) = g.ready.peek() else { break };
+            if let Some(first_running) = g.running.first() {
+                if *first_running < key {
+                    // A running thread will post an earlier-keyed op; the
+                    // head must wait for it.
+                    break;
+                }
+            }
+            g.ready.pop();
+            g.ops += 1;
+            if g.ops > g.op_budget {
+                g.outcome =
+                    Some(Err(SimError::OpBudgetExhausted { ops: g.ops, budget: g.op_budget }));
+                self.abort(g);
+                return;
+            }
+            let tid = key.1;
+            let op = g.slots[tid].pending.take().expect("ready thread has no pending op");
+            self.step(g, tid, op);
+        }
+        self.terminal_check(g);
+    }
+
+    /// Detects episode completion, deadlock, and body panics once the
+    /// engine has quiesced.
+    fn terminal_check(&self, g: &mut State) {
+        if g.outcome.is_some() {
+            return;
+        }
+        if !g.panics.is_empty() {
+            // A body panicked (surfaced by the caller as ThreadPanic, with
+            // the blocked peers attached). Tear everyone else down — parked
+            // waiters AND threads still running or mid-rendezvous — so the
+            // driver can hand the workers back.
+            g.panic_waiters = self.waiter_info(g);
+            g.outcome = Some(Ok(())); // sentinel; collect() reports the panic
+            self.abort(g);
+        } else if g.finished == g.slots.len() {
+            g.outcome = Some(Ok(()));
+        } else if g.ready.is_empty() && g.running.is_empty() {
+            // Everyone alive is parked in a spin-wait: deadlock. (This also
+            // catches stragglers still spinning after every peer finished.)
+            let waiters = self.waiter_info(g);
+            g.outcome = Some(Err(SimError::Deadlock { waiters }));
+            self.abort(g);
+        }
+    }
+
+    /// Snapshot of every blocked thread for diagnostics. For batched waits,
+    /// points at the first flag still below the epoch — that is the arrival
+    /// the waiter never observed.
+    fn waiter_info(&self, g: &State) -> Vec<DeadlockWaiter> {
+        g.waiters
+            .iter()
             .map(|w| {
-                // For batched waits, point at the first flag still below the
-                // epoch — that is the arrival the waiter never observed.
                 let addr = match w.kind {
-                    WaitKind::AllGe(epoch) => {
-                        w.addrs.iter().copied().find(|&a| value_of(a) < epoch).unwrap_or(w.addrs[0])
-                    }
+                    WaitKind::AllGe(epoch) => w
+                        .addrs
+                        .iter()
+                        .copied()
+                        .find(|&a| self.value(g, a) < epoch)
+                        .unwrap_or(w.addrs[0]),
                     _ => w.addrs[0],
                 };
-                DeadlockWaiter { tid: w.tid, addr, kind: w.kind, last_value: value_of(addr) }
+                DeadlockWaiter { tid: w.tid, addr, kind: w.kind, last_value: self.value(g, addr) }
             })
             .collect()
     }
 
-    fn abort(&mut self, g: &mut parking_lot::MutexGuard<'_, State>, shared: &Shared) {
+    /// Tears the episode down: every thread blocked in a rendezvous (posted
+    /// or spin-waiting) receives `Reply::Abort`; running threads observe the
+    /// `aborted` flag at their next call. Does not block — the driver waits
+    /// for the workers in `collect`.
+    fn abort(&self, g: &mut State) {
         g.aborted = true;
-        for t in 0..g.slots.len() {
-            if !g.slots[t].finished {
-                g.slots[t].pending = None;
-                g.slots[t].parked = false;
-                g.slots[t].reply = Some(Reply::Abort);
-                shared.thread_cv[t].notify_one();
+        g.ready.clear();
+        g.running.clear();
+        for tid in 0..g.slots.len() {
+            if g.slots[tid].pending.take().is_some() {
+                self.deliver(g, tid, Reply::Abort);
             }
         }
-        // Wait for every worker to acknowledge (mark itself finished) so the
-        // engine's caller can join them without racing on the state.
-        while !g.slots.iter().all(|s| s.finished) {
-            shared.sched_cv.wait(g);
+        let blocked: Vec<usize> = g.waiters.drain(..).map(|w| w.tid).collect();
+        for tid in blocked {
+            self.deliver(g, tid, Reply::Abort);
         }
     }
 
-    fn reply(
-        &self,
-        g: &mut parking_lot::MutexGuard<'_, State>,
-        shared: &Shared,
-        tid: usize,
-        r: Reply,
-    ) {
-        g.slots[tid].reply = Some(r);
-        g.slots[tid].parked = false;
-        shared.thread_cv[tid].notify_one();
+    /// Publishes a reply to a blocked thread's cell and queues its wakeup
+    /// (issued by the engine-pass caller after the lock drops).
+    ///
+    /// Only call for threads provably blocked in [`SimThread::call`] — a
+    /// running thread may still be draining its previous reply, and writing
+    /// its cell would race with that lock-free read.
+    fn deliver(&self, g: &mut State, tid: usize, r: Reply) {
+        // SAFETY: see ReplyCell — the owner is blocked awaiting this reply,
+        // and we hold the state lock, serializing all writers.
+        unsafe {
+            *self.cells[tid].reply.get() = Some(r);
+        }
+        self.cells[tid].seq.fetch_add(1, Ordering::Release);
+        g.wake_list.push(tid);
     }
 
-    fn value(&self, addr: Addr) -> u32 {
-        *self.values.get(&addr).unwrap_or(&0)
+    /// Replies to a processed operation: the thread resumes user code, so it
+    /// re-enters the running set at its (new) virtual time.
+    fn reply(&self, g: &mut State, tid: usize, r: Reply) {
+        g.running.insert((TimeKey(g.time[tid]), tid));
+        self.deliver(g, tid, r);
+    }
+
+    #[inline]
+    fn line_key(&self, addr: Addr) -> u32 {
+        addr >> self.line_shift
+    }
+
+    /// Read-only directory lookup; unbacked lines read as cold defaults.
+    #[inline]
+    fn line_at(&self, g: &State, key: u32) -> Line {
+        g.lines.get(key as usize).copied().unwrap_or_default()
+    }
+
+    /// Mutable directory lookup, growing the dense table on demand.
+    #[inline]
+    fn line_mut<'a>(&self, g: &'a mut State, key: u32) -> &'a mut Line {
+        let i = key as usize;
+        if i >= g.lines.len() {
+            g.lines.resize(i + 1, Line::default());
+        }
+        &mut g.lines[i]
+    }
+
+    #[inline]
+    fn value(&self, g: &State, addr: Addr) -> u32 {
+        g.values.get((addr >> 2) as usize).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn set_value(&self, g: &mut State, addr: Addr, v: u32) {
+        let i = (addr >> 2) as usize;
+        if i >= g.values.len() {
+            g.values.resize(i + 1, 0);
+        }
+        g.values[i] = v;
     }
 
     /// Cost of acquiring ownership for a write by `t`, and whether it was
@@ -503,14 +796,11 @@ impl Engine {
     fn write_transfer(&self, t: CoreId, line: &Line) -> (f64, bool) {
         match line.owner {
             Some(o) if o == t => (self.topo.epsilon_ns(), false),
-            Some(o) => (self.topo.latency_ns(t, o), true),
+            Some(o) => (self.topo.latency_row(t)[o], true),
             None if line.sharers.is_empty() => (self.topo.epsilon_ns(), false),
             None => {
-                let l = line
-                    .sharers
-                    .iter()
-                    .map(|s| self.topo.latency_ns(t, s))
-                    .fold(f64::INFINITY, f64::min);
+                let row = self.topo.latency_row(t);
+                let l = line.sharers.iter().map(|s| row[s]).fold(f64::INFINITY, f64::min);
                 (l, true)
             }
         }
@@ -520,6 +810,7 @@ impl Engine {
     /// set: the farthest invalidation `α_i·L_i` plus the per-extra-sharer
     /// serialization charge at the network controller.
     fn rfo_cost(&self, t: CoreId, sharers: &CoreSet) -> f64 {
+        let row = self.topo.rfo_row(t);
         let mut n_other = 0usize;
         let mut worst = 0.0f64;
         for s in sharers.iter() {
@@ -527,7 +818,7 @@ impl Engine {
                 continue;
             }
             n_other += 1;
-            worst = worst.max(self.topo.rfo_ns(t, s));
+            worst = worst.max(row[s]);
         }
         if n_other == 0 {
             0.0
@@ -544,44 +835,39 @@ impl Engine {
     /// the paper's `W_R = (1+α)·L_far` even when the previous writer was
     /// nearby.
     fn farthest_holder_latency(&self, t: CoreId, line: &Line) -> f64 {
+        let row = self.topo.latency_row(t);
         let mut worst = 0.0f64;
         if let Some(o) = line.owner {
             if o != t {
-                worst = worst.max(self.topo.latency_ns(t, o));
+                worst = worst.max(row[o]);
             }
         }
         for s in line.sharers.iter() {
             if s != t {
-                worst = worst.max(self.topo.latency_ns(t, s));
+                worst = worst.max(row[s]);
             }
         }
         worst
     }
 
-    fn jitter(&mut self) -> f64 {
+    fn jitter(&self, g: &mut State) -> f64 {
         let amp = self.topo.coherence().jitter;
-        self.rng.jitter_factor(amp)
+        g.rng.jitter_factor(amp)
     }
 
     /// Charges one remote transaction to the shared interconnect starting
     /// no earlier than `start`; returns the queueing delay incurred.
-    fn noc_queue(&mut self, start: f64) -> f64 {
+    fn noc_queue(&self, g: &mut State, start: f64) -> f64 {
         let nu = self.topo.coherence().noc_ns;
         if nu == 0.0 {
             return 0.0;
         }
-        let begin = self.noc_available_at.max(start);
-        self.noc_available_at = begin + nu;
+        let begin = g.noc_available_at.max(start);
+        g.noc_available_at = begin + nu;
         begin - start
     }
 
-    fn step(
-        &mut self,
-        g: &mut parking_lot::MutexGuard<'_, State>,
-        shared: &Shared,
-        tid: usize,
-        op: OpReq,
-    ) {
+    fn step(&self, g: &mut State, tid: usize, op: OpReq) {
         // Memory ops that hit a busy line (a write in flight) do not jump
         // the queue: the thread's clock advances to the line's availability
         // point and the op is re-posted. This interleaves spin-loop
@@ -593,52 +879,46 @@ impl Engine {
             OpReq::Load(a)
             | OpReq::Store(a, _)
             | OpReq::FetchAdd(a, _)
-            | OpReq::SpinUntil(a, _, _) => {
-                let key = *a / self.topo.cacheline_bytes() as u32;
-                self.lines.entry(key).or_default().available_at
-            }
-            OpReq::SpinUntilAllGe(addrs, _) => {
-                let lb = self.topo.cacheline_bytes() as u32;
-                addrs
-                    .iter()
-                    .map(|&a| self.lines.entry(a / lb).or_default().available_at)
-                    .fold(0.0, f64::max)
-            }
+            | OpReq::SpinUntil(a, _, _) => self.line_at(g, self.line_key(*a)).available_at,
+            OpReq::SpinUntilAllGe(addrs, _) => addrs
+                .iter()
+                .map(|&a| self.line_at(g, self.line_key(a)).available_at)
+                .fold(0.0, f64::max),
             _ => 0.0,
         };
-        if busy_until > self.time[tid] {
+        if busy_until > g.time[tid] {
             let is_write = matches!(op, OpReq::Store(..) | OpReq::FetchAdd(..));
-            self.stats.record_stall(tid, is_write, busy_until - self.time[tid]);
-            self.time[tid] = busy_until;
+            g.stats.record_stall(tid, is_write, busy_until - g.time[tid]);
+            g.time[tid] = busy_until;
             g.slots[tid].pending = Some(op);
+            g.ready.push(Reverse((TimeKey(busy_until), tid)));
             return;
         }
 
         match op {
             OpReq::Load(addr) => {
-                let v = self.value(addr);
-                self.do_read(tid, addr);
-                self.reply(g, shared, tid, Reply::Value(v));
+                let v = self.value(g, addr);
+                self.do_read(g, tid, addr);
+                self.reply(g, tid, Reply::Value(v));
             }
             OpReq::Store(addr, v) => {
-                self.do_write(tid, addr, v, false);
-                self.wake_waiters(g, shared, addr, tid);
-                self.reply(g, shared, tid, Reply::Value(0));
+                self.do_write(g, tid, addr, v, false);
+                self.wake_waiters(g, addr, tid);
+                self.reply(g, tid, Reply::Value(0));
             }
             OpReq::FetchAdd(addr, d) => {
-                let old = self.value(addr);
-                self.do_write(tid, addr, old.wrapping_add(d), true);
-                self.wake_waiters(g, shared, addr, tid);
-                self.reply(g, shared, tid, Reply::Value(old));
+                let old = self.value(g, addr);
+                self.do_write(g, tid, addr, old.wrapping_add(d), true);
+                self.wake_waiters(g, addr, tid);
+                self.reply(g, tid, Reply::Value(old));
             }
             OpReq::SpinUntil(addr, pred, kind) => {
-                let v = self.value(addr);
-                self.do_read(tid, addr);
+                let v = self.value(g, addr);
+                self.do_read(g, tid, addr);
                 if pred(v) {
-                    self.reply(g, shared, tid, Reply::Value(v));
+                    self.reply(g, tid, Reply::Value(v));
                 } else {
-                    g.slots[tid].parked = true;
-                    self.waiters.push(Waiter {
+                    g.waiters.push(Waiter {
                         tid,
                         addrs: vec![addr],
                         cond: WaitCond::Pred(pred),
@@ -647,12 +927,11 @@ impl Engine {
                 }
             }
             OpReq::SpinUntilAllGe(addrs, epoch) => {
-                self.do_batched_probe(tid, &addrs);
-                if self.all_ge(&addrs, epoch) {
-                    self.reply(g, shared, tid, Reply::Value(epoch));
+                self.do_batched_probe(g, tid, &addrs);
+                if self.all_ge(g, &addrs, epoch) {
+                    self.reply(g, tid, Reply::Value(epoch));
                 } else {
-                    g.slots[tid].parked = true;
-                    self.waiters.push(Waiter {
+                    g.waiters.push(Waiter {
                         tid,
                         addrs,
                         cond: WaitCond::AllGe(epoch),
@@ -660,95 +939,84 @@ impl Engine {
                     });
                 }
             }
-            OpReq::Compute(ns) => {
-                self.time[tid] += ns;
-                self.stats.count_op(OpKind::Compute);
-                self.reply(g, shared, tid, Reply::Value(0));
-            }
             OpReq::Mark(label) => {
-                self.stats.push_mark(Mark { tid, label, time_ns: self.time[tid] });
-                self.reply(g, shared, tid, Reply::Value(0));
+                g.stats.push_mark(Mark { tid, label, time_ns: g.time[tid] });
+                self.reply(g, tid, Reply::Value(0));
             }
             OpReq::Now => {
-                let t = self.time[tid];
-                self.reply(g, shared, tid, Reply::TimeNs(t));
+                let t = g.time[tid];
+                self.reply(g, tid, Reply::TimeNs(t));
             }
             OpReq::Counters => {
-                let total = self.stats.coherence().total();
-                self.reply(g, shared, tid, Reply::Counters(Box::new(total)));
+                let total = g.stats.coherence().total();
+                self.reply(g, tid, Reply::Counters(Box::new(total)));
             }
         }
     }
 
-    fn do_read(&mut self, tid: usize, addr: Addr) {
-        let now = self.time[tid];
+    fn do_read(&self, g: &mut State, tid: usize, addr: Addr) {
+        let now = g.time[tid];
         let eps = self.topo.epsilon_ns();
         let read_c = self.topo.coherence().read_contention_ns;
-        let key = addr / self.topo.cacheline_bytes() as u32;
-        let line = self.lines.entry(key).or_default();
+        let key = self.line_key(addr);
+        let line = self.line_at(g, key);
         if line.sharers.contains(tid) {
-            self.time[tid] = now + eps;
-            self.stats.record_read(tid, key, true, false);
+            g.time[tid] = now + eps;
+            g.stats.record_read(tid, key, true, false);
         } else {
             let start = now.max(line.available_at);
+            let row = self.topo.latency_row(tid);
             let src = if let Some(o) = line.owner {
-                self.topo.latency_ns(tid, o)
+                row[o]
             } else if !line.sharers.is_empty() {
-                line.sharers
-                    .iter()
-                    .map(|s| self.topo.latency_ns(tid, s))
-                    .fold(f64::INFINITY, f64::min)
+                line.sharers.iter().map(|s| row[s]).fold(f64::INFINITY, f64::min)
             } else {
                 self.topo.max_latency_ns()
             };
-            let queue = self.noc_queue(start);
-            let line = self.lines.entry(key).or_default();
-            line.readers_since_write += 1;
-            let contended = line.readers_since_write > 1;
-            let contention = read_c * (line.readers_since_write - 1) as f64;
-            line.sharers.insert(tid);
-            let jf = self.jitter();
-            self.time[tid] = start + queue + (src + contention) * jf;
-            self.stats.record_read(tid, key, false, contended);
+            let queue = self.noc_queue(g, start);
+            let lm = self.line_mut(g, key);
+            lm.readers_since_write += 1;
+            let contended = lm.readers_since_write > 1;
+            let contention = read_c * (lm.readers_since_write - 1) as f64;
+            lm.sharers.insert(tid);
+            let jf = self.jitter(g);
+            g.time[tid] = start + queue + (src + contention) * jf;
+            g.stats.record_read(tid, key, false, contended);
         }
     }
 
-    fn all_ge(&self, addrs: &[Addr], epoch: u32) -> bool {
-        addrs.iter().all(|&a| self.value(a) >= epoch)
+    fn all_ge(&self, g: &State, addrs: &[Addr], epoch: u32) -> bool {
+        addrs.iter().all(|&a| self.value(g, a) >= epoch)
     }
 
     /// Initial probe of a batched wait: fetch every line the thread does
     /// not already share, overlapping the misses — pay the slowest fetch in
     /// full and a pipelining fraction of the rest.
-    fn do_batched_probe(&mut self, tid: usize, addrs: &[Addr]) {
+    fn do_batched_probe(&self, g: &mut State, tid: usize, addrs: &[Addr]) {
         /// Fraction of each additional overlapped miss that still shows up
         /// on the critical path (finite load-queue bandwidth).
         const MLP_OVERLAP: f64 = 0.3;
-        let lb = self.topo.cacheline_bytes() as u32;
         let read_c = self.topo.coherence().read_contention_ns;
-        let now = self.time[tid];
+        let now = g.time[tid];
         let mut max_l = 0.0f64;
         let mut sum_l = 0.0f64;
         let mut fetched = 0usize;
         for &a in addrs {
-            let key = a / lb;
-            let snapshot = self.lines.entry(key).or_default().clone();
+            let key = self.line_key(a);
+            let snapshot = self.line_at(g, key);
             if snapshot.sharers.contains(tid) {
                 continue;
             }
+            let row = self.topo.latency_row(tid);
             let src = if let Some(o) = snapshot.owner {
-                self.topo.latency_ns(tid, o)
+                row[o]
             } else if !snapshot.sharers.is_empty() {
-                snapshot
-                    .sharers
-                    .iter()
-                    .map(|s| self.topo.latency_ns(tid, s))
-                    .fold(f64::INFINITY, f64::min)
+                snapshot.sharers.iter().map(|s| row[s]).fold(f64::INFINITY, f64::min)
             } else {
                 self.topo.max_latency_ns()
             };
-            let queue = self.noc_queue(now);
-            let line = self.lines.entry(key).or_default();
+            let queue = self.noc_queue(g, now);
+            let line = self.line_mut(g, key);
             line.readers_since_write += 1;
             let contended = line.readers_since_write > 1;
             let contention = read_c * (line.readers_since_write - 1) as f64;
@@ -756,21 +1024,21 @@ impl Engine {
             max_l = max_l.max(src + contention + queue);
             sum_l += src + contention + queue;
             fetched += 1;
-            self.stats.record_read(tid, key, false, contended);
+            g.stats.record_read(tid, key, false, contended);
         }
-        let jf = self.jitter();
+        let jf = self.jitter(g);
         let cost = if fetched == 0 {
             self.topo.epsilon_ns()
         } else {
             max_l + MLP_OVERLAP * (sum_l - max_l)
         };
-        self.time[tid] = now + cost * jf;
+        g.time[tid] = now + cost * jf;
     }
 
-    fn do_write(&mut self, tid: usize, addr: Addr, new_value: u32, is_rmw: bool) {
-        let now = self.time[tid];
-        let key = addr / self.topo.cacheline_bytes() as u32;
-        let line_snapshot = self.lines.entry(key).or_default().clone();
+    fn do_write(&self, g: &mut State, tid: usize, addr: Addr, new_value: u32, is_rmw: bool) {
+        let now = g.time[tid];
+        let key = self.line_key(addr);
+        let line_snapshot = self.line_at(g, key);
         let start = now.max(line_snapshot.available_at);
         let (near_transfer, remote) = self.write_transfer(tid, &line_snapshot);
         let transfer = near_transfer.max(self.farthest_holder_latency(tid, &line_snapshot));
@@ -785,24 +1053,24 @@ impl Engine {
         // Remote transfers occupy the shared interconnect; local writes to
         // an exclusively-held line do not.
         let queue = if remote || sharers_snapshot.iter().any(|s| s != tid) {
-            self.noc_queue(start)
+            self.noc_queue(g, start)
         } else {
             0.0
         };
-        let jf = self.jitter();
+        let jf = self.jitter(g);
         let end = start + queue + (transfer + rfo + rmw_alu) * jf;
 
-        let line = self.lines.entry(key).or_default();
+        let line = self.line_mut(g, key);
         line.owner = Some(tid);
         line.sharers.clear();
         line.sharers.insert(tid);
         line.available_at = end;
         line.readers_since_write = 0;
 
-        self.values.insert(addr, new_value);
-        self.time[tid] = end;
+        self.set_value(g, addr, new_value);
+        g.time[tid] = end;
         let invalidated = sharers_snapshot.iter().filter(|&s| s != tid).count();
-        self.stats.record_write(tid, key, remote, invalidated);
+        g.stats.record_write(tid, key, remote, invalidated);
     }
 
     /// After a write to `addr`'s line completes: waiters whose predicate is
@@ -810,38 +1078,31 @@ impl Engine {
     /// staggered reader-contention term); unsatisfied waiters on the same
     /// line immediately re-fetch it (they are spinning), so they rejoin the
     /// sharer set and future writes keep paying invalidation costs to them.
-    fn wake_waiters(
-        &mut self,
-        g: &mut parking_lot::MutexGuard<'_, State>,
-        shared: &Shared,
-        addr: Addr,
-        writer: usize,
-    ) {
-        let key = addr / self.topo.cacheline_bytes() as u32;
-        let end = self.time[writer];
+    fn wake_waiters(&self, g: &mut State, addr: Addr, writer: usize) {
+        let key = self.line_key(addr);
+        let end = g.time[writer];
         let read_c = self.topo.coherence().read_contention_ns;
 
-        let lb = self.topo.cacheline_bytes() as u32;
         let mut woken = 0usize;
-        let mut remaining = Vec::with_capacity(self.waiters.len());
-        let waiters = std::mem::take(&mut self.waiters);
+        let mut remaining = Vec::with_capacity(g.waiters.len());
+        let waiters = std::mem::take(&mut g.waiters);
         for w in waiters {
-            if !w.addrs.iter().any(|&a| a / lb == key) {
+            if !w.addrs.iter().any(|&a| self.line_key(a) == key) {
                 remaining.push(w);
                 continue;
             }
             let satisfied = match &w.cond {
-                WaitCond::Pred(pred) => pred(self.value(w.addrs[0])),
-                WaitCond::AllGe(epoch) => self.all_ge(&w.addrs, *epoch),
+                WaitCond::Pred(pred) => pred(self.value(g, w.addrs[0])),
+                WaitCond::AllGe(epoch) => self.all_ge(g, &w.addrs, *epoch),
             };
             // Whether woken or still spinning, the waiter re-fetches the
             // written line immediately, rejoining the sharer set so that
             // subsequent writes keep paying invalidation costs to it.
-            let line = self.lines.entry(key).or_default();
+            let line = self.line_mut(g, key);
             line.sharers.insert(w.tid);
             line.readers_since_write += 1;
             if satisfied {
-                let lat = self.topo.latency_ns(w.tid, writer);
+                let lat = self.topo.latency_row(w.tid)[writer];
                 // A batched waiter re-fetched every other flag line as its
                 // writers dirtied it; those (pipelined) refetches are paid
                 // now, as the overlap fraction of each line's pull from its
@@ -852,26 +1113,25 @@ impl Engine {
                     WaitCond::AllGe(_) => w
                         .addrs
                         .iter()
-                        .filter(|&&a| a / lb != key)
+                        .filter(|&&a| self.line_key(a) != key)
                         .map(|&a| {
-                            self.lines
-                                .get(&(a / lb))
-                                .and_then(|l| l.owner)
-                                .map_or(0.0, |o| 0.3 * self.topo.latency_ns(w.tid, o))
+                            self.line_at(g, self.line_key(a))
+                                .owner
+                                .map_or(0.0, |o| 0.3 * self.topo.latency_row(w.tid)[o])
                         })
                         .sum(),
                 };
-                let jf = self.jitter();
-                self.time[w.tid] = end + (lat + mlp_extra + read_c * woken as f64) * jf;
+                let jf = self.jitter(g);
+                g.time[w.tid] = end + (lat + mlp_extra + read_c * woken as f64) * jf;
                 woken += 1;
-                let reply_value = self.value(w.addrs[0]);
-                self.stats.record_spin_wakeup(w.tid);
-                self.reply(g, shared, w.tid, Reply::Value(reply_value));
+                let reply_value = self.value(g, w.addrs[0]);
+                g.stats.record_spin_wakeup(w.tid);
+                self.reply(g, w.tid, Reply::Value(reply_value));
             } else {
                 remaining.push(w);
             }
         }
-        self.waiters = remaining;
+        g.waiters = remaining;
     }
 }
 
@@ -1112,7 +1372,13 @@ mod tests {
                 ctx.store(a, 1);
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::OpBudgetExhausted { .. }));
+        match err {
+            SimError::OpBudgetExhausted { ops, budget } => {
+                assert_eq!(budget, 1000, "error must carry the configured budget");
+                assert!(ops > budget);
+            }
+            other => panic!("expected budget error, got {other}"),
+        }
     }
 
     #[test]
@@ -1125,9 +1391,42 @@ mod tests {
             })
             .unwrap_err();
         match err {
-            SimError::ThreadPanic { tid, message } => {
+            SimError::ThreadPanic { tid, message, waiters } => {
                 assert_eq!(tid, 1);
                 assert!(message.contains("intentional"));
+                assert!(waiters.is_empty(), "no thread was blocked here");
+            }
+            other => panic!("expected panic error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn thread_panic_attaches_blocked_peer_snapshot() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        // t0 parks on a flag t1 was supposed to release; t1 dies first. The
+        // diagnostic must name the orphaned waiter and its target.
+        let err = SimBuilder::new(topo(), 2)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.spin_until_ge(a, 1);
+                } else {
+                    // A real rendezvous op: its reply is gated behind t0's
+                    // wait registration, so the snapshot is deterministic.
+                    ctx.now_ns();
+                    panic!("writer died before releasing");
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::ThreadPanic { tid, message, waiters } => {
+                assert_eq!(tid, 1);
+                assert!(message.contains("before releasing"));
+                assert_eq!(waiters.len(), 1, "the parked spinner must be snapshotted");
+                assert_eq!(waiters[0].tid, 0);
+                assert_eq!(waiters[0].addr, a);
+                assert_eq!(waiters[0].kind, WaitKind::Ge(1));
+                assert_eq!(waiters[0].last_value, 0);
             }
             other => panic!("expected panic error, got {other}"),
         }
@@ -1161,6 +1460,28 @@ mod tests {
         assert_eq!(run(1), run(1));
         assert_eq!(run(2), run(2));
         assert_ne!(run(1), run(3), "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn arena_reservation_changes_nothing() {
+        // reserve_for is a pure pre-sizing hint: identical results with it.
+        let body = |a: Addr| {
+            move |ctx: &SimThread| {
+                let prev = ctx.fetch_add(a, 1);
+                if prev + 1 < ctx.nthreads() as u32 {
+                    ctx.spin_until_ge(a, ctx.nthreads() as u32);
+                }
+            }
+        };
+        let mut arena = Arena::new();
+        let a = arena.alloc_padded_u32(64);
+        let plain = SimBuilder::new(topo(), 4).run(body(a)).unwrap();
+        let mut arena2 = Arena::new();
+        let a2 = arena2.alloc_padded_u32(64);
+        let reserved = SimBuilder::new(topo(), 4).reserve_for(&arena2).run(body(a2)).unwrap();
+        assert_eq!(plain.max_time_ns(), reserved.max_time_ns());
+        assert_eq!(plain.per_thread_time_ns(), reserved.per_thread_time_ns());
+        assert_eq!(plain.total_mem_ops(), reserved.total_mem_ops());
     }
 
     #[test]

@@ -63,10 +63,17 @@ pub enum SimError {
     /// wait condition, and the value last observed there.
     Deadlock { waiters: Vec<DeadlockWaiter> },
     /// The simulation exceeded the configured operation budget — a live-lock
-    /// or runaway loop in the simulated program.
-    OpBudgetExhausted { ops: u64 },
-    /// A simulated thread panicked; the message is forwarded.
-    ThreadPanic { tid: usize, message: String },
+    /// or runaway loop in the simulated program. Carries both the configured
+    /// budget and the number of operations issued when the guard tripped, so
+    /// the message tells the reader what limit to raise.
+    OpBudgetExhausted { ops: u64, budget: u64 },
+    /// A simulated thread panicked; the message is forwarded. `waiters`
+    /// snapshots every *other* thread that was blocked in a spin-wait when
+    /// the panic tore the run down — often the interesting part of the
+    /// diagnosis (the panicking thread is frequently an assertion that a
+    /// release store never happened, and the waiters say who was stuck
+    /// because of it).
+    ThreadPanic { tid: usize, message: String, waiters: Vec<DeadlockWaiter> },
 }
 
 impl std::fmt::Display for SimError {
@@ -82,11 +89,25 @@ impl std::fmt::Display for SimError {
                 }
                 Ok(())
             }
-            SimError::OpBudgetExhausted { ops } => {
-                write!(f, "simulation exceeded its operation budget ({ops} ops): live-lock?")
+            SimError::OpBudgetExhausted { ops, budget } => {
+                write!(
+                    f,
+                    "simulation exceeded its operation budget of {budget} ops \
+                     (issued {ops}): live-lock?"
+                )
             }
-            SimError::ThreadPanic { tid, message } => {
-                write!(f, "simulated thread {tid} panicked: {message}")
+            SimError::ThreadPanic { tid, message, waiters } => {
+                write!(f, "simulated thread {tid} panicked: {message}")?;
+                if !waiters.is_empty() {
+                    write!(f, "; {} thread(s) were blocked: ", waiters.len())?;
+                    for (i, w) in waiters.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{w}")?;
+                    }
+                }
+                Ok(())
             }
         }
     }
@@ -120,15 +141,34 @@ mod tests {
     }
 
     #[test]
-    fn budget_message_mentions_ops() {
-        let e = SimError::OpBudgetExhausted { ops: 123 };
-        assert!(e.to_string().contains("123"));
+    fn budget_message_mentions_ops_and_budget() {
+        let e = SimError::OpBudgetExhausted { ops: 123, budget: 100 };
+        let s = e.to_string();
+        assert!(s.contains("123"), "{s}");
+        assert!(s.contains("budget of 100 ops"), "{s}");
     }
 
     #[test]
     fn panic_message_forwards() {
-        let e = SimError::ThreadPanic { tid: 7, message: "boom".into() };
+        let e = SimError::ThreadPanic { tid: 7, message: "boom".into(), waiters: vec![] };
         assert!(e.to_string().contains("thread 7"));
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn panic_message_lists_blocked_peers() {
+        let e = SimError::ThreadPanic {
+            tid: 2,
+            message: "boom".into(),
+            waiters: vec![DeadlockWaiter {
+                tid: 0,
+                addr: 0x40,
+                kind: WaitKind::Ge(1),
+                last_value: 0,
+            }],
+        };
+        let s = e.to_string();
+        assert!(s.contains("1 thread(s) were blocked"), "{s}");
+        assert!(s.contains("t0 on addr 0x40 waiting for >= 1 (saw 0)"), "{s}");
     }
 }

@@ -26,11 +26,16 @@
 //! ## Execution model
 //!
 //! Each simulated thread is an OS thread running arbitrary Rust code; every
-//! [`SimThread`] operation is a rendezvous with a central scheduler that
-//! processes operations in virtual-time order (ties broken by thread id),
-//! one at a time. The interleaving is therefore **fully deterministic** —
-//! independent of host scheduling and host core count — and a blocked
-//! simulation (a buggy barrier) is detected and reported rather than hanging.
+//! [`SimThread`] operation posts to a shared engine that processes
+//! operations in virtual-time order (ties broken by thread id), one at a
+//! time. The engine is *cooperative*: whichever worker posts an operation
+//! runs the scheduling loop inline while it holds the state lock, so serial
+//! phases of a simulation advance without any context switches. The
+//! interleaving is **fully deterministic** — independent of host scheduling
+//! and host core count — and a blocked simulation (a buggy barrier) is
+//! detected and reported rather than hanging. Worker threads are pooled in
+//! episode-reusable [`SimTeam`]s; [`SimBuilder::run`] reuses an ambient
+//! per-host-thread team transparently.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -61,8 +66,10 @@ pub mod error;
 pub mod line;
 pub mod rng;
 pub mod stats;
+pub mod team;
 
 pub use arena::{Addr, Arena};
 pub use engine::{SimBuilder, SimThread};
 pub use error::{DeadlockWaiter, SimError, WaitKind};
 pub use stats::{CoherenceCounters, CoherenceStats, LineTraffic, Mark, OpKind, RunStats};
+pub use team::SimTeam;

@@ -86,7 +86,7 @@ impl FromIterator<CoreId> for CoreSet {
 /// is always a sharer of its own line). `available_at` is the virtual time
 /// at which the line next becomes free for an ownership transfer — writes
 /// and RMWs to one line serialize on it, producing hot-spot queueing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Line {
     /// Core owning the authoritative copy (last writer), if any.
     pub owner: Option<CoreId>,

@@ -206,8 +206,8 @@ impl RunStats {
         self.per_thread_time_ns[tid] = t;
     }
 
-    pub(crate) fn count_op(&mut self, kind: OpKind) {
-        self.op_counts[kind.idx()] += 1;
+    pub(crate) fn count_ops(&mut self, kind: OpKind, n: u64) {
+        self.op_counts[kind.idx()] += n;
     }
 
     pub(crate) fn push_mark(&mut self, m: Mark) {
@@ -356,9 +356,8 @@ mod tests {
     #[test]
     fn op_counting_accumulates() {
         let mut s = RunStats::new(1);
-        s.count_op(OpKind::RemoteRead);
-        s.count_op(OpKind::RemoteRead);
-        s.count_op(OpKind::LocalWrite);
+        s.count_ops(OpKind::RemoteRead, 2);
+        s.count_ops(OpKind::LocalWrite, 1);
         assert_eq!(s.ops(OpKind::RemoteRead), 2);
         assert_eq!(s.ops(OpKind::LocalWrite), 1);
         assert_eq!(s.ops(OpKind::RemoteWrite), 0);
@@ -368,7 +367,7 @@ mod tests {
     #[test]
     fn compute_not_a_mem_op() {
         let mut s = RunStats::new(1);
-        s.count_op(OpKind::Compute);
+        s.count_ops(OpKind::Compute, 1);
         assert_eq!(s.total_mem_ops(), 0);
     }
 

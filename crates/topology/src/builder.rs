@@ -171,17 +171,20 @@ impl TopologyBuilder {
         assert!(!self.layers.is_empty(), "register at least one layer");
         let pair_layer =
             self.pair_layer.expect("provide a pair→layer map via hierarchy() or pair_layer_fn()");
-        let topo = Topology {
+        let mut topo = Topology {
             name: self.name,
             num_cores: self.num_cores,
             cacheline_bytes: self.cacheline_bytes,
             epsilon_ns: self.epsilon_ns,
             layers: self.layers,
             pair_layer,
+            latency_matrix: Vec::new(),
+            rfo_matrix: Vec::new(),
             n_c: self.n_c.unwrap_or(self.num_cores),
             coherence: self.coherence,
         };
         topo.validate();
+        topo.compute_matrices();
         topo
     }
 }

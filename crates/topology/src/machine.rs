@@ -85,6 +85,14 @@ pub struct Topology {
     pub(crate) layers: Vec<Layer>,
     /// Dense `num_cores × num_cores` matrix of layer ids; diagonal is LOCAL.
     pub(crate) pair_layer: Vec<LayerId>,
+    /// Dense `num_cores × num_cores` cache of [`Topology::latency_ns`]:
+    /// `latency_matrix[a·n + b] = layer_latency_ns(layer(a, b))`. Built once
+    /// at construction so the simulator's per-operation hot path is a single
+    /// indexed load instead of layer lookup + branch.
+    pub(crate) latency_matrix: Vec<f64>,
+    /// Dense `num_cores × num_cores` cache of [`Topology::rfo_ns`]:
+    /// `rfo_matrix[w·n + h] = α_i · L_i` for the layer joining `w` and `h`.
+    pub(crate) rfo_matrix: Vec<f64>,
     /// Logical core-cluster size `N_c` (Section III-A).
     pub(crate) n_c: usize,
     pub(crate) coherence: CoherenceParams,
@@ -150,10 +158,14 @@ impl Topology {
     }
 
     /// Cache-to-cache transfer latency between cores `a` and `b` in ns
-    /// (`ε` when `a == b`).
+    /// (`ε` when `a == b`). Served from the precomputed latency matrix.
+    ///
+    /// # Panics
+    /// Panics if either core id is out of range.
     #[inline]
     pub fn latency_ns(&self, a: CoreId, b: CoreId) -> f64 {
-        self.layer_latency_ns(self.layer(a, b))
+        assert!(a < self.num_cores && b < self.num_cores, "core id out of range");
+        self.latency_matrix[a * self.num_cores + b]
     }
 
     /// Latency of a given layer in ns.
@@ -178,11 +190,28 @@ impl Topology {
     }
 
     /// Cost in ns of sending an RFO invalidation from `writer` to a sharer
-    /// at `holder`: `α_i · L_i` (Section III-B).
+    /// at `holder`: `α_i · L_i` (Section III-B). Served from the precomputed
+    /// RFO matrix.
+    ///
+    /// # Panics
+    /// Panics if either core id is out of range.
     #[inline]
     pub fn rfo_ns(&self, writer: CoreId, holder: CoreId) -> f64 {
-        let l = self.layer(writer, holder);
-        self.alpha(l) * self.layer_latency_ns(l)
+        assert!(writer < self.num_cores && holder < self.num_cores, "core id out of range");
+        self.rfo_matrix[writer * self.num_cores + holder]
+    }
+
+    /// Row `a` of the latency matrix: `latency_ns(a, b)` for every `b`.
+    /// The simulator iterates these rows in its per-sharer loops.
+    #[inline]
+    pub fn latency_row(&self, a: CoreId) -> &[f64] {
+        &self.latency_matrix[a * self.num_cores..(a + 1) * self.num_cores]
+    }
+
+    /// Row `w` of the RFO matrix: `rfo_ns(w, h)` for every `h`.
+    #[inline]
+    pub fn rfo_row(&self, w: CoreId) -> &[f64] {
+        &self.rfo_matrix[w * self.num_cores..(w + 1) * self.num_cores]
     }
 
     /// Logical cluster index of a core (cores `[k·N_c, (k+1)·N_c)` form
@@ -229,6 +258,25 @@ impl Topology {
             }
         }
         sum / n as f64
+    }
+
+    /// Fills the dense latency/RFO caches from the layer table. Called once
+    /// by the builder, after validation; the cached values are exactly the
+    /// per-call layer math they replace (same expressions, same `f64`
+    /// results), so lookups are bit-identical to the formulas.
+    pub(crate) fn compute_matrices(&mut self) {
+        let n = self.num_cores;
+        let mut latency = vec![0.0; n * n];
+        let mut rfo = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                let l = self.pair_layer[a * n + b];
+                latency[a * n + b] = self.layer_latency_ns(l);
+                rfo[a * n + b] = self.alpha(l) * self.layer_latency_ns(l);
+            }
+        }
+        self.latency_matrix = latency;
+        self.rfo_matrix = rfo;
     }
 
     /// Verifies internal consistency; called by the builder and presets.
@@ -306,6 +354,31 @@ mod tests {
             }
             assert!(seen.iter().all(|&n| n == t.n_c()), "{p:?}: {seen:?}");
         }
+    }
+
+    #[test]
+    fn cached_matrices_equal_layer_math_exactly() {
+        // The simulator's hot path reads the dense caches; they must be
+        // bit-identical to the formulas they replace, on every preset.
+        for p in Platform::ALL {
+            let t = Topology::preset(p);
+            for a in 0..t.num_cores() {
+                for b in 0..t.num_cores() {
+                    let l = t.layer(a, b);
+                    assert_eq!(t.latency_ns(a, b), t.layer_latency_ns(l), "{p:?} {a} {b}");
+                    assert_eq!(t.rfo_ns(a, b), t.alpha(l) * t.layer_latency_ns(l), "{p:?} {a} {b}");
+                    assert_eq!(t.latency_row(a)[b], t.latency_ns(a, b));
+                    assert_eq!(t.rfo_row(a)[b], t.rfo_ns(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "core id out of range")]
+    fn latency_rejects_out_of_range_core() {
+        let t = Topology::preset(Platform::ThunderX2);
+        let _ = t.latency_ns(64, 0);
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn participant_panic_is_attributed() {
         })
         .unwrap_err();
     match err {
-        SimError::ThreadPanic { tid, message } => {
+        SimError::ThreadPanic { tid, message, .. } => {
             assert_eq!(tid, 2);
             assert!(message.contains("injected failure"));
         }

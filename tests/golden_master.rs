@@ -1,0 +1,68 @@
+//! Golden-master regression: the simulator's model output is pinned
+//! byte-for-byte.
+//!
+//! The fixture under `tests/fixtures/` is a quick-scale `algo_curve` CSV for
+//! phytium2000p × {SENSE, STOUR, DIS} on the canonical seed schedule,
+//! rendered with Rust's default (shortest round-trip) `f64` formatting. Any
+//! engine or topology change that shifts a single bit of any overhead value
+//! changes a byte here and fails the test — performance refactors must
+//! reproduce the model's output exactly, not approximately.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_master
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use armbar_core::prelude::AlgorithmId;
+use armbar_experiments::{
+    runner::{algo_curve_on, topo},
+    Scale,
+};
+use armbar_sweep::SweepPool;
+use armbar_topology::Platform;
+
+const ALGOS: [AlgorithmId; 3] =
+    [AlgorithmId::Sense, AlgorithmId::Stour, AlgorithmId::Dissemination];
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/golden_algo_curve_phytium_quick.csv")
+}
+
+/// Renders the golden curves. Serial pool — the sweep-determinism suite
+/// already proves parallel pools produce identical bytes.
+fn render_golden_csv() -> String {
+    let t = topo(Platform::Phytium2000Plus);
+    let scale = Scale::quick();
+    let pool = SweepPool::new(1);
+    let mut csv = String::from("algorithm,threads,overhead_ns\n");
+    for id in ALGOS {
+        for (p, ns) in algo_curve_on(&pool, &t, id, &scale) {
+            writeln!(csv, "{},{},{}", id.label(), p, ns).unwrap();
+        }
+    }
+    csv
+}
+
+#[test]
+fn model_output_matches_committed_fixture_byte_for_byte() {
+    let path = fixture_path();
+    let fresh = render_golden_csv();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &fresh).expect("failed to write fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {} ({e}); run with GOLDEN_REGEN=1", path.display())
+    });
+    assert_eq!(
+        fresh, committed,
+        "simulator output diverged from the golden master; if the model \
+         change is intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}
