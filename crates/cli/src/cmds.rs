@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use armbar_conformance::{conform_matrix_on, ConformConfig};
 use armbar_core::prelude::*;
 use armbar_epcc::{
     latency_table, phase_breakdown, sim_overhead_ns, trace_episodes, EpisodeTrace, OverheadConfig,
@@ -39,6 +40,16 @@ USAGE:
       Fault-injection survival table: every algorithm x platform under
       seeded straggler / latency / lost-wakeup / crash scenarios —
       deterministic on the simulator, deadline-guarded on the host.
+  armbar conform [--quick] [--platforms NAME,...] [--algos NAME,...]
+                 [--threads N] [--episodes N] [--seeds N]
+                 [--schedule-seed N] [--budget N] [--jobs N]
+                 [--format csv|json] [--out FILE]
+      Schedule-exploring conformance check: each (platform, algorithm)
+      cell is driven through --seeds seeded, perturbed interleavings and
+      audited by safety oracles (no early exit, epoch consistency, no
+      lost wake-up, quiescence). Violations ship a shrunk deterministic
+      reproducer and make the command exit nonzero. --quick = all 14
+      algorithms on Kunpeng920 at 8 threads, 1200 seeds per cell.
 
 Sweeps fan out over min(--jobs | ARMBAR_JOBS, available cores) workers;
 results are byte-identical at any worker count (host-backend cells always
@@ -433,6 +444,96 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `armbar conform [--quick] [--platforms ...] [--algos ...] [--threads N]
+/// [--episodes N] [--seeds N] [--schedule-seed N] [--budget N] [--jobs N]
+/// [--format csv|json] [--out FILE]`
+///
+/// Exits nonzero (after writing the table) if any cell records a
+/// violation, so CI can gate on it directly.
+pub fn conform(rest: &[String]) -> Result<(), String> {
+    let quick = rest.iter().any(|a| a == "--quick");
+    let mut config = ConformConfig::default();
+    if quick {
+        // The acceptance sweep: every algorithm, ≥1000 distinct schedules
+        // per cell.
+        config.seeds = 1200;
+    }
+
+    if let Some(spec) = flag_value(rest, "--platforms").or_else(|| flag_value(rest, "--platform")) {
+        let mut out = Vec::new();
+        for part in spec.split(',') {
+            out.push(parse_platform(&[part.trim().to_string()])?);
+        }
+        config.platforms = out;
+    }
+    if flag_value(rest, "--algos").is_some() {
+        config.algorithms = parse_algos(rest)?;
+    }
+    if let Some(s) = flag_value(rest, "--threads") {
+        config.threads = match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad thread count {s:?} (need at least 1)")),
+            Ok(n) => n,
+        };
+    }
+    if let Some(s) = flag_value(rest, "--episodes") {
+        config.episodes = match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad episode count {s:?} (need at least 1)")),
+            Ok(n) => n,
+        };
+    }
+    if let Some(s) = flag_value(rest, "--seeds") {
+        config.seeds = match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad seed count {s:?} (need at least 1)")),
+            Ok(n) => n,
+        };
+    }
+    if let Some(s) = flag_value(rest, "--schedule-seed") {
+        config.base_seed = match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        }
+        .map_err(|_| format!("bad --schedule-seed {s:?}"))?;
+    }
+    if let Some(s) = flag_value(rest, "--budget") {
+        let budget = s.parse().map_err(|_| format!("bad --budget {s:?}"))?;
+        config.explorer = config.explorer.with_budget(budget);
+    }
+    let format = flag_value(rest, "--format").unwrap_or_else(|| "csv".into());
+    if format != "csv" && format != "json" {
+        return Err(format!("unknown format {format:?} (expected csv or json)"));
+    }
+    let pool = parse_pool(rest)?;
+
+    let cells = conform_matrix_on(&pool, &config);
+    let text = if format == "csv" {
+        armbar_conformance::render_csv(&cells, &config)
+    } else {
+        armbar_conformance::render_json(&cells, &config)
+    };
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("wrote {} conformance cells to {path}", cells.len());
+        }
+        None => print!("{text}"),
+    }
+
+    let violated: Vec<String> = cells
+        .iter()
+        .filter(|c| !c.violations.is_empty())
+        .map(|c| format!("{} on {}: {}", c.algorithm.label(), c.platform.label(), c.detail()))
+        .collect();
+    if violated.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} cell(s) violated the safety oracles:\n  {}",
+            violated.len(),
+            violated.join("\n  ")
+        ))
+    }
+}
+
 /// Column order shared by the CSV header and both renderers.
 const TRACE_COLUMNS: &str = "episode,arrival_ns,notification_ns,total_ns,\
 local_reads,remote_reads,reader_contention,local_writes,remote_writes,\
@@ -705,6 +806,44 @@ mod tests {
         assert_eq!(headers.len(), 2);
         assert!(headers[0].contains("SENSE"));
         assert!(headers[1].contains("OPT"));
+    }
+
+    #[test]
+    fn conform_runs_a_small_clean_matrix() {
+        let out = std::env::temp_dir().join("armbar_conform_small.csv");
+        conform(&[
+            "--platforms".to_string(),
+            "kunpeng".into(),
+            "--algos".into(),
+            "SENSE,DIS".into(),
+            "--threads".into(),
+            "4".into(),
+            "--episodes".into(),
+            "1".into(),
+            "--seeds".into(),
+            "20".into(),
+            "--schedule-seed".into(),
+            "0x5EED".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert!(text.starts_with("# conform: base seed 0x5eed"));
+        assert_eq!(text.lines().filter(|l| l.ends_with("distinct schedules")).count(), 2);
+        assert!(text.contains(",ok,"));
+    }
+
+    #[test]
+    fn conform_rejects_bad_flags() {
+        assert!(conform(&["--threads".to_string(), "0".into()]).is_err());
+        assert!(conform(&["--episodes".to_string(), "0".into()]).is_err());
+        assert!(conform(&["--seeds".to_string(), "none".into()]).is_err());
+        assert!(conform(&["--schedule-seed".to_string(), "0xzz".into()]).is_err());
+        assert!(conform(&["--budget".to_string(), "many".into()]).is_err());
+        assert!(conform(&["--format".to_string(), "xml".into()]).is_err());
+        assert!(conform(&["--platforms".to_string(), "riscv".into()]).is_err());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! armbar chaos [--platforms kunpeng,phytium] [--algos SENSE,OPT]
 //!              [--scenarios straggler,crash] [--backend sim|host|both]
 //!              [--threads 8] [--seed 0xC4A05] [--format csv|json]
+//! armbar conform [--quick] [--platforms kunpeng] [--algos SENSE,OPT]
+//!                [--threads 8] [--episodes 2] [--seeds 1200]
+//!                [--schedule-seed 0xC0F0] [--budget 64] [--format csv|json]
 //! ```
 
 mod cmds;
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
         "phases" => cmds::phases(rest),
         "trace" => cmds::trace(rest),
         "chaos" => cmds::chaos(rest),
+        "conform" => cmds::conform(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);
             Ok(())

@@ -1,0 +1,531 @@
+//! Trial runner, safety-oracle classification, and the conformance matrix.
+//!
+//! One *trial* = one seeded, perturbed simulation of `episodes` audited
+//! barrier episodes (`Barrier::wait_conformed`) on one (platform,
+//! algorithm) pair. Trials are pure functions of their seed, so every
+//! violation is replayable; a shrinking pass then minimizes the
+//! perturbation budget and episode count of the reproducer.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use armbar_core::env::{MARK_ENTER, MARK_EXIT};
+use armbar_core::{AlgorithmId, Barrier, EpisodeOracle};
+use armbar_simcoh::stats::Mark;
+use armbar_simcoh::{Arena, SimBuilder, SimError};
+use armbar_sweep::{Job, SweepPool};
+use armbar_topology::{Platform, Topology};
+
+use crate::explorer::{ExplorerConfig, ExplorerPolicy};
+
+/// What to check: the cross product of platforms × algorithms, each cell
+/// searched over `seeds` perturbed schedules.
+#[derive(Debug, Clone)]
+pub struct ConformConfig {
+    /// Modeled machines to check on.
+    pub platforms: Vec<Platform>,
+    /// Barrier algorithms under audit.
+    pub algorithms: Vec<AlgorithmId>,
+    /// Participating threads per trial (clamped to the platform's cores).
+    pub threads: usize,
+    /// Audited barrier episodes per trial.
+    pub episodes: u32,
+    /// Seeded schedules searched per (platform, algorithm) cell.
+    pub seeds: u32,
+    /// Master seed; trial seeds derive from it.
+    pub base_seed: u64,
+    /// Exploration tuning (perturbation probabilities and budget).
+    pub explorer: ExplorerConfig,
+    /// Engine op budget per trial (perturbation delays count against it).
+    pub op_budget: u64,
+}
+
+impl Default for ConformConfig {
+    fn default() -> Self {
+        Self {
+            platforms: vec![Platform::Kunpeng920],
+            algorithms: AlgorithmId::ALL.to_vec(),
+            threads: 8,
+            episodes: 2,
+            seeds: 200,
+            base_seed: 0xC0F0,
+            explorer: ExplorerConfig::default(),
+            op_budget: 4_000_000,
+        }
+    }
+}
+
+/// The safety property a failing trial violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A thread left episode `k` before every peer had entered it.
+    EarlyExit,
+    /// Episode numbering skewed by more than one across threads.
+    EpochSkew,
+    /// The episode hung: some thread never observed a release.
+    LostWakeup,
+    /// The engine's op budget tripped — a live-lock under this schedule.
+    Livelock,
+    /// The per-thread `ENTER`/`EXIT` phase marks did not balance and
+    /// alternate — residual work leaked across episodes.
+    Quiescence,
+    /// The barrier body panicked for a non-oracle reason.
+    Panic,
+}
+
+impl ViolationKind {
+    /// Stable table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::EarlyExit => "early-exit",
+            ViolationKind::EpochSkew => "epoch-skew",
+            ViolationKind::LostWakeup => "lost-wakeup",
+            ViolationKind::Livelock => "livelock",
+            ViolationKind::Quiescence => "quiescence",
+            ViolationKind::Panic => "panic",
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A confirmed oracle violation with its minimal deterministic reproducer:
+/// re-running the same (platform, algorithm, threads) trial with
+/// `--schedule-seed seed`, the recorded budget, and `episodes` replays it
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Violated property.
+    pub kind: ViolationKind,
+    /// Human-readable diagnostic from the oracle or engine.
+    pub detail: String,
+    /// Trial seed reproducing the violation.
+    pub seed: u64,
+    /// Minimal perturbation budget that still reproduces it (0 = the
+    /// violation needs no perturbation at all).
+    pub budget: u32,
+    /// Minimal episode count that still reproduces it.
+    pub episodes: u32,
+}
+
+/// One (platform, algorithm) cell of the conformance matrix.
+#[derive(Debug, Clone)]
+pub struct ConformCell {
+    /// Modeled machine.
+    pub platform: Platform,
+    /// Algorithm under audit.
+    pub algorithm: AlgorithmId,
+    /// Threads per trial (after clamping to the platform).
+    pub threads: usize,
+    /// Trials actually run (the search stops at the first violation).
+    pub trials: u32,
+    /// Distinct schedule fingerprints observed across those trials.
+    pub distinct_schedules: usize,
+    /// Violations found (at most one per cell; shrunk before reporting).
+    pub violations: Vec<Violation>,
+}
+
+impl ConformCell {
+    /// Table status column.
+    pub fn status(&self) -> &'static str {
+        if self.violations.is_empty() {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
+    }
+
+    /// Table detail column: the reproducer, or the schedule coverage.
+    pub fn detail(&self) -> String {
+        match self.violations.first() {
+            None => format!("{} distinct schedules", self.distinct_schedules),
+            Some(v) => format!(
+                "{}: {} [replay: seed {:#x} budget {} episodes {}]",
+                v.kind, v.detail, v.seed, v.budget, v.episodes
+            ),
+        }
+    }
+}
+
+/// The i-th trial seed of a search (golden-ratio stride keeps neighboring
+/// trials decorrelated while staying replayable from `base` alone).
+pub fn trial_seed(base: u64, i: u32) -> u64 {
+    base.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1
+}
+
+/// Outcome of one trial: the schedule fingerprint, or a classified
+/// violation.
+type TrialResult = Result<u64, (ViolationKind, String)>;
+
+/// Runs one audited, perturbed trial of `algorithm`.
+fn run_trial(
+    topo: &Arc<Topology>,
+    algorithm: AlgorithmId,
+    threads: usize,
+    episodes: u32,
+    seed: u64,
+    explorer: ExplorerConfig,
+    op_budget: u64,
+) -> TrialResult {
+    run_trial_with(
+        topo,
+        &|arena, p, t| algorithm.build(arena, p, t),
+        threads,
+        episodes,
+        seed,
+        explorer,
+        op_budget,
+    )
+}
+
+/// [`run_trial`] with an arbitrary barrier factory — the testing seam for
+/// deliberately broken barriers.
+pub(crate) fn run_trial_with(
+    topo: &Arc<Topology>,
+    build: &dyn Fn(&mut Arena, usize, &Topology) -> Box<dyn Barrier>,
+    threads: usize,
+    episodes: u32,
+    seed: u64,
+    explorer: ExplorerConfig,
+    op_budget: u64,
+) -> TrialResult {
+    let p = threads.min(topo.num_cores()).max(1);
+    let mut arena = Arena::new();
+    let barrier: Arc<dyn Barrier> = Arc::from(build(&mut arena, p, topo));
+    let oracle = EpisodeOracle::new(&mut arena, p, topo.cacheline_bytes());
+    let result = SimBuilder::new(Arc::clone(topo), p)
+        .seed(seed)
+        .op_budget(op_budget)
+        .reserve_for(&arena)
+        .schedule_policy(ExplorerPolicy::new(seed, explorer))
+        .run(move |sim| {
+            for e in 1..=episodes {
+                barrier.wait_conformed(sim, &oracle, e);
+            }
+        });
+    match result {
+        Ok(stats) => match check_quiescence(stats.marks(), p, episodes) {
+            Ok(()) => Ok(stats.schedule_hash()),
+            Err(detail) => Err((ViolationKind::Quiescence, detail)),
+        },
+        Err(SimError::Deadlock { waiters }) => Err((
+            ViolationKind::LostWakeup,
+            match waiters.first() {
+                Some(w) => format!("{} blocked; first: {w}", waiters.len()),
+                None => "all threads blocked".to_string(),
+            },
+        )),
+        Err(SimError::ThreadPanic { tid, message, .. }) => {
+            let kind = if message.contains("early exit") {
+                ViolationKind::EarlyExit
+            } else if message.contains("epoch skew") {
+                ViolationKind::EpochSkew
+            } else {
+                ViolationKind::Panic
+            };
+            Err((kind, format!("t{tid}: {message}")))
+        }
+        Err(SimError::OpBudgetExhausted { ops, budget }) => {
+            Err((ViolationKind::Livelock, format!("{ops} ops exceeded budget {budget}")))
+        }
+    }
+}
+
+/// The quiescence oracle: each thread's phase marks must be exactly
+/// `episodes` alternating `ENTER`/`EXIT` pairs — an unbalanced or
+/// out-of-order sequence means an episode leaked work into the next one.
+pub fn check_quiescence(marks: &[Mark], threads: usize, episodes: u32) -> Result<(), String> {
+    for tid in 0..threads {
+        let seq: Vec<u32> = marks
+            .iter()
+            .filter(|m| m.tid == tid && (m.label == MARK_ENTER || m.label == MARK_EXIT))
+            .map(|m| m.label)
+            .collect();
+        if seq.len() != 2 * episodes as usize {
+            return Err(format!(
+                "thread {tid}: {} phase marks for {episodes} episodes (want {})",
+                seq.len(),
+                2 * episodes
+            ));
+        }
+        for (i, &label) in seq.iter().enumerate() {
+            let want = if i % 2 == 0 { MARK_ENTER } else { MARK_EXIT };
+            if label != want {
+                return Err(format!(
+                    "thread {tid}: phase mark {i} is {label:#x}, want {want:#x} \
+                     (episodes must strictly alternate enter/exit)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Minimizes a failing trial: smallest perturbation budget (0, 1, 2, 4, …)
+/// that still violates, then the smallest episode count at that budget.
+/// Every probe is deterministic, so the returned reproducer is exact.
+fn shrink(
+    topo: &Arc<Topology>,
+    algorithm: AlgorithmId,
+    cfg: &ConformConfig,
+    seed: u64,
+    found: (ViolationKind, String),
+) -> Violation {
+    let mut budget = cfg.explorer.budget;
+    let mut episodes = cfg.episodes;
+    let mut kind = found.0;
+    let mut detail = found.1;
+
+    let probe = |budget: u32, episodes: u32| -> Option<(ViolationKind, String)> {
+        run_trial(
+            topo,
+            algorithm,
+            cfg.threads,
+            episodes,
+            seed,
+            cfg.explorer.with_budget(budget),
+            cfg.op_budget,
+        )
+        .err()
+    };
+
+    let mut candidates: Vec<u32> = vec![0];
+    let mut b = 1;
+    while b < cfg.explorer.budget {
+        candidates.push(b);
+        b *= 2;
+    }
+    for &cand in &candidates {
+        if let Some((k, d)) = probe(cand, episodes) {
+            budget = cand;
+            kind = k;
+            detail = d;
+            break;
+        }
+    }
+    for e in 1..cfg.episodes {
+        if let Some((k, d)) = probe(budget, e) {
+            episodes = e;
+            kind = k;
+            detail = d;
+            break;
+        }
+    }
+    Violation { kind, detail, seed, budget, episodes }
+}
+
+/// Searches one (platform, algorithm) cell: runs up to `cfg.seeds` trials,
+/// counting distinct schedule fingerprints, and stops at the first
+/// violation (which it shrinks before reporting).
+fn run_cell(platform: Platform, algorithm: AlgorithmId, cfg: &ConformConfig) -> ConformCell {
+    let topo = Arc::new(Topology::preset(platform));
+    let threads = cfg.threads.min(topo.num_cores()).max(1);
+    let mut distinct: HashSet<u64> = HashSet::new();
+    let mut violations = Vec::new();
+    let mut trials = 0;
+    for i in 0..cfg.seeds {
+        let seed = trial_seed(cfg.base_seed, i);
+        trials += 1;
+        match run_trial(&topo, algorithm, threads, cfg.episodes, seed, cfg.explorer, cfg.op_budget)
+        {
+            Ok(hash) => {
+                distinct.insert(hash);
+            }
+            Err(found) => {
+                violations.push(shrink(&topo, algorithm, cfg, seed, found));
+                break;
+            }
+        }
+    }
+    ConformCell {
+        platform,
+        algorithm,
+        threads,
+        trials,
+        distinct_schedules: distinct.len(),
+        violations,
+    }
+}
+
+/// Runs the conformance matrix on the ambient [`SweepPool`]
+/// (`--jobs`/`ARMBAR_JOBS` workers). One cell per (platform, algorithm),
+/// in listed order.
+pub fn conform_matrix(cfg: &ConformConfig) -> Vec<ConformCell> {
+    conform_matrix_on(&SweepPool::ambient(), cfg)
+}
+
+/// [`conform_matrix`] on an explicit pool. Cells are pure functions of the
+/// config, fan out as parallel jobs, and collect in submission order — the
+/// rendered table is byte-identical at any worker count.
+pub fn conform_matrix_on(pool: &SweepPool, cfg: &ConformConfig) -> Vec<ConformCell> {
+    silence_oracle_panics();
+    let mut jobs: Vec<Job<'_, ConformCell>> = Vec::new();
+    for &platform in &cfg.platforms {
+        for &algorithm in &cfg.algorithms {
+            jobs.push(Job::parallel(move || run_cell(platform, algorithm, cfg)));
+        }
+    }
+    pool.run(jobs)
+}
+
+/// Keeps expected oracle violations (and their teardown) from spraying
+/// panic reports over the table: they are caught, classified, and shrunk.
+fn silence_oracle_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied());
+            if !msg.is_some_and(armbar_core::oracle::is_oracle_message) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_core::MemCtx;
+    use armbar_simcoh::Addr;
+    use armbar_sweep::SweepPool;
+
+    fn quick_cfg() -> ConformConfig {
+        ConformConfig {
+            algorithms: vec![AlgorithmId::Sense, AlgorithmId::Dissemination],
+            threads: 4,
+            episodes: 2,
+            seeds: 30,
+            ..ConformConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_sampled_algorithms_conform() {
+        let cells = conform_matrix_on(&SweepPool::new(2), &quick_cfg());
+        for c in &cells {
+            assert!(c.violations.is_empty(), "{}: {}", c.algorithm.label(), c.detail());
+            assert_eq!(c.trials, 30);
+        }
+    }
+
+    #[test]
+    fn exploration_produces_schedule_diversity() {
+        let cells = conform_matrix_on(&SweepPool::new(2), &quick_cfg());
+        for c in &cells {
+            assert!(
+                c.distinct_schedules > c.trials as usize / 2,
+                "{}: only {} distinct schedules over {} trials",
+                c.algorithm.label(),
+                c.distinct_schedules,
+                c.trials
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_is_identical_at_any_worker_count() {
+        let cfg = quick_cfg();
+        let serial = conform_matrix_on(&SweepPool::new(1), &cfg);
+        let parallel = conform_matrix_on(&SweepPool::new(4), &cfg);
+        let render = |cells: &[ConformCell]| crate::report::render_csv(cells, &cfg);
+        assert_eq!(render(&serial), render(&parallel));
+    }
+
+    /// A "barrier" in which thread 1 deserts: everyone else runs a correct
+    /// counter barrier (per-round releases on a monotonically numbered
+    /// flag), but thread 1 returns immediately — the early-exit bug the
+    /// schedule search must expose. Nothing here can deadlock, so the
+    /// violation kind is stable across schedules.
+    struct Deserter {
+        counter: Addr,
+        flag: Addr,
+    }
+
+    impl Barrier for Deserter {
+        fn wait(&self, ctx: &dyn MemCtx) {
+            if ctx.tid() == 1 {
+                return; // never waits — the bug under audit
+            }
+            let n = ctx.nthreads() as u32 - 1;
+            let arrival = ctx.fetch_add(self.counter, 1) + 1;
+            let round = arrival.div_ceil(n);
+            if arrival == round * n {
+                ctx.store(self.flag, round); // last of the round releases
+            } else {
+                ctx.spin_until_ge(self.flag, round);
+            }
+        }
+        fn name(&self) -> &str {
+            "DESERTER"
+        }
+    }
+
+    #[test]
+    fn broken_barrier_is_caught_and_replayable() {
+        let topo = Arc::new(Topology::preset(Platform::Kunpeng920));
+        let build = |arena: &mut Arena, _p: usize, t: &Topology| -> Box<dyn Barrier> {
+            let line = t.cacheline_bytes();
+            Box::new(Deserter {
+                counter: arena.alloc_padded_u32(line),
+                flag: arena.alloc_padded_u32(line),
+            })
+        };
+        let cfg = ExplorerConfig::default();
+        let mut caught = None;
+        for i in 0..50u32 {
+            let seed = trial_seed(0xBAD, i);
+            if let Err((kind, detail)) = run_trial_with(&topo, &build, 4, 2, seed, cfg, 4_000_000) {
+                caught = Some((seed, kind, detail));
+                break;
+            }
+        }
+        let (seed, kind, detail) = caught.expect("the schedule search must expose the deserter");
+        assert!(
+            matches!(kind, ViolationKind::EarlyExit | ViolationKind::EpochSkew),
+            "{kind}: {detail}"
+        );
+        // The reproducer replays deterministically with the same verdict.
+        let replay = run_trial_with(&topo, &build, 4, 2, seed, cfg, 4_000_000);
+        assert_eq!(replay.err().map(|(k, _)| k), Some(kind));
+    }
+
+    #[test]
+    fn quiescence_check_accepts_balanced_marks() {
+        let marks = [
+            Mark { tid: 0, label: MARK_ENTER, time_ns: 0.0 },
+            Mark { tid: 0, label: MARK_EXIT, time_ns: 1.0 },
+            Mark { tid: 0, label: MARK_ENTER, time_ns: 2.0 },
+            Mark { tid: 0, label: MARK_EXIT, time_ns: 3.0 },
+        ];
+        assert!(check_quiescence(&marks, 1, 2).is_ok());
+    }
+
+    #[test]
+    fn quiescence_check_rejects_imbalance_and_disorder() {
+        let missing_exit = [Mark { tid: 0, label: MARK_ENTER, time_ns: 0.0 }];
+        assert!(check_quiescence(&missing_exit, 1, 1).is_err());
+        let reversed = [
+            Mark { tid: 0, label: MARK_EXIT, time_ns: 0.0 },
+            Mark { tid: 0, label: MARK_ENTER, time_ns: 1.0 },
+        ];
+        assert!(check_quiescence(&reversed, 1, 1).is_err());
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_replayable() {
+        let mut seen = HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(trial_seed(0xC0F0, i)));
+        }
+        assert_eq!(trial_seed(1, 7), trial_seed(1, 7));
+    }
+}

@@ -1,0 +1,213 @@
+//! The exploring schedule policy: seeded perturbation of the engine's
+//! interleaving decisions.
+//!
+//! Three perturbation mechanisms, all drawn from one `SplitMix64` stream so
+//! a trial is a pure function of its seed:
+//!
+//! 1. **tie-break permutation** — when several ready operations share the
+//!    minimum virtual time, pick uniformly among them instead of by thread
+//!    id (free: does not consume the perturbation budget);
+//! 2. **bounded priority preemption** — with probability `preempt_prob`,
+//!    run a uniformly chosen ready op regardless of its timestamp;
+//! 3. **targeted delay injection** — with probability `delay_prob`, push a
+//!    synchronization-relevant op (a flag write, RMW, or spin entry) up to
+//!    `max_delay_ns` into the future, widening race windows exactly where
+//!    barriers are vulnerable.
+//!
+//! Mechanisms 2 and 3 consume from a per-trial `budget`; once spent, the
+//! policy degrades to the default minimum-time order, which keeps
+//! perturbed runs finite and makes the budget the natural shrinking axis:
+//! a violation reproducible at budget 0 needed no perturbation at all.
+
+use armbar_simcoh::rng::SplitMix64;
+use armbar_simcoh::schedule::{
+    oldest_index, ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy,
+};
+
+/// Tuning knobs for [`ExplorerPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplorerConfig {
+    /// Probability of a bounded priority preemption per decision point.
+    pub preempt_prob: f64,
+    /// Probability of a targeted delay injection per decision point.
+    pub delay_prob: f64,
+    /// Upper bound on one injected delay, in virtual ns.
+    pub max_delay_ns: f64,
+    /// Perturbation budget per trial: preemptions + delays combined.
+    pub budget: u32,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        Self { preempt_prob: 0.25, delay_prob: 0.25, max_delay_ns: 500.0, budget: 64 }
+    }
+}
+
+impl ExplorerConfig {
+    /// This configuration with a different perturbation budget (the
+    /// shrinking axis).
+    pub fn with_budget(mut self, budget: u32) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// A seeded [`SchedulePolicy`] implementing the exploration mechanisms
+/// above. One instance drives one trial.
+#[derive(Debug, Clone)]
+pub struct ExplorerPolicy {
+    rng: SplitMix64,
+    cfg: ExplorerConfig,
+    remaining: u32,
+}
+
+impl ExplorerPolicy {
+    /// A policy for one trial: `seed` fixes the entire decision stream.
+    pub fn new(seed: u64, cfg: ExplorerConfig) -> Self {
+        // Decorrelate from the engine's jitter stream, which is seeded
+        // with the same trial seed.
+        Self { rng: SplitMix64::new(seed ^ 0xC0F0_8A11_5EED_0001), cfg, remaining: cfg.budget }
+    }
+
+    fn pick_index(&mut self, n: usize) -> usize {
+        (self.rng.next_u64() % n as u64) as usize
+    }
+}
+
+impl SchedulePolicy for ExplorerPolicy {
+    fn pick(&mut self, ready: &[ReadyOp], _min_running: Option<(f64, usize)>) -> ScheduleDecision {
+        if self.remaining > 0 && ready.len() > 1 {
+            let roll = self.rng.next_f64();
+            if roll < self.cfg.delay_prob {
+                // Delay a synchronization site: flag writes, RMWs, and
+                // spin entries are where lost-wakeup and early-exit
+                // windows live.
+                let sites: Vec<usize> = ready
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| {
+                        r.addr.is_some()
+                            && matches!(
+                                r.kind,
+                                ReadyOpKind::Write | ReadyOpKind::Rmw | ReadyOpKind::Spin
+                            )
+                    })
+                    .map(|(i, _)| i)
+                    .collect();
+                if !sites.is_empty() {
+                    self.remaining -= 1;
+                    let index = sites[self.pick_index(sites.len())];
+                    let ns = self.rng.next_f64() * self.cfg.max_delay_ns;
+                    return ScheduleDecision::Delay { index, ns };
+                }
+            } else if roll < self.cfg.delay_prob + self.cfg.preempt_prob {
+                self.remaining -= 1;
+                return ScheduleDecision::Run(self.pick_index(ready.len()));
+            }
+            // Free tie-break permutation: uniform among the ops sharing
+            // the minimum virtual time.
+            let i0 = oldest_index(ready);
+            let t0 = ready[i0].time_ns;
+            let ties: Vec<usize> =
+                ready.iter().enumerate().filter(|(_, r)| r.time_ns == t0).map(|(i, _)| i).collect();
+            if ties.len() > 1 {
+                return ScheduleDecision::Run(ties[self.pick_index(ties.len())]);
+            }
+            return ScheduleDecision::Run(i0);
+        }
+        // Budget spent (or nothing to permute): default order.
+        ScheduleDecision::Run(oldest_index(ready))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(tid: usize, t: f64, kind: ReadyOpKind) -> ReadyOp {
+        ReadyOp { tid, time_ns: t, kind, addr: Some(64 * tid as u32) }
+    }
+
+    #[test]
+    fn zero_budget_reproduces_default_order() {
+        let mut p = ExplorerPolicy::new(7, ExplorerConfig::default().with_budget(0));
+        let ready = [
+            op(2, 5.0, ReadyOpKind::Write),
+            op(0, 5.0, ReadyOpKind::Rmw),
+            op(1, 1.0, ReadyOpKind::Read),
+        ];
+        for _ in 0..32 {
+            assert_eq!(p.pick(&ready, None), ScheduleDecision::Run(2), "index of min (time, tid)");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let ready = [
+            op(0, 1.0, ReadyOpKind::Write),
+            op(1, 1.0, ReadyOpKind::Spin),
+            op(2, 1.0, ReadyOpKind::Rmw),
+            op(3, 2.0, ReadyOpKind::Read),
+        ];
+        let cfg = ExplorerConfig::default();
+        let mut a = ExplorerPolicy::new(99, cfg);
+        let mut b = ExplorerPolicy::new(99, cfg);
+        for _ in 0..256 {
+            assert_eq!(a.pick(&ready, None), b.pick(&ready, None));
+        }
+    }
+
+    #[test]
+    fn budget_bounds_the_perturbations() {
+        let ready = [
+            op(0, 1.0, ReadyOpKind::Write),
+            op(1, 1.0, ReadyOpKind::Write),
+            op(2, 3.0, ReadyOpKind::Write),
+        ];
+        let mut p = ExplorerPolicy::new(3, ExplorerConfig { budget: 5, ..Default::default() });
+        let mut perturbed = 0u32;
+        for _ in 0..1000 {
+            match p.pick(&ready, None) {
+                ScheduleDecision::Delay { .. } => perturbed += 1,
+                // A preemption picking a non-minimal op is only provably a
+                // perturbation when it selects index 2 (time 3.0); the
+                // budget accounting below is checked directly instead.
+                _ => {}
+            }
+        }
+        assert!(perturbed <= 5, "delays alone exceeded the budget: {perturbed}");
+        assert_eq!(p.remaining, 0, "a long run must spend the whole budget");
+    }
+
+    #[test]
+    fn delays_target_sync_sites_only() {
+        // Only Free ops (no addr): delay must never fire, preemption may.
+        let ready = [
+            ReadyOp { tid: 0, time_ns: 1.0, kind: ReadyOpKind::Free, addr: None },
+            ReadyOp { tid: 1, time_ns: 1.0, kind: ReadyOpKind::Free, addr: None },
+        ];
+        let mut p = ExplorerPolicy::new(
+            11,
+            ExplorerConfig { delay_prob: 1.0, preempt_prob: 0.0, ..Default::default() },
+        );
+        for _ in 0..100 {
+            assert!(!matches!(p.pick(&ready, None), ScheduleDecision::Delay { .. }));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let ready = [
+            op(0, 1.0, ReadyOpKind::Write),
+            op(1, 1.0, ReadyOpKind::Write),
+            op(2, 1.0, ReadyOpKind::Write),
+            op(3, 1.0, ReadyOpKind::Write),
+        ];
+        let cfg = ExplorerConfig::default();
+        let seq = |seed: u64| {
+            let mut p = ExplorerPolicy::new(seed, cfg);
+            (0..64).map(|_| format!("{:?}", p.pick(&ready, None))).collect::<Vec<_>>()
+        };
+        assert_ne!(seq(1), seq(2));
+    }
+}

@@ -1,0 +1,48 @@
+//! # armbar-conformance — schedule-exploring barrier conformance checking
+//!
+//! The workspace's correctness tool: drives every barrier algorithm through
+//! thousands of seeded, perturbed interleavings of the coherence simulator
+//! and checks safety oracles after every episode. Where the chaos harness
+//! (`armbar-faults`) asks *"does the barrier fail gracefully when threads
+//! misbehave?"*, this crate asks *"is the barrier actually correct on every
+//! schedule a sequentially consistent machine could produce?"* — the
+//! claims of the paper's Sections II-B and V:
+//!
+//! * **no early exit** — no thread leaves episode `k` before every
+//!   participant has entered it;
+//! * **sense/epoch consistency** — episode numbering never skews across
+//!   threads (a peer at most one episode ahead is legal);
+//! * **no lost wake-up** — every release is observed; a missed one
+//!   surfaces as a simulator deadlock and is classified as such;
+//! * **quiescence** — every episode's `ENTER`/`EXIT` phase marks balance
+//!   and alternate per thread, so no residual work leaks across episodes.
+//!
+//! Exploration rides the engine's `SchedulePolicy` hook: an
+//! [`ExplorerPolicy`] permutes tie-broken picks, preempts with bounded
+//! probability, and injects targeted delays at flag read/write sites. Every
+//! trial is a pure function of its seed, so a violation ships with a
+//! deterministic reproducer — and a shrinking pass minimizes the
+//! perturbation budget and episode count before reporting.
+//!
+//! ```
+//! use armbar_conformance::{conform_matrix, ConformConfig};
+//! use armbar_core::AlgorithmId;
+//!
+//! let cfg = ConformConfig {
+//!     algorithms: vec![AlgorithmId::Sense],
+//!     seeds: 25,
+//!     ..ConformConfig::default()
+//! };
+//! let cells = conform_matrix(&cfg);
+//! assert!(cells.iter().all(|c| c.violations.is_empty()));
+//! ```
+
+pub mod checker;
+pub mod explorer;
+pub mod report;
+
+pub use checker::{
+    conform_matrix, conform_matrix_on, ConformCell, ConformConfig, Violation, ViolationKind,
+};
+pub use explorer::{ExplorerConfig, ExplorerPolicy};
+pub use report::{render_csv, render_json};

@@ -24,7 +24,17 @@ pub fn check_sim(
     episodes: u32,
     build: impl FnOnce(&mut Arena, usize, &Topology) -> Box<dyn Barrier>,
 ) {
-    let topo = Arc::new(Topology::preset(platform));
+    check_sim_on(Arc::new(Topology::preset(platform)), p, episodes, build);
+}
+
+/// [`check_sim`] on an explicit topology — for custom-built machines
+/// (uneven clusters, single-core layers) that have no preset.
+pub fn check_sim_on(
+    topo: Arc<Topology>,
+    p: usize,
+    episodes: u32,
+    build: impl FnOnce(&mut Arena, usize, &Topology) -> Box<dyn Barrier>,
+) {
     let mut arena = Arena::new();
     let barrier: Arc<dyn Barrier> = Arc::from(build(&mut arena, p, &topo));
     let line = topo.cacheline_bytes();

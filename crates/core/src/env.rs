@@ -84,6 +84,24 @@ pub trait Barrier: Send + Sync {
         self.wait(ctx);
         ctx.mark(MARK_EXIT);
     }
+
+    /// One audited episode: records entry in the shared
+    /// [`crate::oracle::EpisodeOracle`] witness table, runs the traced wait
+    /// (so the PR 1 phase marks double as the quiescence record), and
+    /// audits every peer's episode on exit. Episodes are 1-based and must
+    /// be issued in order. Panics with an `oracle`-prefixed message on a
+    /// safety violation — the conformance checker converts that into a
+    /// classified, replayable finding.
+    fn wait_conformed(
+        &self,
+        ctx: &dyn MemCtx,
+        oracle: &crate::oracle::EpisodeOracle,
+        episode: u32,
+    ) {
+        oracle.enter(ctx, episode);
+        self.wait_traced(ctx);
+        oracle.verify_exit(ctx, episode, self.name());
+    }
 }
 
 /// `MemCtx` for simulated threads: operations forward to the discrete-event

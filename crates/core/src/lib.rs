@@ -48,6 +48,7 @@
 pub mod algorithms;
 pub mod env;
 pub mod host;
+pub mod oracle;
 pub mod registry;
 pub mod robust;
 pub mod trees;
@@ -59,6 +60,7 @@ pub use algorithms::{
 };
 pub use env::{Barrier, MemCtx};
 pub use host::{HostCtx, HostMem, SpinPolicy};
+pub use oracle::EpisodeOracle;
 pub use registry::AlgorithmId;
 pub use robust::{BarrierError, PoisonGuard, RobustBarrier, RobustConfig};
 pub use wakeup::{Wakeup, WakeupKind};
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::algorithms::fway::{Fanin, FwayBarrier, FwayConfig};
     pub use crate::env::{Barrier, MemCtx};
     pub use crate::host::{HostCtx, HostMem, SpinPolicy};
+    pub use crate::oracle::EpisodeOracle;
     pub use crate::registry::AlgorithmId;
     pub use crate::robust::{BarrierError, RobustBarrier, RobustConfig};
     pub use crate::wakeup::WakeupKind;

@@ -1,0 +1,231 @@
+//! Barrier safety oracles: episode-witness state checked around every
+//! `wait`, the correctness side of the paper's Sections II-B/V claims.
+//!
+//! A barrier is *safe* when no thread leaves episode `k` before every
+//! participant has entered it (no early exit), every participant observes
+//! every release (no lost wake-up, which the simulator surfaces as a
+//! deadlock), and episode numbering stays consistent across threads (no
+//! sense/epoch skew). The oracle materializes those properties as a shared
+//! per-thread *entered-epoch* table that each thread bumps on entry and
+//! audits on exit:
+//!
+//! * **enter(k)** — my slot must hold `k−1` (episodes are consumed in
+//!   order, exactly once), then records `k`;
+//! * **verify_exit(k)** — every peer's slot must hold `k` or `k+1`. A value
+//!   `< k` is an early exit: I left an episode a peer never entered. A
+//!   value `> k+1` is epoch skew: a peer raced two full episodes ahead
+//!   while I was still inside `k`, which a correct barrier's own episode
+//!   `k+1` would have blocked. (One ahead is legal — a released peer may
+//!   re-enter the next episode before I run my audit.)
+//!
+//! The table is one padded word per thread, so oracle reads perturb the
+//! schedule as little as possible while remaining *order*-correct under any
+//! scheduling policy — the checks compare event order, never virtual time,
+//! which schedule exploration deliberately distorts.
+//!
+//! Violations panic with an `oracle`-prefixed message; the conformance
+//! checker classifies them out of `SimError::ThreadPanic` and replays the
+//! offending seed.
+
+use armbar_simcoh::{Addr, Arena};
+
+use crate::env::MemCtx;
+
+/// Shared witness state for episode-safety checks. Build once per run with
+/// [`EpisodeOracle::new`] and share across threads (it is a plain value —
+/// all mutable state lives in the arena).
+#[derive(Debug, Clone, Copy)]
+pub struct EpisodeOracle {
+    /// Base of the per-thread entered-epoch array (one padded word each).
+    entered: Addr,
+    /// Byte stride between consecutive thread slots.
+    stride: u32,
+    /// Participant count.
+    nthreads: usize,
+}
+
+impl EpisodeOracle {
+    /// Allocates witness state for `nthreads` participants, one cache line
+    /// per slot (padded so the oracle itself does not manufacture false
+    /// sharing).
+    pub fn new(arena: &mut Arena, nthreads: usize, line_bytes: usize) -> Self {
+        assert!(nthreads >= 1);
+        let entered = arena.alloc_padded_u32_array(nthreads, line_bytes);
+        Self { entered, stride: line_bytes as u32, nthreads }
+    }
+
+    #[inline]
+    fn slot(&self, tid: usize) -> Addr {
+        self.entered + self.stride * tid as u32
+    }
+
+    /// Records that the calling thread is entering episode `episode`
+    /// (1-based). Must precede the barrier's own `wait`.
+    ///
+    /// # Panics
+    /// Panics (message prefixed `oracle:`) when episodes are entered out of
+    /// order — a harness bug or a barrier that let a thread skip an episode.
+    pub fn enter(&self, ctx: &dyn MemCtx, episode: u32) {
+        let me = self.slot(ctx.tid());
+        let prev = ctx.load(me);
+        if prev + 1 != episode {
+            panic!(
+                "oracle: thread {} entered episode {episode} after {prev} (episodes must be \
+                 consumed in order, exactly once)",
+                ctx.tid()
+            );
+        }
+        ctx.store(me, episode);
+    }
+
+    /// Audits the episode the calling thread just left: every peer must
+    /// have entered `episode` (else the barrier released us early) and none
+    /// may have entered beyond `episode + 1` (else episode numbering
+    /// skewed).
+    ///
+    /// # Panics
+    /// Panics with an `oracle[name]:`-prefixed message on violation.
+    pub fn verify_exit(&self, ctx: &dyn MemCtx, episode: u32, name: &str) {
+        let me = ctx.tid();
+        for peer in 0..self.nthreads {
+            if peer == me {
+                continue;
+            }
+            let seen = ctx.load(self.slot(peer));
+            if seen < episode {
+                panic!(
+                    "oracle[{name}]: early exit — thread {me} left episode {episode} but thread \
+                     {peer} has only entered episode {seen}"
+                );
+            }
+            if seen > episode + 1 {
+                panic!(
+                    "oracle[{name}]: epoch skew — thread {me} is exiting episode {episode} but \
+                     thread {peer} already entered episode {seen}; episode {} should have held \
+                     it back",
+                    episode + 1
+                );
+            }
+        }
+    }
+
+    /// Number of participants this oracle audits.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+}
+
+/// Whether a panic message came from an oracle check (either prefix form).
+pub fn is_oracle_message(msg: &str) -> bool {
+    msg.starts_with("oracle")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Barrier;
+    use crate::registry::AlgorithmId;
+    use armbar_simcoh::{SimBuilder, SimError};
+    use armbar_topology::{Platform, Topology};
+    use std::sync::Arc;
+
+    fn run_conformed(episodes: u32) -> Result<(), SimError> {
+        let topo = Arc::new(Topology::preset(Platform::Kunpeng920));
+        let p = 8;
+        let mut arena = Arena::new();
+        let line = topo.cacheline_bytes();
+        let barrier: Arc<dyn Barrier> = Arc::from(AlgorithmId::Sense.build(&mut arena, p, &topo));
+        let oracle = EpisodeOracle::new(&mut arena, p, line);
+        SimBuilder::new(topo, p)
+            .run(move |sim| {
+                for e in 1..=episodes {
+                    barrier.wait_conformed(sim, &oracle, e);
+                }
+            })
+            .map(|_| ())
+    }
+
+    #[test]
+    fn correct_barrier_passes_the_oracle() {
+        run_conformed(4).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_entry_is_caught() {
+        let topo = Arc::new(Topology::preset(Platform::Kunpeng920));
+        let mut arena = Arena::new();
+        let line = topo.cacheline_bytes();
+        let oracle = EpisodeOracle::new(&mut arena, 1, line);
+        let err = SimBuilder::new(topo, 1)
+            .run(move |sim| {
+                oracle.enter(sim, 2); // episode 1 was skipped
+            })
+            .unwrap_err();
+        match err {
+            SimError::ThreadPanic { message, .. } => {
+                assert!(message.starts_with("oracle:"), "{message}");
+                assert!(is_oracle_message(&message));
+            }
+            other => panic!("expected oracle panic, got {other}"),
+        }
+    }
+
+    /// A deliberately broken "barrier" that releases thread 1 without
+    /// waiting: the no-early-exit oracle must flag it.
+    struct BrokenBarrier {
+        counter: Addr,
+    }
+
+    impl Barrier for BrokenBarrier {
+        fn wait(&self, ctx: &dyn MemCtx) {
+            if ctx.tid() == 1 {
+                return; // leaves immediately — the bug
+            }
+            let n = ctx.nthreads() as u32;
+            let prev = ctx.fetch_add(self.counter, 1);
+            // Everyone but the deserter synchronizes properly.
+            if prev + 1 < n - 1 {
+                ctx.spin_until_ge(self.counter, n - 1);
+            }
+        }
+        fn name(&self) -> &str {
+            "BROKEN"
+        }
+    }
+
+    #[test]
+    fn early_exit_is_caught() {
+        let topo = Arc::new(Topology::preset(Platform::Kunpeng920));
+        let p = 4;
+        let mut arena = Arena::new();
+        let line = topo.cacheline_bytes();
+        let counter = arena.alloc_padded_u32(line);
+        let oracle = EpisodeOracle::new(&mut arena, p, line);
+        let barrier = Arc::new(BrokenBarrier { counter });
+        let err = SimBuilder::new(topo, p)
+            .run(move |sim| {
+                // The peers are held up before entering (as a delay-
+                // injecting schedule would); thread 1 races through the
+                // broken wait and its exit audit sees peers that never
+                // entered the episode.
+                if sim.tid() != 1 {
+                    sim.compute_ns(50_000.0);
+                }
+                barrier.wait_conformed(sim, &oracle, 1);
+            })
+            .unwrap_err();
+        match err {
+            SimError::ThreadPanic { message, .. } => {
+                assert!(message.contains("early exit") && message.contains("BROKEN"), "{message}");
+            }
+            other => panic!("expected early-exit oracle panic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn oracle_message_classifier() {
+        assert!(is_oracle_message("oracle: bad entry"));
+        assert!(is_oracle_message("oracle[SENSE]: early exit"));
+        assert!(!is_oracle_message("index out of bounds"));
+    }
+}

@@ -1,11 +1,14 @@
-//! Property-based tests: every algorithm, arbitrary thread counts and
-//! platforms, must uphold the barrier invariant under simulation.
+//! Property-based tests: every algorithm, arbitrary thread counts,
+//! platforms, *and machine shapes* must uphold the barrier invariant under
+//! simulation.
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use armbar_topology::Platform;
+use armbar_topology::{LayerId, Platform, Topology, TopologyBuilder};
 
-use crate::algorithms::testutil::check_sim;
+use crate::algorithms::testutil::{check_sim, check_sim_on};
 use crate::registry::AlgorithmId;
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
@@ -14,6 +17,39 @@ fn arb_platform() -> impl Strategy<Value = Platform> {
 
 fn arb_algorithm() -> impl Strategy<Value = AlgorithmId> {
     prop::sample::select(AlgorithmId::ALL.to_vec())
+}
+
+/// Arbitrary machine shapes no preset covers: cores carved into *uneven*
+/// clusters (sizes 1–5, so single-core clusters appear constantly), mapped
+/// through `pair_layer_fn` onto a near/far layer pair whose far latency is
+/// drawn from a wide range. Every structural assumption an algorithm bakes
+/// in about "clusters have equal size ≥ 2" gets attacked here.
+fn arb_uneven_topology() -> impl Strategy<Value = Arc<Topology>> {
+    (2usize..=48, 0u64..u64::MAX, 20.0f64..150.0, 1usize..=5).prop_map(
+        |(cores, seed, far_ns, n_c)| {
+            // Deterministically carve `cores` into clusters of size 1..=5.
+            let mut assign = Vec::with_capacity(cores);
+            let (mut cluster, mut remaining, mut s) = (0usize, 0usize, seed);
+            for _ in 0..cores {
+                if remaining == 0 {
+                    cluster += 1;
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    remaining = 1 + ((s >> 33) % 5) as usize;
+                }
+                assign.push(cluster);
+                remaining -= 1;
+            }
+            let topo = TopologyBuilder::new("prop-uneven", cores)
+                .epsilon_ns(1.0)
+                .layer("near", 8.0, 0.5)
+                .layer("far", far_ns, 0.7)
+                .n_c(n_c.min(cores))
+                .pair_layer_fn(|a, b| if assign[a] == assign[b] { LayerId(0) } else { LayerId(1) })
+                .coherence(3.0, 2.0, 0.0)
+                .build();
+            Arc::new(topo)
+        },
+    )
 }
 
 proptest! {
@@ -28,6 +64,19 @@ proptest! {
         p in 1usize..=64,
     ) {
         check_sim(platform, p, 2, move |a, p, t| id.build(a, p, t));
+    }
+
+    /// Every registry barrier completes one episode without deadlock on
+    /// machines with uneven clusters and single-core layers — shapes no
+    /// platform preset exercises.
+    #[test]
+    fn any_barrier_on_arbitrary_machine_shapes(
+        id in arb_algorithm(),
+        topo in arb_uneven_topology(),
+        p_raw in 1usize..=48,
+    ) {
+        let p = p_raw.min(topo.num_cores());
+        check_sim_on(Arc::clone(&topo), p, 1, move |a, p, t| id.build(a, p, t));
     }
 
     /// Fixed-fan-in f-way barriers are correct for any (P, f) pair.

@@ -102,4 +102,30 @@ mod tests {
             assert!(ops.remote_write_ns(1) > ops.remote_read_ns());
         }
     }
+
+    /// Hand-computed Section III-B costs from the paper's Tables I–III
+    /// parameters, one pin per machine.
+    #[test]
+    fn table_parameter_pins() {
+        // Kunpeng 920 (Table III), SCCL layer L1 = 44.2 ns, α = 0.5:
+        //   W_R(3) = (1 + 3·0.5)·44.2 = 110.5;  W_L(7) = 7·0.5·44.2 = 154.7.
+        let k = Topology::preset(Platform::Kunpeng920);
+        let sccl = CacheOps::new(&k, LayerId(1));
+        assert!((sccl.remote_write_ns(3) - 110.5).abs() < 1e-9);
+        assert!((sccl.local_write_ns(7) - 154.7).abs() < 1e-9);
+        assert_eq!(sccl.local_read_ns(), 1.15); // ε, Table III
+
+        // Phytium 2000+ (Table I), panel 0 → 7: L = 84.5 ns, α = 0.55:
+        //   W_R(1) = 1.55·84.5 = 130.975.
+        let ph = Topology::preset(Platform::Phytium2000Plus);
+        let far = CacheOps::between(&ph, 0, 63);
+        assert!((far.remote_write_ns(1) - 130.975).abs() < 1e-9);
+
+        // ThunderX2 (Table II), cross-socket L1 = 140.7 ns, α = 0.9:
+        //   W_L(31) = 31·0.9·140.7 = 3925.53 — the hot-spot release cost
+        //   that motivates tree wake-up on this machine.
+        let tx = Topology::preset(Platform::ThunderX2);
+        let cross = CacheOps::new(&tx, LayerId(1));
+        assert!((cross.local_write_ns(31) - 3925.53).abs() < 1e-9);
+    }
 }

@@ -138,4 +138,29 @@ mod tests {
     fn arrival_cost_rejects_fanin_1() {
         let _ = arrival_cost_ns(8, 1, 0.5, 10.0);
     }
+
+    /// Hand-computed Eq. 1 values from the paper's Tables I–III parameters.
+    #[test]
+    fn table_parameter_pins() {
+        // ThunderX2 (L0 = 24 ns, α = 0.9), p = 64, f = 4:
+        //   ⌈log₄ 64⌉·((1 + 0.9) + 3)·24 = 3·4.9·24 = 352.8.
+        assert!((arrival_cost_ns(64, 4, 0.9, 24.0) - 352.8).abs() < 1e-9);
+
+        // Phytium 2000+ (L0 = 9.1 ns, α = 0.55), p = 64: f = 4 beats both
+        // neighbours, with the exact costs
+        //   f=2: 6·2.55·9.1 = 139.23   f=4: 3·4.55·9.1 = 124.215
+        //   f=8: 2·8.55·9.1 = 155.61
+        assert!((arrival_cost_ns(64, 2, 0.55, 9.1) - 139.23).abs() < 1e-9);
+        assert!((arrival_cost_ns(64, 4, 0.55, 9.1) - 124.215).abs() < 1e-9);
+        assert!((arrival_cost_ns(64, 8, 0.55, 9.1) - 155.61).abs() < 1e-9);
+
+        // Kunpeng 920 (L0 = 14.2 ns, α = 0.5), p = 64, f = 4:
+        //   3·4.5·14.2 = 191.7.
+        assert!((arrival_cost_ns(64, 4, 0.5, 14.2) - 191.7).abs() < 1e-9);
+
+        // Eq. 2 at the calibrated α values: f* stays in [e, 3.591], hence
+        // integer fan-in 4 on every paper machine (power-of-two tie rule).
+        assert!((optimal_fanin_continuous(0.55) - 3.2239).abs() < 1e-3);
+        assert!((optimal_fanin_continuous(0.9) - 3.5123).abs() < 1e-3);
+    }
 }

@@ -21,4 +21,6 @@ pub mod notification;
 
 pub use cache_ops::CacheOps;
 pub use fanin::{arrival_cost_ns, optimal_fanin_continuous, optimal_fanin_int};
-pub use notification::{global_wakeup_ns, recommend_wakeup, tree_wakeup_ns, WakeupChoice};
+pub use notification::{
+    global_wakeup_ns, numa_tree_wakeup_ns, recommend_wakeup, tree_wakeup_ns, WakeupChoice,
+};

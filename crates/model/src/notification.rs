@@ -1,10 +1,13 @@
-//! Notification-Phase cost models (Section V-C, Eqs. 3 and 4) and the
+//! Notification-Phase cost models (Section V-C, Eqs. 3–5) and the
 //! per-platform wake-up recommendation.
 //!
 //! * Global wake-up: `T_global = ((P−1)·α_i + 1)·L_i + c·(P−1)` — one store
 //!   invalidating P−1 spinner copies, then P−1 contended re-reads.
 //! * Binary-tree wake-up: `T_tree = ⌈log₂(P+1)⌉·(α_i + 1)·L_i` — a chain of
 //!   single-copy flag writes down the tree.
+//! * NUMA-tree wake-up: a binary tree over the `⌈P/N_c⌉` cluster leaders
+//!   at the far layer, then one global flip per cluster at the near layer
+//!   — [`numa_tree_wakeup_ns`].
 //!
 //! Which wins depends on the machine's `α_i` and contention coefficient
 //! `c`: the paper finds global wake-up best on Kunpeng 920 and tree
@@ -30,6 +33,48 @@ pub fn tree_wakeup_ns(p: usize, alpha: f64, l_ns: f64) -> f64 {
         return 0.0;
     }
     ((p + 1) as f64).log2().ceil() * (alpha + 1.0) * l_ns
+}
+
+/// Eq. 5: NUMA-aware hierarchical wake-up cost for `p` threads on a
+/// machine with clusters of `n_c` cores.
+///
+/// The `m = ⌈p / n_c⌉` cluster leaders are woken by a binary tree over the
+/// far layer (Eq. 4 with `m` participants), after which every leader flips
+/// one cluster-local flag waking its `k − 1` siblings, `k = min(n_c, p)`,
+/// at the near layer's global cost (Eq. 3):
+///
+/// ```text
+/// T_numa = ⌈log₂(m+1)⌉·(α_far + 1)·L_far          (cross-cluster tree)
+///        + ((k−1)·α_near + 1)·L_near + c·(k−1)    (intra-cluster flip)
+/// ```
+///
+/// With a single cluster (`n_c ≥ p`) the cross term vanishes and the
+/// formula reduces exactly to Eq. 3; with single-core clusters it reduces
+/// to Eq. 4 over the far layer.
+pub fn numa_tree_wakeup_ns(
+    p: usize,
+    n_c: usize,
+    alpha_far: f64,
+    l_far_ns: f64,
+    alpha_near: f64,
+    l_near_ns: f64,
+    c_ns: f64,
+) -> f64 {
+    assert!(p >= 1);
+    assert!(n_c >= 1, "a cluster holds at least one core");
+    if p == 1 {
+        return 0.0;
+    }
+    let m = p.div_ceil(n_c);
+    let k = n_c.min(p);
+    let cross =
+        if m > 1 { ((m + 1) as f64).log2().ceil() * (alpha_far + 1.0) * l_far_ns } else { 0.0 };
+    let local = if k > 1 {
+        ((k - 1) as f64 * alpha_near + 1.0) * l_near_ns + c_ns * (k - 1) as f64
+    } else {
+        0.0
+    };
+    cross + local
 }
 
 /// A wake-up policy recommendation derived from the models.
@@ -124,5 +169,47 @@ mod tests {
     fn costs_scale_with_layer_latency() {
         assert!(global_wakeup_ns(16, 0.5, 100.0, 0.0) > global_wakeup_ns(16, 0.5, 10.0, 0.0));
         assert!(tree_wakeup_ns(16, 0.5, 100.0) > tree_wakeup_ns(16, 0.5, 10.0));
+    }
+
+    #[test]
+    fn numa_tree_reduces_to_eq3_on_one_cluster_and_eq4_on_singleton_clusters() {
+        // n_c ≥ p: no cross-cluster tree, exactly Eq. 3 at the near layer.
+        let a = numa_tree_wakeup_ns(16, 32, 0.9, 140.7, 0.5, 24.0, 3.0);
+        assert!((a - global_wakeup_ns(16, 0.5, 24.0, 3.0)).abs() < 1e-12);
+        // n_c = 1: no intra-cluster flip, exactly Eq. 4 at the far layer.
+        let b = numa_tree_wakeup_ns(16, 1, 0.9, 140.7, 0.5, 24.0, 3.0);
+        assert!((b - tree_wakeup_ns(16, 0.9, 140.7)).abs() < 1e-12);
+        assert_eq!(numa_tree_wakeup_ns(1, 4, 0.5, 44.2, 0.5, 14.2, 0.8), 0.0);
+    }
+
+    /// Hand-computed Eq. 3–5 values from the paper's Tables I–III
+    /// parameters (`ε`/`L_i` measured; `α_i` and `c` as calibrated in the
+    /// presets). Any drift in the formulas trips these exact pins.
+    #[test]
+    fn table_parameter_pins() {
+        // ThunderX2 (Table II: L0 = 24 ns, α = 0.9, c = 12 ns), p = 64:
+        //   Eq. 3 = (63·0.9 + 1)·24 + 12·63 = 57.7·24 + 756 = 2140.8.
+        assert!((global_wakeup_ns(64, 0.9, 24.0, 12.0) - 2140.8).abs() < 1e-9);
+        //   Eq. 4 = ⌈log₂ 65⌉·1.9·24 = 7·45.6 = 319.2.
+        assert!((tree_wakeup_ns(64, 0.9, 24.0) - 319.2).abs() < 1e-9);
+
+        // Phytium 2000+ (Table I: L0 = 9.1, L1 = 42.3, α = 0.55, c = 5),
+        // p = 64, N_c = 4: m = 16 leaders, k = 4 per core group.
+        //   cross = ⌈log₂ 17⌉·1.55·42.3 = 5·65.565  = 327.825
+        //   local = (3·0.55 + 1)·9.1 + 5·3 = 24.115 + 15 = 39.115
+        let phytium = numa_tree_wakeup_ns(64, 4, 0.55, 42.3, 0.55, 9.1, 5.0);
+        assert!((phytium - (327.825 + 39.115)).abs() < 1e-9, "{phytium}");
+
+        // Kunpeng 920 (Table III: L0 = 14.2, L1 = 44.2, α = 0.5, c = 0.8),
+        // p = 64, N_c = 4:
+        //   cross = 5·1.5·44.2 = 331.5;  local = 2.5·14.2 + 0.8·3 = 37.9.
+        let kunpeng = numa_tree_wakeup_ns(64, 4, 0.5, 44.2, 0.5, 14.2, 0.8);
+        assert!((kunpeng - 369.4).abs() < 1e-9, "{kunpeng}");
+
+        // ThunderX2, p = 64, N_c = 32: m = 2 sockets, k = 32.
+        //   cross = ⌈log₂ 3⌉·1.9·140.7 = 2·267.33 = 534.66
+        //   local = (31·0.9 + 1)·24 + 12·31 = 693.6 + 372 = 1065.6
+        let tx2 = numa_tree_wakeup_ns(64, 32, 0.9, 140.7, 0.9, 24.0, 12.0);
+        assert!((tx2 - (534.66 + 1065.6)).abs() < 1e-9, "{tx2}");
     }
 }

@@ -43,6 +43,7 @@ use crate::arena::{Addr, Arena};
 use crate::error::{DeadlockWaiter, SimError, WaitKind};
 use crate::line::{CoreSet, Line};
 use crate::rng::SplitMix64;
+use crate::schedule::{ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy};
 use crate::stats::{CoherenceCounters, Mark, OpKind, RunStats};
 
 /// Typed panic payload used to tear down worker threads when the simulation
@@ -97,6 +98,33 @@ enum Reply {
     TimeNs(f64),
     Counters(Box<CoherenceCounters>),
     Abort,
+}
+
+/// Classifies a pending op for a [`SchedulePolicy`] (kind + target address;
+/// no values or predicates leak to the policy).
+fn describe_op(op: &OpReq) -> (ReadyOpKind, Option<Addr>) {
+    match op {
+        OpReq::Load(a) => (ReadyOpKind::Read, Some(*a)),
+        OpReq::Store(a, _) => (ReadyOpKind::Write, Some(*a)),
+        OpReq::FetchAdd(a, _) => (ReadyOpKind::Rmw, Some(*a)),
+        OpReq::SpinUntil(a, _, _) => (ReadyOpKind::Spin, Some(*a)),
+        OpReq::SpinUntilAllGe(addrs, _) => (ReadyOpKind::Spin, addrs.first().copied()),
+        OpReq::Mark(_) | OpReq::Now | OpReq::Counters => (ReadyOpKind::Free, None),
+    }
+}
+
+/// Small distinct tag per op class for the schedule fingerprint.
+fn op_tag(op: &OpReq) -> u64 {
+    match op {
+        OpReq::Load(_) => 1,
+        OpReq::Store(..) => 2,
+        OpReq::FetchAdd(..) => 3,
+        OpReq::SpinUntil(..) => 4,
+        OpReq::SpinUntilAllGe(..) => 5,
+        OpReq::Mark(_) => 6,
+        OpReq::Now => 7,
+        OpReq::Counters => 8,
+    }
 }
 
 /// Total order on virtual times for the scheduler's ready/running keys.
@@ -171,8 +199,19 @@ struct Waiter {
 /// operation and run the engine to quiescence.
 struct State {
     slots: Vec<Slot>,
-    /// Posted-but-unprocessed operations, keyed by `(time, tid)`.
+    /// Posted-but-unprocessed operations, keyed by `(time, tid)`. Used only
+    /// in default (heap-order) mode.
     ready: BinaryHeap<Reverse<SchedKey>>,
+    /// Posted-but-unprocessed operations in policy mode, unordered — the
+    /// installed [`SchedulePolicy`] picks among them.
+    ready_list: Vec<SchedKey>,
+    /// Per-run schedule policy; `None` = default heap order. Taken out of
+    /// the state for the duration of a policy engine pass, so routing must
+    /// consult `policy_mode`, not this option.
+    policy: Option<Box<dyn SchedulePolicy>>,
+    /// Whether this run was configured with a policy (stable across the
+    /// take/restore in `run_engine_policy`).
+    policy_mode: bool,
     /// Threads executing user code; their next post arrives at their key.
     running: BTreeSet<SchedKey>,
     waiters: Vec<Waiter>,
@@ -211,10 +250,15 @@ impl State {
         op_budget: u64,
         reserve_bytes: usize,
         line_shift: u32,
+        policy: Option<Box<dyn SchedulePolicy>>,
     ) -> Self {
+        let policy_mode = policy.is_some();
         Self {
             slots: (0..nthreads).map(|_| Slot { pending: None, finished: false }).collect(),
             ready: BinaryHeap::with_capacity(nthreads),
+            ready_list: if policy_mode { Vec::with_capacity(nthreads) } else { Vec::new() },
+            policy,
+            policy_mode,
             running: (0..nthreads).map(|t| (TimeKey(0.0), t)).collect(),
             waiters: Vec::new(),
             time: vec![0.0; nthreads],
@@ -231,6 +275,17 @@ impl State {
             panic_waiters: Vec::new(),
             aborted: false,
             outcome: None,
+        }
+    }
+
+    /// Posts an operation key into whichever ready structure this run's
+    /// scheduling mode uses.
+    #[inline]
+    fn post_ready(&mut self, key: SchedKey) {
+        if self.policy_mode {
+            self.ready_list.push(key);
+        } else {
+            self.ready.push(Reverse(key));
         }
     }
 }
@@ -319,7 +374,7 @@ impl SimThread {
             }
             let key = (TimeKey(g.time[self.tid]), self.tid);
             g.slots[self.tid].pending = Some(op);
-            g.ready.push(Reverse(key));
+            g.post_ready(key);
             self.shared.run_engine(&mut g);
             std::mem::take(&mut g.wake_list)
         };
@@ -463,6 +518,7 @@ pub struct SimBuilder {
     pub(crate) seed: u64,
     pub(crate) op_budget: u64,
     pub(crate) reserve_bytes: usize,
+    pub(crate) policy: Option<Box<dyn SchedulePolicy>>,
 }
 
 impl SimBuilder {
@@ -481,7 +537,24 @@ impl SimBuilder {
             topo.name()
         );
         assert!(topo.num_cores() <= 128, "simulator supports at most 128 cores");
-        Self { topo, nthreads, seed: 0x5EED, op_budget: 200_000_000, reserve_bytes: 0 }
+        Self {
+            topo,
+            nthreads,
+            seed: 0x5EED,
+            op_budget: 200_000_000,
+            reserve_bytes: 0,
+            policy: None,
+        }
+    }
+
+    /// Installs a [`SchedulePolicy`] controlling which ready operation the
+    /// engine processes next. Without one (the default) the engine keeps its
+    /// virtual-time heap order, byte-identical to previous releases; with
+    /// one, interleavings follow the policy and latency figures lose their
+    /// meaning — policy runs are for conformance checking, not measurement.
+    pub fn schedule_policy(mut self, policy: impl SchedulePolicy + 'static) -> Self {
+        self.policy = Some(Box::new(policy));
+        self
     }
 
     /// Sets the jitter seed (default `0x5EED`). Runs with equal seeds are
@@ -518,6 +591,7 @@ impl SimBuilder {
                 self.op_budget,
                 self.reserve_bytes,
                 line_shift,
+                self.policy,
             )),
             done_cv: Condvar::new(),
             cells: (0..self.nthreads).map(|_| ReplyCell::new()).collect(),
@@ -644,6 +718,10 @@ impl Shared {
     /// the terminal checks. Called with the state lock held, from whichever
     /// thread last changed the schedule.
     fn run_engine(&self, g: &mut State) {
+        if g.policy_mode {
+            self.run_engine_policy(g);
+            return;
+        }
         while g.outcome.is_none() && g.panics.is_empty() {
             let Some(&Reverse(key)) = g.ready.peek() else { break };
             if let Some(first_running) = g.running.first() {
@@ -663,9 +741,94 @@ impl Shared {
             }
             let tid = key.1;
             let op = g.slots[tid].pending.take().expect("ready thread has no pending op");
+            g.stats.mix_schedule(op_tag(&op), tid as u64);
             self.step(g, tid, op);
         }
         self.terminal_check(g);
+    }
+
+    /// Policy-mode engine pass: at every decision point, describe all ready
+    /// operations to the installed [`SchedulePolicy`] and act on its pick.
+    /// The policy is moved out of the state for the pass (it and the state
+    /// cannot be borrowed simultaneously), so all posting paths route on
+    /// `policy_mode` instead of `policy.is_some()`.
+    ///
+    /// Determinism: the policy is consulted only at *settlement points* —
+    /// when no thread is executing user code, so every live thread has
+    /// either posted its next op or parked in a spin-wait. The ready set at
+    /// such a point is a pure function of simulation history (host posting
+    /// order cannot change it), and sorting it by `(time, tid)` makes the
+    /// indices the policy sees canonical. This lock-step discipline still
+    /// reaches every sequentially consistent interleaving: at each step any
+    /// posted op may be chosen.
+    fn run_engine_policy(&self, g: &mut State) {
+        let mut policy = g.policy.take().expect("policy mode without a policy");
+        while g.outcome.is_none()
+            && g.panics.is_empty()
+            && !g.ready_list.is_empty()
+            && g.running.is_empty()
+        {
+            g.ready_list.sort_unstable();
+            let ready: Vec<ReadyOp> = g
+                .ready_list
+                .iter()
+                .map(|&(TimeKey(t), tid)| {
+                    let (kind, addr) = g.slots[tid]
+                        .pending
+                        .as_ref()
+                        .map(describe_op)
+                        .expect("ready thread has no pending op");
+                    ReadyOp { tid, time_ns: t, kind, addr }
+                })
+                .collect();
+            let min_running = g.running.first().map(|&(TimeKey(t), tid)| (t, tid));
+            let pick = match policy.pick(&ready, min_running) {
+                ScheduleDecision::Run(i) if i < ready.len() => i,
+                ScheduleDecision::Delay { index, ns }
+                    if index < ready.len() && ns.is_finite() && ns >= 0.0 =>
+                {
+                    // A delay consumes budget (so delay storms cannot
+                    // live-lock the run) and advances the thread's clock;
+                    // the op stays posted and is offered again.
+                    if self.charge_op(g) {
+                        break;
+                    }
+                    let tid = ready[index].tid;
+                    g.time[tid] += ns;
+                    g.ready_list[index] = (TimeKey(g.time[tid]), tid);
+                    g.stats.mix_schedule(0xDE1A, (tid as u64) ^ ns.to_bits());
+                    continue;
+                }
+                ScheduleDecision::Wait if min_running.is_some() => break,
+                // Misbehaving policy (bad index, bad delay, or Wait with
+                // nothing running): fall back to the oldest ready op rather
+                // than wedging the engine.
+                _ => crate::schedule::oldest_index(&ready),
+            };
+            if self.charge_op(g) {
+                break;
+            }
+            let (TimeKey(_), tid) = g.ready_list.swap_remove(pick);
+            let op = g.slots[tid].pending.take().expect("ready thread has no pending op");
+            g.stats.mix_schedule(op_tag(&op), tid as u64);
+            self.step(g, tid, op);
+        }
+        debug_assert!(g.policy.is_none(), "policy restored twice");
+        g.policy = Some(policy);
+        self.terminal_check(g);
+    }
+
+    /// Counts one scheduling action against the op budget; on exhaustion
+    /// records the error, aborts the episode, and returns `true`.
+    fn charge_op(&self, g: &mut State) -> bool {
+        g.ops += 1;
+        if g.ops > g.op_budget {
+            g.outcome = Some(Err(SimError::OpBudgetExhausted { ops: g.ops, budget: g.op_budget }));
+            self.abort(g);
+            true
+        } else {
+            false
+        }
     }
 
     /// Detects episode completion, deadlock, and body panics once the
@@ -684,7 +847,7 @@ impl Shared {
             self.abort(g);
         } else if g.finished == g.slots.len() {
             g.outcome = Some(Ok(()));
-        } else if g.ready.is_empty() && g.running.is_empty() {
+        } else if g.ready.is_empty() && g.ready_list.is_empty() && g.running.is_empty() {
             // Everyone alive is parked in a spin-wait: deadlock. (This also
             // catches stragglers still spinning after every peer finished.)
             let waiters = self.waiter_info(g);
@@ -721,6 +884,7 @@ impl Shared {
     fn abort(&self, g: &mut State) {
         g.aborted = true;
         g.ready.clear();
+        g.ready_list.clear();
         g.running.clear();
         for tid in 0..g.slots.len() {
             if g.slots[tid].pending.take().is_some() {
@@ -891,7 +1055,7 @@ impl Shared {
             g.stats.record_stall(tid, is_write, busy_until - g.time[tid]);
             g.time[tid] = busy_until;
             g.slots[tid].pending = Some(op);
-            g.ready.push(Reverse((TimeKey(busy_until), tid)));
+            g.post_ready((TimeKey(busy_until), tid));
             return;
         }
 

@@ -275,3 +275,193 @@ fn invalidation_counts_reflect_sharer_crowds() {
     assert_eq!(t.invalidations, 4, "the release must invalidate all four spinners");
     assert_eq!(t.peak_sharers, 4);
 }
+
+// ---------------------------------------------------------------------------
+// Schedule-policy tests: the policy engine path must be semantically
+// identical to the default heap path under MinTimePolicy, stay deterministic
+// under perturbation, and survive adversarial policies.
+
+use crate::schedule::{MinTimePolicy, ReadyOp, ScheduleDecision, SchedulePolicy};
+
+/// A contended episode body: every thread RMWs a shared counter, the last
+/// arriver releases a flag, the rest spin on it.
+fn barrier_body(counter: u32, flag: u32, n: u32) -> impl Fn(&crate::engine::SimThread) + Clone {
+    move |ctx: &crate::engine::SimThread| {
+        for round in 1..=3u32 {
+            let prev = ctx.fetch_add(counter, 1);
+            if prev + 1 == round * n {
+                ctx.store(flag, round);
+            } else {
+                ctx.spin_until_ge(flag, round);
+            }
+        }
+    }
+}
+
+#[test]
+fn policy_mode_matches_default_with_min_time_policy() {
+    let make = |policy: bool| {
+        let mut arena = Arena::new();
+        let counter = arena.alloc_padded_u32(64);
+        let flag = arena.alloc_padded_u32(64);
+        let b = SimBuilder::new(topo(), 6).seed(42);
+        let b = if policy { b.schedule_policy(MinTimePolicy) } else { b };
+        b.run(barrier_body(counter, flag, 6)).unwrap()
+    };
+    let default = make(false);
+    let policied = make(true);
+    assert_eq!(default.per_thread_time_ns(), policied.per_thread_time_ns());
+    assert_eq!(default.total_mem_ops(), policied.total_mem_ops());
+    assert_eq!(
+        default.schedule_hash(),
+        policied.schedule_hash(),
+        "MinTimePolicy must reproduce the default processing order exactly"
+    );
+}
+
+/// Always runs the highest-index ready op: a maximally unfair order that
+/// ignores virtual time entirely.
+struct ReversePolicy;
+
+impl SchedulePolicy for ReversePolicy {
+    fn pick(&mut self, ready: &[ReadyOp], _min: Option<(f64, usize)>) -> ScheduleDecision {
+        ScheduleDecision::Run(ready.len() - 1)
+    }
+}
+
+#[test]
+fn adversarial_order_still_completes_the_barrier() {
+    let mut arena = Arena::new();
+    let counter = arena.alloc_padded_u32(64);
+    let flag = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 8)
+        .schedule_policy(ReversePolicy)
+        .run(barrier_body(counter, flag, 8))
+        .unwrap();
+    // 3 rounds × 7 spinners woke (the releaser never spins).
+    assert_eq!(stats.ops(OpKind::SpinWakeup), 21);
+}
+
+/// Delays every flag-site write once by a fixed amount, then behaves
+/// normally.
+struct DelayOncePolicy {
+    delays_left: u32,
+}
+
+impl SchedulePolicy for DelayOncePolicy {
+    fn pick(&mut self, ready: &[ReadyOp], min: Option<(f64, usize)>) -> ScheduleDecision {
+        if self.delays_left > 0 {
+            if let Some(i) =
+                ready.iter().position(|r| matches!(r.kind, crate::schedule::ReadyOpKind::Write))
+            {
+                self.delays_left -= 1;
+                return ScheduleDecision::Delay { index: i, ns: 250.0 };
+            }
+        }
+        MinTimePolicy.pick(ready, min)
+    }
+}
+
+#[test]
+fn injected_delays_change_the_schedule_but_not_the_outcome() {
+    let run = |delays: u32| {
+        let mut arena = Arena::new();
+        let counter = arena.alloc_padded_u32(64);
+        let flag = arena.alloc_padded_u32(64);
+        SimBuilder::new(topo(), 4)
+            .schedule_policy(DelayOncePolicy { delays_left: delays })
+            .run(barrier_body(counter, flag, 4))
+            .unwrap()
+    };
+    let plain = run(0);
+    let delayed = run(3);
+    assert_eq!(plain.ops(OpKind::SpinWakeup), delayed.ops(OpKind::SpinWakeup));
+    assert_ne!(
+        plain.schedule_hash(),
+        delayed.schedule_hash(),
+        "delay injection must register as a distinct schedule"
+    );
+}
+
+/// Returns garbage decisions; the engine must fall back instead of wedging.
+struct MisbehavingPolicy;
+
+impl SchedulePolicy for MisbehavingPolicy {
+    fn pick(&mut self, ready: &[ReadyOp], _min: Option<(f64, usize)>) -> ScheduleDecision {
+        // Out-of-range index and, via Wait-with-nobody-running at episode
+        // start, an unservable stall request.
+        if ready.len() % 2 == 0 {
+            ScheduleDecision::Run(usize::MAX)
+        } else {
+            ScheduleDecision::Delay { index: 0, ns: f64::NAN }
+        }
+    }
+}
+
+#[test]
+fn misbehaving_policy_falls_back_to_oldest() {
+    let mut arena = Arena::new();
+    let counter = arena.alloc_padded_u32(64);
+    let flag = arena.alloc_padded_u32(64);
+    let stats = SimBuilder::new(topo(), 4)
+        .schedule_policy(MisbehavingPolicy)
+        .run(barrier_body(counter, flag, 4))
+        .unwrap();
+    assert_eq!(stats.ops(OpKind::SpinWakeup), 9);
+}
+
+#[test]
+fn policy_runs_are_deterministic() {
+    let run = || {
+        let mut arena = Arena::new();
+        let counter = arena.alloc_padded_u32(64);
+        let flag = arena.alloc_padded_u32(64);
+        let s = SimBuilder::new(topo(), 8)
+            .schedule_policy(ReversePolicy)
+            .run(barrier_body(counter, flag, 8))
+            .unwrap();
+        (s.schedule_hash(), s.total_mem_ops())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn policy_mode_detects_deadlock() {
+    let mut arena = Arena::new();
+    let a = arena.alloc_u32();
+    let err = SimBuilder::new(topo(), 2)
+        .schedule_policy(ReversePolicy)
+        .run(move |ctx| {
+            ctx.spin_until_ge(a, 1); // nobody ever writes
+        })
+        .unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+}
+
+#[test]
+fn policy_mode_respects_op_budget() {
+    let mut arena = Arena::new();
+    let a = arena.alloc_u32();
+    let err = SimBuilder::new(topo(), 1)
+        .schedule_policy(ReversePolicy)
+        .op_budget(500)
+        .run(move |ctx| loop {
+            ctx.store(a, 1);
+        })
+        .unwrap_err();
+    assert!(matches!(err, SimError::OpBudgetExhausted { .. }), "{err}");
+}
+
+#[test]
+fn default_schedule_hash_is_stable_and_seed_independent_ops() {
+    // Zero-jitter topology: different seeds draw identical jitter factors,
+    // so the processing order — and hence the hash — must match.
+    let run = |seed: u64| {
+        let mut arena = Arena::new();
+        let counter = arena.alloc_padded_u32(64);
+        let flag = arena.alloc_padded_u32(64);
+        SimBuilder::new(topo(), 4).seed(seed).run(barrier_body(counter, flag, 4)).unwrap()
+    };
+    assert_eq!(run(1).schedule_hash(), run(2).schedule_hash());
+    assert_ne!(run(1).schedule_hash(), 0, "hash must record the processed ops");
+}

@@ -65,11 +65,13 @@ mod engine_tests;
 pub mod error;
 pub mod line;
 pub mod rng;
+pub mod schedule;
 pub mod stats;
 pub mod team;
 
 pub use arena::{Addr, Arena};
 pub use engine::{SimBuilder, SimThread};
 pub use error::{DeadlockWaiter, SimError, WaitKind};
+pub use schedule::{MinTimePolicy, ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy};
 pub use stats::{CoherenceCounters, CoherenceStats, LineTraffic, Mark, OpKind, RunStats};
 pub use team::SimTeam;

@@ -1,0 +1,166 @@
+//! Pluggable interleaving control for the discrete-event engine.
+//!
+//! PR 4's heap scheduler made the interleaving decision a single point:
+//! whenever the engine may make progress it picks one posted-but-unprocessed
+//! operation and executes it. A [`SchedulePolicy`] externalizes that pick.
+//! The default (no policy installed) remains the virtual-time heap order and
+//! is byte-identical to the pre-hook engine; a policy opts a run into
+//! *explored* scheduling, where any ready operation may be chosen — or
+//! delayed — regardless of its virtual timestamp.
+//!
+//! ## Why arbitrary picks are sound
+//!
+//! Each simulated thread has at most one outstanding operation (the
+//! rendezvous protocol enforces program order per thread), so executing
+//! ready operations in *any* order yields a sequentially consistent
+//! interleaving of the program — exactly the set of executions a barrier
+//! must survive. What a non-default order gives up is the *cost model*:
+//! virtual timestamps stop being globally consistent (an op may observe the
+//! effects of a later-stamped op), so explored runs are for correctness
+//! checking, not for latency measurement. This is the simulator-level
+//! analogue of schedule-bounding stress search — systematic within
+//! sequential consistency, and deliberately weaker than weak-memory model
+//! checking (see `DESIGN.md` §12).
+//!
+//! Policies are consulted only at decision points and must be deterministic
+//! functions of their own state — a seeded policy makes the whole run a pure
+//! function of `(topology, seed, program, policy)`, so any violation found
+//! replays bit-for-bit.
+
+use crate::arena::Addr;
+
+/// What kind of operation a ready thread has posted — enough for a policy
+/// to target synchronization-relevant sites (flag writes, spin entries)
+/// without seeing values or predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyOpKind {
+    /// A plain load.
+    Read,
+    /// A store.
+    Write,
+    /// An atomic read-modify-write.
+    Rmw,
+    /// Entry into a (possibly batched) spin-wait.
+    Spin,
+    /// An operation with no memory effect (mark, clock read, counter
+    /// snapshot).
+    Free,
+}
+
+/// One posted-but-unprocessed operation offered to a [`SchedulePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadyOp {
+    /// The posting thread.
+    pub tid: usize,
+    /// The thread's virtual time at the post (its scheduler key).
+    pub time_ns: f64,
+    /// Operation class.
+    pub kind: ReadyOpKind,
+    /// Target address (first watched address for batched waits; `None` for
+    /// [`ReadyOpKind::Free`] operations).
+    pub addr: Option<Addr>,
+}
+
+/// A policy's verdict for one decision point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleDecision {
+    /// Execute `ready[i]` now.
+    Run(usize),
+    /// Push `ready[index]` `ns` nanoseconds into the future and decide
+    /// again. The delay advances the thread's clock (and counts against the
+    /// run's op budget, so delay loops cannot live-lock the engine).
+    Delay {
+        /// Index into the offered `ready` slice.
+        index: usize,
+        /// Non-negative, finite delay in virtual ns.
+        ns: f64,
+    },
+    /// Process nothing: wait for a currently running thread to post its
+    /// next operation. Ignored (treated as "run the oldest") when no thread
+    /// is running, since waiting then would hang the engine.
+    Wait,
+}
+
+/// Chooses which ready operation the engine processes next.
+///
+/// Installed per run via `SimBuilder::schedule_policy`. The engine protects
+/// itself against misbehaving policies: out-of-range indices and
+/// non-finite/negative delays fall back to the oldest ready op, and `Wait`
+/// with an empty running set is overridden — a policy can therefore bias
+/// the search but never wedge or crash the engine.
+pub trait SchedulePolicy: Send {
+    /// Picks the next action given every ready operation, sorted by
+    /// `(time_ns, tid)`. `ready` is non-empty.
+    ///
+    /// The engine consults policies only at *settlement points* — no thread
+    /// is executing user code, so the ready set is complete and canonical
+    /// (host scheduling cannot perturb it). `min_running` is therefore
+    /// `None` under the current engine; it carries the earliest running
+    /// thread's `(time_ns, tid)` key should a future engine relax the
+    /// settlement discipline, and policies should [`ScheduleDecision::Wait`]
+    /// when they want to defer to it.
+    fn pick(&mut self, ready: &[ReadyOp], min_running: Option<(f64, usize)>) -> ScheduleDecision;
+}
+
+/// Index of the oldest ready op — minimum `(time, tid)` key, matching the
+/// default heap order exactly.
+pub fn oldest_index(ready: &[ReadyOp]) -> usize {
+    let mut best = 0;
+    for (i, r) in ready.iter().enumerate().skip(1) {
+        let b = &ready[best];
+        if r.time_ns.total_cmp(&b.time_ns).then(r.tid.cmp(&b.tid)).is_lt() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Reference policy reproducing the engine's default order: run the oldest
+/// ready op exactly when the default scheduler would (its key not after the
+/// earliest running thread's key), otherwise wait. Exists to prove the
+/// policy-mode engine path is semantically identical to the default path —
+/// see the `policy_mode_matches_default` tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinTimePolicy;
+
+impl SchedulePolicy for MinTimePolicy {
+    fn pick(&mut self, ready: &[ReadyOp], min_running: Option<(f64, usize)>) -> ScheduleDecision {
+        let i = oldest_index(ready);
+        match min_running {
+            Some((t, tid))
+                if ready[i].time_ns.total_cmp(&t).then(ready[i].tid.cmp(&tid)).is_gt() =>
+            {
+                ScheduleDecision::Wait
+            }
+            _ => ScheduleDecision::Run(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(tid: usize, t: f64) -> ReadyOp {
+        ReadyOp { tid, time_ns: t, kind: ReadyOpKind::Write, addr: Some(0) }
+    }
+
+    #[test]
+    fn oldest_index_orders_by_time_then_tid() {
+        assert_eq!(oldest_index(&[op(0, 5.0), op(1, 3.0)]), 1);
+        assert_eq!(oldest_index(&[op(2, 3.0), op(1, 3.0)]), 1);
+        assert_eq!(oldest_index(&[op(0, 0.0)]), 0);
+    }
+
+    #[test]
+    fn min_time_policy_defers_to_earlier_running_threads() {
+        let mut p = MinTimePolicy;
+        let ready = [op(3, 10.0)];
+        assert_eq!(p.pick(&ready, None), ScheduleDecision::Run(0));
+        assert_eq!(p.pick(&ready, Some((20.0, 0))), ScheduleDecision::Run(0));
+        assert_eq!(p.pick(&ready, Some((5.0, 0))), ScheduleDecision::Wait);
+        // Equal time: the running thread's lower tid wins, like the heap.
+        assert_eq!(p.pick(&ready, Some((10.0, 1))), ScheduleDecision::Wait);
+        assert_eq!(p.pick(&ready, Some((10.0, 7))), ScheduleDecision::Run(0));
+    }
+}

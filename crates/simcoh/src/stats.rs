@@ -189,6 +189,7 @@ pub struct RunStats {
     marks: Vec<Mark>,
     line_traffic: std::collections::HashMap<u32, LineTraffic>,
     coherence: CoherenceStats,
+    schedule_hash: u64,
 }
 
 impl RunStats {
@@ -199,7 +200,24 @@ impl RunStats {
             marks: Vec::new(),
             line_traffic: std::collections::HashMap::new(),
             coherence: CoherenceStats::new(nthreads),
+            schedule_hash: 0,
         }
+    }
+
+    /// Folds one scheduling event into the run's order fingerprint
+    /// (SplitMix64-style finalizer over the running hash and the event).
+    /// Called once per processed op — and per injected delay — so two runs
+    /// share a hash only if the engine made the same decisions in the same
+    /// order.
+    pub(crate) fn mix_schedule(&mut self, tag: u64, payload: u64) {
+        let mut z = self
+            .schedule_hash
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag)
+            .wrapping_add(payload.rotate_left(17));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.schedule_hash = z ^ (z >> 31);
     }
 
     pub(crate) fn set_thread_time(&mut self, tid: usize, t: f64) {
@@ -327,6 +345,15 @@ impl RunStats {
         }
         let max = self.line_traffic.values().map(|t| t.writes).max().unwrap_or(0);
         max as f64 / total as f64
+    }
+
+    /// Order fingerprint of the run's scheduling decisions. Runs that
+    /// processed the same operations in the same order (with the same
+    /// injected delays) share a hash; the conformance checker counts
+    /// distinct hashes to report how many genuinely different interleavings
+    /// a search explored. Identical for repeated runs of one seed.
+    pub fn schedule_hash(&self) -> u64 {
+        self.schedule_hash
     }
 
     /// The latest time at which any thread recorded `label` — useful for

@@ -8,6 +8,7 @@
 //! See the README for a tour, and `examples/quickstart.rs` for the fastest
 //! way in.
 
+pub use armbar_conformance as conformance;
 pub use armbar_core as core;
 pub use armbar_epcc as epcc;
 pub use armbar_faults as faults;
