@@ -2,19 +2,29 @@
 //!
 //! Measures engine throughput (operations per wall-second through the
 //! rendezvous scheduler) for a SENSE and a STOUR barrier microbench at
-//! P ∈ {16, 64}, plus the wall-clock of a quick-scale regeneration of every
-//! experiment suite, and writes the numbers as JSON to the repo root.
+//! P ∈ {16, 64} on the paper's 64-core Phytium preset and at
+//! P ∈ {256, 1024} on the hierarchical MemPool presets (exercising the
+//! sharded scheduler), plus the wall-clock of a quick-scale regeneration of
+//! every experiment suite, and writes the numbers as JSON to the repo root.
 //!
 //! ```text
-//! bench_sim [--out PATH] [--skip-experiments]
+//! bench_sim [--out PATH] [--skip-experiments] [--gate-drop-pct N] [--summary PATH]
 //! ```
+//!
+//! `--gate-drop-pct N` turns the run into a perf gate: after writing the
+//! JSON, the process exits nonzero if any `engine_ops_per_sec_*` key
+//! dropped more than N% against the committed file (wall-clock keys are
+//! reported but never gated — they measure the runner, not the engine).
+//! `--summary PATH` appends a markdown delta table (GitHub step-summary
+//! format) to the given file.
 //!
 //! If the output file already exists, its `benches` section is treated as
 //! the committed baseline: the tool prints the delta of the fresh run
-//! against it, and carries the existing `baseline` section forward (or
-//! seeds it from the old `benches` when absent) so the file always records
-//! the pre-overhaul reference next to the current numbers. CI runs this as
-//! a non-blocking job and uploads the JSON as an artifact.
+//! against it, and carries the existing `baseline` section forward — keys
+//! new to this run are seeded with the fresh value — so the file always
+//! records the pre-overhaul reference next to the current numbers. CI runs
+//! this as a *blocking* perf gate: the `bench-sim` job fails on a >20% drop
+//! of any `engine_ops_per_sec_*` key against the committed file.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,27 +41,47 @@ struct EnginePoint {
     ops_per_sec: f64,
 }
 
-/// Episodes per simulation run; sized so one point takes O(100 ms).
-const EPISODES: u32 = 30;
-/// Independently seeded runs per point (amortizes thread spawn noise —
-/// and, post-overhaul, exercises episode reuse).
-const REPS: u64 = 12;
-/// Timed attempts per point; the best is reported. The host is a shared
-/// single-core VM whose wall clocks swing ±40% with neighbor load, so the
-/// maximum over a few attempts estimates engine capability far more stably
-/// than any single draw (switch-bound workloads barely benefit: the
-/// context-switch floor is the same in every attempt).
-const ATTEMPTS: u32 = 6;
+/// Measurement effort for one engine point. The paper-scale points (P ≤ 64)
+/// keep the historical 30×12×6 schedule so the trajectory stays comparable
+/// across commits; the kilocore points shrink every knob — one episode at
+/// P = 1024 already pushes two orders of magnitude more ops through the
+/// engine than a P = 16 episode, so far fewer draws reach the same
+/// statistical weight inside the CI budget.
+struct Effort {
+    /// Episodes per simulation run; sized so one point takes O(100 ms).
+    episodes: u32,
+    /// Independently seeded runs per point (amortizes thread spawn noise —
+    /// and, post-overhaul, exercises episode reuse).
+    reps: u64,
+    /// Timed attempts per point; the best is reported. The host is a shared
+    /// single-core VM whose wall clocks swing ±40% with neighbor load, so
+    /// the maximum over a few attempts estimates engine capability far more
+    /// stably than any single draw (switch-bound workloads barely benefit:
+    /// the context-switch floor is the same in every attempt).
+    attempts: u32,
+}
+
+impl Effort {
+    fn for_threads(p: usize) -> Effort {
+        if p <= 64 {
+            Effort { episodes: 30, reps: 12, attempts: 6 }
+        } else {
+            Effort { episodes: 8, reps: 3, attempts: 3 }
+        }
+    }
+}
 
 fn engine_point(platform: Platform, p: usize, id: AlgorithmId) -> EnginePoint {
     let topo = Arc::new(Topology::preset(platform));
+    let effort = Effort::for_threads(p);
+    let episodes = effort.episodes;
     let one_rep = |rep: u64| -> u64 {
         let mut arena = Arena::new();
         let barrier: Arc<dyn Barrier> = Arc::from(id.build(&mut arena, p, &topo));
         let stats = SimBuilder::new(Arc::clone(&topo), p)
             .seed(0x5EED ^ rep)
             .run(move |ctx| {
-                for _ in 0..EPISODES {
+                for _ in 0..episodes {
                     ctx.compute_ns(100.0);
                     barrier.wait(ctx);
                 }
@@ -59,12 +89,12 @@ fn engine_point(platform: Platform, p: usize, id: AlgorithmId) -> EnginePoint {
             .expect("benchmark barrier must complete");
         stats.total_mem_ops() + stats.ops(OpKind::Compute)
     };
-    one_rep(u64::from(EPISODES)); // untimed warm-up (spawns the sim team)
+    one_rep(u64::from(episodes)); // untimed warm-up (spawns the sim team)
     let mut best = 0.0f64;
-    for _ in 0..ATTEMPTS {
+    for _ in 0..effort.attempts {
         let mut total_ops = 0u64;
         let t0 = Instant::now();
-        for rep in 0..REPS {
+        for rep in 0..effort.reps {
             total_ops += one_rep(rep);
         }
         let secs = t0.elapsed().as_secs_f64();
@@ -91,6 +121,7 @@ fn quick_experiments_secs() -> f64 {
         figs::ablations::run(&scale),
         figs::phase_breakdown::run(&scale),
         figs::hotspot::run(&scale),
+        figs::kilocore::run(&scale),
     ];
     let reports: usize = suites.iter().map(Vec::len).sum();
     assert!(reports > 0, "experiment suites produced nothing");
@@ -128,6 +159,29 @@ fn baseline_section(json: &str) -> Option<String> {
     None
 }
 
+/// Builds the carried-forward `baseline` section. Each key of the fresh run
+/// takes its value from the committed baseline when present there; a key
+/// that is new in this run (e.g. a freshly added engine point) is seeded
+/// with the fresh measurement so future deltas have a reference. (The old
+/// behavior copied the committed baseline verbatim, so a key added to
+/// `benches` never entered `baseline` at all.)
+fn carry_baseline(points: &[EnginePoint], quick_secs: Option<f64>, old: Option<&str>) -> String {
+    let carried: Vec<EnginePoint> = points
+        .iter()
+        .map(|p| {
+            let key = format!("engine_ops_per_sec_{}", p.key);
+            let ops = old.and_then(|o| first_number(o, &key)).unwrap_or(p.ops_per_sec);
+            EnginePoint { key: p.key.clone(), ops_per_sec: ops }
+        })
+        .collect();
+    let old_quick = old.and_then(|o| first_number(o, "all_experiments_quick_secs"));
+    let quick = match quick_secs {
+        Some(q) => Some(old_quick.unwrap_or(q)),
+        None => old_quick,
+    };
+    render_section(&carried, quick)
+}
+
 fn render_section(points: &[EnginePoint], quick_secs: Option<f64>) -> String {
     let mut s = String::from("{\n");
     for p in points {
@@ -148,17 +202,29 @@ fn render_section(points: &[EnginePoint], quick_secs: Option<f64>) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let flag_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned());
+    let out = flag_value("--out").unwrap_or_else(|| "BENCH_sim.json".to_string());
     let skip_experiments = args.iter().any(|a| a == "--skip-experiments");
+    let gate_drop_pct: Option<f64> = flag_value("--gate-drop-pct").map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad --gate-drop-pct value {s:?}");
+            std::process::exit(2);
+        })
+    });
+    let summary_path = flag_value("--summary");
 
     let mut points = Vec::new();
     for id in [AlgorithmId::Sense, AlgorithmId::Stour] {
         for p in [16usize, 64] {
             let pt = engine_point(Platform::Phytium2000Plus, p, id);
+            eprintln!("engine {:>14}: {:>12.0} ops/s", pt.key, pt.ops_per_sec);
+            points.push(pt);
+        }
+        // Kilocore points: the hierarchical MemPool presets at their full
+        // core counts, exercising the sharded scheduler end to end.
+        for (platform, p) in [(Platform::MemPool256, 256usize), (Platform::MemPool1024, 1024)] {
+            let pt = engine_point(platform, p, id);
             eprintln!("engine {:>14}: {:>12.0} ops/s", pt.key, pt.ops_per_sec);
             points.push(pt);
         }
@@ -171,7 +237,10 @@ fn main() {
         Some(q)
     };
 
+    // Delta of this run against the committed `benches` section: engine
+    // keys are gateable, the wall-clock key is informational only.
     let previous = std::fs::read_to_string(&out).ok();
+    let mut deltas: Vec<(String, f64, f64)> = Vec::new(); // (key, old, new)
     if let Some(prev) = &previous {
         eprintln!("-- delta vs committed {out} --");
         for p in &points {
@@ -184,6 +253,7 @@ fn main() {
                     old,
                     p.ops_per_sec
                 );
+                deltas.push((key, old, p.ops_per_sec));
             }
         }
         if let (Some(q), Some(old)) = (quick_secs, first_number(prev, "all_experiments_quick_secs"))
@@ -198,10 +268,47 @@ fn main() {
         }
     }
 
+    if let Some(path) = &summary_path {
+        let mut md = String::from(
+            "## Simulator perf gate\n\n| key | committed | this run | delta |\n|---|---:|---:|---:|\n",
+        );
+        for (key, old, new) in &deltas {
+            md.push_str(&format!(
+                "| `{key}` | {old:.0} | {new:.0} | {:+.1}% |\n",
+                (new / old - 1.0) * 100.0
+            ));
+        }
+        if deltas.is_empty() {
+            md.push_str("| _no committed baseline found_ | | | |\n");
+        }
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(md.as_bytes()))
+            .expect("failed to append --summary file");
+    }
+
     let section = render_section(&points, quick_secs);
-    let baseline =
-        previous.as_deref().and_then(baseline_section).unwrap_or_else(|| section.clone());
+    let old_baseline = previous.as_deref().and_then(baseline_section);
+    let baseline = carry_baseline(&points, quick_secs, old_baseline.as_deref());
     let doc = format!("{{\n  \"benches\": {section},\n  \"baseline\": {baseline}\n}}\n");
     std::fs::write(&out, doc).expect("failed to write BENCH_sim.json");
     eprintln!("wrote {out}");
+
+    if let Some(limit) = gate_drop_pct {
+        let failures: Vec<&(String, f64, f64)> =
+            deltas.iter().filter(|(_, old, new)| (1.0 - new / old) * 100.0 > limit).collect();
+        for (key, old, new) in &failures {
+            eprintln!(
+                "PERF GATE FAIL {key}: {new:.0} ops/s is {:.1}% below committed {old:.0}",
+                (1.0 - new / old) * 100.0
+            );
+        }
+        if !failures.is_empty() {
+            std::process::exit(1);
+        }
+        eprintln!("perf gate: all {} engine keys within {limit}% of committed", deltas.len());
+    }
 }

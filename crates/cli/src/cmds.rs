@@ -73,7 +73,7 @@ fn parse_platform(rest: &[String]) -> Result<Platform, String> {
         .or_else(|| rest.first().cloned())
         .ok_or_else(|| "missing <platform> argument".to_string())?;
     let name = normalize(&name);
-    Platform::ALL
+    Platform::EVERY
         .into_iter()
         .find(|p| {
             let label = normalize(p.label());
@@ -82,7 +82,7 @@ fn parse_platform(rest: &[String]) -> Result<Platform, String> {
         .ok_or_else(|| {
             format!(
                 "unknown platform {name:?}; known: {}",
-                Platform::ALL.map(|p| p.label()).join(", ")
+                Platform::EVERY.map(|p| p.label()).join(", ")
             )
         })
 }
@@ -135,7 +135,7 @@ fn parse_algos(rest: &[String]) -> Result<Vec<AlgorithmId>, String> {
 
 /// `armbar platforms`
 pub fn platforms() -> Result<(), String> {
-    for p in Platform::ALL {
+    for p in Platform::EVERY {
         let t = Topology::preset(p);
         println!(
             "{:18} {:3} cores, N_c = {:2}, {}-byte lines, {} latency layers",
@@ -625,6 +625,14 @@ mod tests {
         assert_eq!(parse_platform(&["THUNDER".into()]).unwrap(), Platform::ThunderX2);
         assert!(parse_platform(&["riscv".into()]).is_err());
         assert!(parse_platform(&[]).is_err());
+    }
+
+    #[test]
+    fn platform_parsing_reaches_kilocore_presets() {
+        assert_eq!(parse_platform(&["mempool1024".into()]).unwrap(), Platform::MemPool1024);
+        assert_eq!(parse_platform(&["MemPool-256".into()]).unwrap(), Platform::MemPool256);
+        // Bare "mempool" resolves to the first (smaller) preset.
+        assert_eq!(parse_platform(&["mempool".into()]).unwrap(), Platform::MemPool256);
     }
 
     #[test]

@@ -52,6 +52,33 @@ fn arb_uneven_topology() -> impl Strategy<Value = Arc<Topology>> {
     )
 }
 
+/// Arbitrary *hierarchical* machines in the MemPool mold: tiles of 2–5
+/// cores nested in groups of 2–4 tiles, 1–4 groups per cluster, with the
+/// scheduler sharded either per tile (up to 40 tiny shards) or per group.
+/// This is the shape family the kilocore presets come from; the property
+/// pins that nothing in any algorithm — or in the sharded engine — assumes
+/// a particular tile/group/shard alignment.
+fn arb_hierarchical_topology() -> impl Strategy<Value = Arc<Topology>> {
+    (2usize..=5, 2usize..=4, 1usize..=4, any::<bool>(), 5.0f64..40.0).prop_map(
+        |(tile, tiles_per_group, groups, shard_at_tile, group_ns)| {
+            let group = tile * tiles_per_group;
+            let cores = group * groups;
+            let topo = TopologyBuilder::new("prop-hier", cores)
+                .epsilon_ns(0.5)
+                .layer("within a tile", 2.0, 0.35)
+                .layer("within a group", group_ns, 0.45)
+                .layer("across groups", group_ns * 2.1, 0.55)
+                .n_c(tile.min(4))
+                .hierarchy(&[tile, group])
+                .shard_cores(if shard_at_tile { tile } else { group })
+                .coherence(1.5, 0.6, 0.01)
+                .noc_ns(0.8)
+                .build();
+            Arc::new(topo)
+        },
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -74,6 +101,19 @@ proptest! {
         id in arb_algorithm(),
         topo in arb_uneven_topology(),
         p_raw in 1usize..=48,
+    ) {
+        let p = p_raw.min(topo.num_cores());
+        check_sim_on(Arc::clone(&topo), p, 1, move |a, p, t| id.build(a, p, t));
+    }
+
+    /// Every registry barrier completes on arbitrary tile/group/cluster
+    /// hierarchies — the kilocore shape family — at any thread count,
+    /// regardless of how the engine is sharded across the machine.
+    #[test]
+    fn any_barrier_on_hierarchical_shapes(
+        id in arb_algorithm(),
+        topo in arb_hierarchical_topology(),
+        p_raw in 1usize..=80,
     ) {
         let p = p_raw.min(topo.num_cores());
         check_sim_on(Arc::clone(&topo), p, 1, move |a, p, t| id.build(a, p, t));

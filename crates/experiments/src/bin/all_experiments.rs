@@ -39,6 +39,7 @@ fn main() {
         ("ablations", figs::ablations::run(&scale)),
         ("phase_breakdown", figs::phase_breakdown::run(&scale)),
         ("hotspot", figs::hotspot::run(&scale)),
+        ("kilocore", figs::kilocore::run(&scale)),
     ];
     for (slug, reports) in suites {
         for (i, report) in reports.iter().enumerate() {

@@ -1,0 +1,12 @@
+//! Regenerates the kilocore (P ∈ {256, 1024}) projection; see
+//! `armbar_experiments::figs::kilocore`. Pass `--quick` for the CI scale.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    for (i, report) in figs::kilocore::run(&scale).iter().enumerate() {
+        report.print();
+        report.write_csv(results_dir(), &format!("kilocore_{i}")).expect("failed to write CSV");
+    }
+}

@@ -12,6 +12,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod hotspot;
+pub mod kilocore;
 pub mod model_report;
 pub mod phase_breakdown;
 pub mod table4;

@@ -13,6 +13,7 @@
 //! | `fig13` | Fig. 13: fan-in sweep at 64 threads |
 //! | `table4` | Table IV: speedups of the optimized barrier |
 //! | `model_report` | Eqs. 1–4: optimal fan-in, wake-up crossover |
+//! | `kilocore` | beyond the paper: all barriers at P ∈ {256, 1024} |
 //! | `all_experiments` | everything above, writing `results/*.csv` |
 //!
 //! Every experiment function takes a [`Scale`] so integration tests can run

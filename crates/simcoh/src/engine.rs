@@ -1,11 +1,24 @@
 //! The discrete-event engine: deterministic execution of real thread bodies
 //! with per-operation coherence costing.
 //!
-//! Simulated threads are OS threads; each [`SimThread`] operation is a
-//! rendezvous with the engine, which processes operations in virtual-time
-//! order (ties broken by thread id). Host scheduling therefore cannot
-//! influence results: a run is a pure function of `(topology, seed,
-//! program)`.
+//! Simulated threads are stackful fibers multiplexed on the calling thread
+//! (the default; see the `fiber` module) or OS threads (the fallback
+//! transport, and what explicit [`SimTeam`](crate::team::SimTeam) runs
+//! use). Either way each [`SimThread`] operation is a rendezvous with the
+//! engine, which processes operations in virtual-time order (ties broken
+//! by thread id). Host scheduling therefore cannot influence results: a
+//! run is a pure function of `(topology, seed, program)` — identical bytes
+//! under both transports.
+//!
+//! ## Sharded scheduler
+//!
+//! The ready/running tables are sharded by the topology's
+//! `shard_cores` boundary (one shard per cluster/group on the hierarchical
+//! presets). A pass drains the active shard until the global rendezvous
+//! invariant — "process the minimal ready key iff it is ≤ every running
+//! key" — would be violated, then re-merges the S shard heads. Identical
+//! processing order to a single global heap at any shard count; see
+//! `DESIGN.md` §13.
 //!
 //! ## Cooperative scheduling
 //!
@@ -23,9 +36,11 @@
 //! services its own operation, and continues.
 //!
 //! Replies travel through per-thread lock-free cells (a sequence counter
-//! plus a slot) and wake a blocked worker with `thread::unpark` — receipt
-//! never touches the lock, and pending wakeups are deferred until the engine
-//! lock is released so a woken worker never piles onto a held mutex. State
+//! plus a slot); a blocked simulated thread resumes via a ~100 ns fiber
+//! switch on the fiber transport or `thread::unpark` on the OS transport —
+//! receipt never touches the lock, and pending wakeups are deferred until
+//! the engine lock is released so a woken worker never piles onto a held
+//! mutex. State
 //! tables are dense `Vec`s indexed by arena-derived word/line slots rather
 //! than hash maps — see `DESIGN.md` §11 for the performance numbers.
 
@@ -151,6 +166,298 @@ impl Ord for TimeKey {
 /// never ambiguous.
 type SchedKey = (TimeKey, usize);
 
+/// One scheduler shard: the ready heap and running set of the threads whose
+/// cores fall in one [`Topology::shard_cores`]-sized slice of the machine.
+#[derive(Default)]
+struct Shard {
+    /// Posted-but-unprocessed operations of this shard's threads.
+    ready: BinaryHeap<Reverse<SchedKey>>,
+    /// This shard's threads executing user code.
+    running: BTreeSet<SchedKey>,
+}
+
+/// The cluster-sharded scheduler (DESIGN.md §13). Threads are partitioned
+/// by core into shards; each shard keeps its own flat ready heap and
+/// running set, and the engine processes a shard's intra-cluster traffic
+/// without touching the other shards' structures until a *cross-shard
+/// rendezvous* is required — when the active shard's head key crosses the
+/// floor imposed by the other shards.
+///
+/// Sharding never changes which operation is processed next: `pop_next`
+/// implements exactly the global rule "process the minimal ready key iff it
+/// is ≤ every running key", so results are byte-identical at any shard
+/// size. A machine with one shard degenerates to the classic single-heap
+/// scheduler.
+struct Sched {
+    shards: Vec<Shard>,
+    /// tid → shard index (threads pin to cores 1:1).
+    shard_of: Vec<u32>,
+    /// Shard currently being drained by an engine pass, if any.
+    active: Option<usize>,
+    /// Frozen at rendezvous time: the minimal ready head among *non-active*
+    /// shards. Exact for the duration of an active stretch because no pass
+    /// ever pushes ready work into another shard (re-posts stay on the
+    /// posting thread's shard).
+    ready_floor: Option<SchedKey>,
+    /// Minimal running key among *non-active* shards; maintained
+    /// incrementally as replies promote threads of other shards back into
+    /// their running sets (keys only ever at or above the op being
+    /// processed, so a min update is exact).
+    run_floor: Option<SchedKey>,
+}
+
+impl Sched {
+    fn new(nthreads: usize, shard_map: Vec<u32>) -> Self {
+        debug_assert_eq!(shard_map.len(), nthreads);
+        let nshards = shard_map.iter().copied().max().map_or(1, |m| m as usize + 1);
+        let mut shards: Vec<Shard> = (0..nshards).map(|_| Shard::default()).collect();
+        for t in 0..nthreads {
+            shards[shard_map[t] as usize].running.insert((TimeKey(0.0), t));
+        }
+        Self { shards, shard_of: shard_map, active: None, ready_floor: None, run_floor: None }
+    }
+
+    #[inline]
+    fn shard(&self, tid: usize) -> usize {
+        self.shard_of[tid] as usize
+    }
+
+    /// Invalidates the active-shard cache; called at engine-pass entry and
+    /// by any mutation the incremental floors do not cover.
+    #[inline]
+    fn begin_pass(&mut self) {
+        self.active = None;
+    }
+
+    fn push_ready(&mut self, key: SchedKey) {
+        let s = self.shard(key.1);
+        if self.active.is_some_and(|a| a != s) {
+            // Only re-posts (same shard) happen mid-pass; anything else
+            // forces a fresh rendezvous.
+            self.active = None;
+        }
+        self.shards[s].ready.push(Reverse(key));
+    }
+
+    fn insert_running(&mut self, key: SchedKey) {
+        let s = self.shard(key.1);
+        self.shards[s].running.insert(key);
+        if self.active.is_some_and(|a| a != s) && self.run_floor.is_none_or(|f| key < f) {
+            self.run_floor = Some(key);
+        }
+    }
+
+    fn remove_running(&mut self, key: &SchedKey) -> bool {
+        let s = self.shard(key.1);
+        let removed = self.shards[s].running.remove(key);
+        // Removals happen only between passes (a thread posting or
+        // finishing); the next pass rescans, but drop the cache anyway.
+        self.active = None;
+        removed
+    }
+
+    fn running_first(&self) -> Option<SchedKey> {
+        self.shards.iter().filter_map(|s| s.running.first().copied()).min()
+    }
+
+    fn running_is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.running.is_empty())
+    }
+
+    fn ready_is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.ready.is_empty())
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.shards {
+            s.ready.clear();
+            s.running.clear();
+        }
+        self.active = None;
+    }
+
+    /// Cross-shard rendezvous: pick the shard owning the globally minimal
+    /// ready key and freeze the floors the other shards impose on it.
+    fn rendezvous(&mut self) -> Option<usize> {
+        let mut best: Option<(SchedKey, usize)> = None;
+        for (i, sh) in self.shards.iter().enumerate() {
+            if let Some(&Reverse(k)) = sh.ready.peek() {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        let (_, s) = best?;
+        let mut ready_floor: Option<SchedKey> = None;
+        let mut run_floor: Option<SchedKey> = None;
+        for (i, sh) in self.shards.iter().enumerate() {
+            if i == s {
+                continue;
+            }
+            if let Some(&Reverse(k)) = sh.ready.peek() {
+                if ready_floor.is_none_or(|f| k < f) {
+                    ready_floor = Some(k);
+                }
+            }
+            if let Some(&k) = sh.running.first() {
+                if run_floor.is_none_or(|f| k < f) {
+                    run_floor = Some(k);
+                }
+            }
+        }
+        self.active = Some(s);
+        self.ready_floor = ready_floor;
+        self.run_floor = run_floor;
+        Some(s)
+    }
+
+    /// Pops the next processable operation under the exact global rule:
+    /// the minimal ready key, iff it is ≤ every running key. Returns `None`
+    /// when the pass must end (no ready op, or the head is gated by a
+    /// running thread that will post an earlier key).
+    fn pop_next(&mut self) -> Option<SchedKey> {
+        loop {
+            let s = match self.active {
+                Some(s) => s,
+                None => self.rendezvous()?,
+            };
+            let Some(&Reverse(head)) = self.shards[s].ready.peek() else {
+                // Active shard drained; rendezvous with the rest.
+                self.active = None;
+                continue;
+            };
+            if self.ready_floor.is_some_and(|f| f < head) {
+                // Another shard now owns the global minimum.
+                self.active = None;
+                continue;
+            }
+            // After the checks above `head` is the global ready minimum;
+            // it is processable iff no running thread anywhere is below it.
+            let own_run = self.shards[s].running.first().copied();
+            let gate = match (self.run_floor, own_run) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if gate.is_some_and(|g| g < head) {
+                return None;
+            }
+            self.shards[s].ready.pop();
+            return Some(head);
+        }
+    }
+}
+
+/// A registered spin-waiter with its registration sequence number. The seq
+/// defines the global wake order (identical to the registration order of
+/// the flat list this table replaced) and guards slot reuse: a stale
+/// `(seq, slot)` index entry whose slot was recycled no longer matches.
+struct WaiterTable {
+    slots: Vec<Option<(u64, Waiter)>>,
+    free: Vec<usize>,
+    /// line key → `(seq, slot)` registrations in seq (= append) order.
+    /// Dense, parallel to the line directory, so a store's waiter lookup is
+    /// one indexed load instead of an O(waiters) scan.
+    by_line: Vec<Vec<(u64, u32)>>,
+    next_seq: u64,
+    len: usize,
+}
+
+impl WaiterTable {
+    fn new() -> Self {
+        Self { slots: Vec::new(), free: Vec::new(), by_line: Vec::new(), next_seq: 0, len: 0 }
+    }
+
+    /// Registers a waiter under every distinct line key it watches.
+    fn register(&mut self, w: Waiter, line_keys: &[u32]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some((seq, w));
+                i
+            }
+            None => {
+                self.slots.push(Some((seq, w)));
+                self.slots.len() - 1
+            }
+        };
+        self.len += 1;
+        for &k in line_keys {
+            let i = k as usize;
+            if i >= self.by_line.len() {
+                self.by_line.resize_with(i + 1, Vec::new);
+            }
+            self.by_line[i].push((seq, slot as u32));
+        }
+    }
+
+    /// Takes the registration bucket for one line (possibly containing
+    /// stale entries for already-woken multi-line waiters).
+    fn take_bucket(&mut self, line_key: u32) -> Vec<(u64, u32)> {
+        match self.by_line.get_mut(line_key as usize) {
+            Some(b) => std::mem::take(b),
+            None => Vec::new(),
+        }
+    }
+
+    /// Restores the still-blocked entries of a bucket after a wake sweep.
+    fn put_bucket(&mut self, line_key: u32, bucket: Vec<(u64, u32)>) {
+        if bucket.is_empty() {
+            return;
+        }
+        let i = line_key as usize;
+        debug_assert!(self.by_line[i].is_empty(), "bucket repopulated during wake sweep");
+        self.by_line[i] = bucket;
+    }
+
+    /// Takes the waiter out of `slot` if it still matches `seq`; the caller
+    /// either wakes it (slot stays free) or restores it via `restore`.
+    fn take_slot(&mut self, slot: u32, seq: u64) -> Option<Waiter> {
+        let entry = self.slots.get_mut(slot as usize)?;
+        match entry {
+            Some((s, _)) if *s == seq => {
+                let (_, w) = entry.take().expect("checked above");
+                Some(w)
+            }
+            _ => None,
+        }
+    }
+
+    /// Puts a still-unsatisfied waiter back into its slot (same seq, so its
+    /// other index entries stay valid).
+    fn restore(&mut self, slot: u32, seq: u64, w: Waiter) {
+        debug_assert!(self.slots[slot as usize].is_none());
+        self.slots[slot as usize] = Some((seq, w));
+    }
+
+    /// Frees a woken waiter's slot for reuse.
+    fn release(&mut self, slot: u32) {
+        debug_assert!(self.slots[slot as usize].is_none());
+        self.free.push(slot as usize);
+        self.len -= 1;
+    }
+
+    /// All blocked waiters in registration order (diagnostics snapshots).
+    fn in_order(&self) -> Vec<&Waiter> {
+        let mut v: Vec<(u64, &Waiter)> =
+            self.slots.iter().flatten().map(|(s, w)| (*s, w)).collect();
+        v.sort_unstable_by_key(|&(s, _)| s);
+        v.into_iter().map(|(_, w)| w).collect()
+    }
+
+    /// Drains every waiter in registration order (abort tear-down).
+    fn drain_in_order(&mut self) -> Vec<Waiter> {
+        let mut v: Vec<(u64, Waiter)> = self.slots.drain(..).flatten().collect();
+        v.sort_unstable_by_key(|&(s, _)| s);
+        self.free.clear();
+        for b in &mut self.by_line {
+            b.clear();
+        }
+        self.len = 0;
+        v.into_iter().map(|(_, w)| w).collect()
+    }
+}
+
 /// Per-thread lock-free reply mailbox. The engine (always the lock holder)
 /// writes the reply and then bumps `seq` with release ordering; the owning
 /// worker observes the bump with acquire ordering and takes the reply
@@ -199,9 +506,9 @@ struct Waiter {
 /// operation and run the engine to quiescence.
 struct State {
     slots: Vec<Slot>,
-    /// Posted-but-unprocessed operations, keyed by `(time, tid)`. Used only
-    /// in default (heap-order) mode.
-    ready: BinaryHeap<Reverse<SchedKey>>,
+    /// The sharded ready/running scheduler. Used for ready ordering only in
+    /// default (heap-order) mode; the running sets are live in both modes.
+    sched: Sched,
     /// Posted-but-unprocessed operations in policy mode, unordered — the
     /// installed [`SchedulePolicy`] picks among them.
     ready_list: Vec<SchedKey>,
@@ -212,9 +519,8 @@ struct State {
     /// Whether this run was configured with a policy (stable across the
     /// take/restore in `run_engine_policy`).
     policy_mode: bool,
-    /// Threads executing user code; their next post arrives at their key.
-    running: BTreeSet<SchedKey>,
-    waiters: Vec<Waiter>,
+    /// Blocked spin-waiters, indexed by watched line.
+    waiters: WaiterTable,
     time: Vec<f64>,
     /// Dense per-line directory, indexed `addr >> line_shift`.
     lines: Vec<Line>,
@@ -246,6 +552,7 @@ struct State {
 impl State {
     fn new(
         nthreads: usize,
+        shard_map: Vec<u32>,
         seed: u64,
         op_budget: u64,
         reserve_bytes: usize,
@@ -255,12 +562,11 @@ impl State {
         let policy_mode = policy.is_some();
         Self {
             slots: (0..nthreads).map(|_| Slot { pending: None, finished: false }).collect(),
-            ready: BinaryHeap::with_capacity(nthreads),
+            sched: Sched::new(nthreads, shard_map),
             ready_list: if policy_mode { Vec::with_capacity(nthreads) } else { Vec::new() },
             policy,
             policy_mode,
-            running: (0..nthreads).map(|t| (TimeKey(0.0), t)).collect(),
-            waiters: Vec::new(),
+            waiters: WaiterTable::new(),
             time: vec![0.0; nthreads],
             lines: vec![Line::default(); reserve_bytes.div_ceil(1usize << line_shift)],
             values: vec![0; reserve_bytes.div_ceil(4)],
@@ -285,7 +591,7 @@ impl State {
         if self.policy_mode {
             self.ready_list.push(key);
         } else {
-            self.ready.push(Reverse(key));
+            self.sched.push_ready(key);
         }
     }
 }
@@ -312,6 +618,12 @@ pub struct SimThread {
     shared: Arc<Shared>,
     tid: usize,
     nthreads: usize,
+    /// Fiber transport: when the episode runs on the single-threaded fiber
+    /// runtime, wakes are enqueued with the scheduler and blocking yields
+    /// the fiber instead of parking the OS thread. `None` = OS transport.
+    /// (Makes `SimThread` `!Send`, which is fine — a handle never leaves
+    /// the thread it was created on in either transport.)
+    fiber: Option<std::ptr::NonNull<crate::fiber::FiberRt>>,
     /// Locally accumulated `compute_ns` time `(total ns, op count)` not yet
     /// applied to the engine clock. A compute touches no line, draws no
     /// jitter and occupies no interconnect — its only effect is to raise
@@ -330,7 +642,18 @@ impl SimThread {
         shared.handles[tid]
             .set(std::thread::current())
             .expect("worker registered twice for one episode");
-        Self { shared, tid, nthreads, deferred: std::cell::Cell::new((0.0, 0)) }
+        Self { shared, tid, nthreads, fiber: None, deferred: std::cell::Cell::new((0.0, 0)) }
+    }
+
+    /// Fiber-transport constructor: no park handle — the fiber runtime, not
+    /// `unpark`, resumes blocked threads.
+    pub(crate) fn new_fiber(
+        shared: Arc<Shared>,
+        tid: usize,
+        nthreads: usize,
+        rt: std::ptr::NonNull<crate::fiber::FiberRt>,
+    ) -> Self {
+        Self { shared, tid, nthreads, fiber: Some(rt), deferred: std::cell::Cell::new((0.0, 0)) }
     }
 
     /// Takes the not-yet-applied compute accumulator (for the finish path).
@@ -364,7 +687,7 @@ impl SimThread {
             }
             debug_assert!(g.slots[self.tid].pending.is_none(), "op already pending");
             let old_key = (TimeKey(g.time[self.tid]), self.tid);
-            let was_running = g.running.remove(&old_key);
+            let was_running = g.sched.remove_running(&old_key);
             debug_assert!(was_running, "posting thread must be in the running set");
             let (def_ns, def_count) = self.deferred.replace((0.0, 0));
             if def_count > 0 {
@@ -378,21 +701,36 @@ impl SimThread {
             self.shared.run_engine(&mut g);
             std::mem::take(&mut g.wake_list)
         };
-        self.shared.unpark(&wakes, self.tid);
         // Fast path: when our own op was processable (the common case for
         // serial phases), the inline engine run above already delivered the
-        // reply — no context switch, no further synchronization. Otherwise
-        // park; the deliverer's deferred `unpark` cannot be lost (a token
-        // posted before we park makes the park return immediately), and a
-        // stale token merely costs one extra loop iteration.
-        let mut spins = 0u32;
-        while cell.seq.load(Ordering::Acquire) == my_seq {
-            if spin_replies() && spins < REPLY_SPIN_LIMIT {
-                spins += 1;
-                std::hint::spin_loop();
-                continue;
+        // reply — no context switch, no further synchronization (both
+        // transports). Otherwise block: a fiber yields to its scheduler
+        // (the deliverer enqueues it runnable); an OS worker parks (the
+        // deliverer's deferred `unpark` cannot be lost — a token posted
+        // before we park makes the park return immediately, and a stale
+        // token merely costs one extra loop iteration).
+        match self.fiber {
+            Some(rt) => {
+                // SAFETY: the runtime outlives every fiber it drives, and
+                // all fibers run on its OS thread (no concurrent access).
+                let rt = unsafe { rt.as_ref() };
+                rt.enqueue_wakes(&wakes, self.tid);
+                while cell.seq.load(Ordering::Acquire) == my_seq {
+                    rt.suspend();
+                }
             }
-            std::thread::park();
+            None => {
+                self.shared.unpark(&wakes, self.tid);
+                let mut spins = 0u32;
+                while cell.seq.load(Ordering::Acquire) == my_seq {
+                    if spin_replies() && spins < REPLY_SPIN_LIMIT {
+                        spins += 1;
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    std::thread::park();
+                }
+            }
         }
         // SAFETY: the seq bump (release) happens after the engine published
         // our reply, and the engine will not touch the cell again until our
@@ -536,7 +874,11 @@ impl SimBuilder {
             topo.num_cores(),
             topo.name()
         );
-        assert!(topo.num_cores() <= 128, "simulator supports at most 128 cores");
+        assert!(
+            topo.num_cores() <= CoreSet::CAPACITY,
+            "simulator supports at most {} cores",
+            CoreSet::CAPACITY
+        );
         Self {
             topo,
             nthreads,
@@ -584,9 +926,11 @@ impl SimBuilder {
         let line_bytes = self.topo.cacheline_bytes();
         debug_assert!(line_bytes.is_power_of_two(), "topology validates the line size");
         let line_shift = line_bytes.trailing_zeros();
+        let shard_map = (0..self.nthreads).map(|t| self.topo.shard_of(t) as u32).collect();
         Shared {
             mx: Mutex::new(State::new(
                 self.nthreads,
+                shard_map,
                 self.seed,
                 self.op_budget,
                 self.reserve_bytes,
@@ -642,35 +986,46 @@ pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 }
 
 impl Shared {
-    /// Marks `tid` finished (recording its panic message, if any), lets the
-    /// engine drain anything its departure unblocked, and wakes the driver.
+    /// Marks `tid` finished (recording its panic message, if any) and lets
+    /// the engine drain anything its departure unblocked. Returns the wake
+    /// list and whether every participant is now finished; the transport
+    /// wrapper decides how to deliver the wakes.
+    pub(crate) fn finish_thread_core(
+        &self,
+        tid: usize,
+        panic_msg: Option<String>,
+        deferred: (f64, u64),
+    ) -> (Vec<usize>, bool) {
+        let mut g = self.mx.lock();
+        let key = (TimeKey(g.time[tid]), tid);
+        g.sched.remove_running(&key); // may already be gone after an abort
+        let (def_ns, def_count) = deferred;
+        if def_count > 0 && !g.aborted {
+            // Trailing computes never followed by a real op: fold them
+            // in now so per-thread times include them.
+            g.time[tid] += def_ns;
+            g.ops += def_count;
+            g.stats.count_ops(OpKind::Compute, def_count);
+        }
+        if let Some(m) = panic_msg {
+            g.panics.push((tid, m));
+        }
+        debug_assert!(!g.slots[tid].finished, "thread finished twice");
+        g.slots[tid].finished = true;
+        g.finished += 1;
+        self.run_engine(&mut g);
+        (std::mem::take(&mut g.wake_list), g.finished == g.slots.len())
+    }
+
+    /// OS-transport finish: processes the departure, unparks the woken
+    /// workers, and notifies the collecting driver.
     pub(crate) fn finish_thread(
         &self,
         tid: usize,
         panic_msg: Option<String>,
         deferred: (f64, u64),
     ) {
-        let (wakes, all_done) = {
-            let mut g = self.mx.lock();
-            let key = (TimeKey(g.time[tid]), tid);
-            g.running.remove(&key); // may already be gone after an abort
-            let (def_ns, def_count) = deferred;
-            if def_count > 0 && !g.aborted {
-                // Trailing computes never followed by a real op: fold them
-                // in now so per-thread times include them.
-                g.time[tid] += def_ns;
-                g.ops += def_count;
-                g.stats.count_ops(OpKind::Compute, def_count);
-            }
-            if let Some(m) = panic_msg {
-                g.panics.push((tid, m));
-            }
-            debug_assert!(!g.slots[tid].finished, "thread finished twice");
-            g.slots[tid].finished = true;
-            g.finished += 1;
-            self.run_engine(&mut g);
-            (std::mem::take(&mut g.wake_list), g.finished == g.slots.len())
-        };
+        let (wakes, all_done) = self.finish_thread_core(tid, panic_msg, deferred);
         self.unpark(&wakes, tid);
         if all_done {
             self.done_cv.notify_all();
@@ -722,16 +1077,11 @@ impl Shared {
             self.run_engine_policy(g);
             return;
         }
+        g.sched.begin_pass();
         while g.outcome.is_none() && g.panics.is_empty() {
-            let Some(&Reverse(key)) = g.ready.peek() else { break };
-            if let Some(first_running) = g.running.first() {
-                if *first_running < key {
-                    // A running thread will post an earlier-keyed op; the
-                    // head must wait for it.
-                    break;
-                }
-            }
-            g.ready.pop();
+            // `pop_next` yields the globally minimal ready key unless it is
+            // gated by a running thread that will post an earlier one.
+            let Some(key) = g.sched.pop_next() else { break };
             g.ops += 1;
             if g.ops > g.op_budget {
                 g.outcome =
@@ -766,7 +1116,7 @@ impl Shared {
         while g.outcome.is_none()
             && g.panics.is_empty()
             && !g.ready_list.is_empty()
-            && g.running.is_empty()
+            && g.sched.running_is_empty()
         {
             g.ready_list.sort_unstable();
             let ready: Vec<ReadyOp> = g
@@ -781,7 +1131,7 @@ impl Shared {
                     ReadyOp { tid, time_ns: t, kind, addr }
                 })
                 .collect();
-            let min_running = g.running.first().map(|&(TimeKey(t), tid)| (t, tid));
+            let min_running = g.sched.running_first().map(|(TimeKey(t), tid)| (t, tid));
             let pick = match policy.pick(&ready, min_running) {
                 ScheduleDecision::Run(i) if i < ready.len() => i,
                 ScheduleDecision::Delay { index, ns }
@@ -847,7 +1197,8 @@ impl Shared {
             self.abort(g);
         } else if g.finished == g.slots.len() {
             g.outcome = Some(Ok(()));
-        } else if g.ready.is_empty() && g.ready_list.is_empty() && g.running.is_empty() {
+        } else if g.sched.ready_is_empty() && g.ready_list.is_empty() && g.sched.running_is_empty()
+        {
             // Everyone alive is parked in a spin-wait: deadlock. (This also
             // catches stragglers still spinning after every peer finished.)
             let waiters = self.waiter_info(g);
@@ -861,7 +1212,8 @@ impl Shared {
     /// the waiter never observed.
     fn waiter_info(&self, g: &State) -> Vec<DeadlockWaiter> {
         g.waiters
-            .iter()
+            .in_order()
+            .into_iter()
             .map(|w| {
                 let addr = match w.kind {
                     WaitKind::AllGe(epoch) => w
@@ -883,15 +1235,14 @@ impl Shared {
     /// for the workers in `collect`.
     fn abort(&self, g: &mut State) {
         g.aborted = true;
-        g.ready.clear();
+        g.sched.clear();
         g.ready_list.clear();
-        g.running.clear();
         for tid in 0..g.slots.len() {
             if g.slots[tid].pending.take().is_some() {
                 self.deliver(g, tid, Reply::Abort);
             }
         }
-        let blocked: Vec<usize> = g.waiters.drain(..).map(|w| w.tid).collect();
+        let blocked: Vec<usize> = g.waiters.drain_in_order().into_iter().map(|w| w.tid).collect();
         for tid in blocked {
             self.deliver(g, tid, Reply::Abort);
         }
@@ -916,7 +1267,7 @@ impl Shared {
     /// Replies to a processed operation: the thread resumes user code, so it
     /// re-enters the running set at its (new) virtual time.
     fn reply(&self, g: &mut State, tid: usize, r: Reply) {
-        g.running.insert((TimeKey(g.time[tid]), tid));
+        g.sched.insert_running((TimeKey(g.time[tid]), tid));
         self.deliver(g, tid, r);
     }
 
@@ -1082,12 +1433,11 @@ impl Shared {
                 if pred(v) {
                     self.reply(g, tid, Reply::Value(v));
                 } else {
-                    g.waiters.push(Waiter {
-                        tid,
-                        addrs: vec![addr],
-                        cond: WaitCond::Pred(pred),
-                        kind,
-                    });
+                    let keys = [self.line_key(addr)];
+                    g.waiters.register(
+                        Waiter { tid, addrs: vec![addr], cond: WaitCond::Pred(pred), kind },
+                        &keys,
+                    );
                 }
             }
             OpReq::SpinUntilAllGe(addrs, epoch) => {
@@ -1095,12 +1445,18 @@ impl Shared {
                 if self.all_ge(g, &addrs, epoch) {
                     self.reply(g, tid, Reply::Value(epoch));
                 } else {
-                    g.waiters.push(Waiter {
-                        tid,
-                        addrs,
-                        cond: WaitCond::AllGe(epoch),
-                        kind: WaitKind::AllGe(epoch),
-                    });
+                    let mut keys: Vec<u32> = addrs.iter().map(|&a| self.line_key(a)).collect();
+                    keys.sort_unstable();
+                    keys.dedup();
+                    g.waiters.register(
+                        Waiter {
+                            tid,
+                            addrs,
+                            cond: WaitCond::AllGe(epoch),
+                            kind: WaitKind::AllGe(epoch),
+                        },
+                        &keys,
+                    );
                 }
             }
             OpReq::Mark(label) => {
@@ -1244,17 +1600,24 @@ impl Shared {
     /// sharer set and future writes keep paying invalidation costs to them.
     fn wake_waiters(&self, g: &mut State, addr: Addr, writer: usize) {
         let key = self.line_key(addr);
+        // Only waiters indexed under this line can match; the per-line
+        // bucket replaces the old scan over every blocked thread in the
+        // machine. Entries are `(seq, slot)` in registration order, so the
+        // wake order (and therefore every staggered wake time and jitter
+        // draw) is identical to the flat list's.
+        let bucket = g.waiters.take_bucket(key);
+        if bucket.is_empty() {
+            return;
+        }
         let end = g.time[writer];
         let read_c = self.topo.coherence().read_contention_ns;
 
         let mut woken = 0usize;
-        let mut remaining = Vec::with_capacity(g.waiters.len());
-        let waiters = std::mem::take(&mut g.waiters);
-        for w in waiters {
-            if !w.addrs.iter().any(|&a| self.line_key(a) == key) {
-                remaining.push(w);
-                continue;
-            }
+        let mut remaining = Vec::with_capacity(bucket.len());
+        for (seq, slot) in bucket {
+            // A stale entry (multi-line waiter already woken via another of
+            // its lines) no longer matches its slot's seq; drop it.
+            let Some(w) = g.waiters.take_slot(slot, seq) else { continue };
             let satisfied = match &w.cond {
                 WaitCond::Pred(pred) => pred(self.value(g, w.addrs[0])),
                 WaitCond::AllGe(epoch) => self.all_ge(g, &w.addrs, *epoch),
@@ -1291,11 +1654,13 @@ impl Shared {
                 let reply_value = self.value(g, w.addrs[0]);
                 g.stats.record_spin_wakeup(w.tid);
                 self.reply(g, w.tid, Reply::Value(reply_value));
+                g.waiters.release(slot);
             } else {
-                remaining.push(w);
+                g.waiters.restore(slot, seq, w);
+                remaining.push((seq, slot));
             }
         }
-        g.waiters = remaining;
+        g.waiters.put_bucket(key, remaining);
     }
 }
 
@@ -1755,6 +2120,47 @@ mod tests {
             })
             .unwrap();
         assert_eq!(stats.coherence().total().total_mem_ops(), 2);
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        // The same machine at 1, 2, 4, and 8 scheduler shards must produce
+        // bit-identical runs: sharding is a scheduling partition, not a
+        // model change.
+        let run = |shard_cores: usize| {
+            let t = Arc::new(
+                TopologyBuilder::new("shardtest", 16)
+                    .epsilon_ns(1.0)
+                    .layer("near", 10.0, 0.5)
+                    .layer("far", 40.0, 0.5)
+                    .hierarchy(&[4])
+                    .shard_cores(shard_cores)
+                    .coherence(2.0, 3.0, 0.2)
+                    .build(),
+            );
+            let mut arena = Arena::new();
+            let a = arena.alloc_padded_u32(64);
+            let gflag = arena.alloc_padded_u32(64);
+            let stats = SimBuilder::new(t, 16)
+                .seed(42)
+                .run(move |ctx| {
+                    for round in 1..=3u32 {
+                        let prev = ctx.fetch_add(a, 1);
+                        if prev == 16 * round - 1 {
+                            ctx.store(gflag, round);
+                        } else {
+                            ctx.spin_until_ge(gflag, round);
+                        }
+                        ctx.compute_ns(5.0 * ctx.tid() as f64);
+                    }
+                })
+                .unwrap();
+            (stats.per_thread_time_ns().to_vec(), stats.schedule_hash())
+        };
+        let baseline = run(16);
+        for shards in [8, 4, 2] {
+            assert_eq!(run(shards), baseline, "shard_cores={shards} diverged");
+        }
     }
 
     #[test]

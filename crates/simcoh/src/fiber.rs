@@ -1,0 +1,421 @@
+//! Stackful-coroutine ("fiber") transport for simulated threads.
+//!
+//! The OS transport rendezvouses through `park`/`unpark`, which costs a
+//! futex round trip (~2µs) every time the engine switches between simulated
+//! threads — and a barrier episode is nothing *but* switches. This module
+//! runs every simulated thread of an episode as a fiber on **one** OS
+//! thread: blocking becomes a userspace context switch (a dozen
+//! instructions saving the six SysV callee-saved registers), two orders of
+//! magnitude cheaper, and on a single-core host it also removes all
+//! scheduler pressure.
+//!
+//! Determinism is untouched: the engine under its mutex processes exactly
+//! the same operations in exactly the same order as under the OS transport
+//! — only the mechanism that resumes a blocked thread changes. The
+//! cross-transport identity is pinned by `team_matches_fresh_spawn_results`
+//! (OS-team vs fiber run) and the golden-master fixtures.
+//!
+//! Enabled by default on `x86_64` unix hosts; set `ARMBAR_SIM_FIBERS=0` (or
+//! `off`) to fall back to OS threads. Other architectures always use the OS
+//! transport (the context switch is hand-written assembly).
+
+use std::sync::Arc;
+
+use crate::engine::{SimBuilder, SimThread};
+use crate::error::SimError;
+use crate::stats::RunStats;
+
+/// Whether episodes run on the fiber transport. Read once per process:
+/// flipping mid-run would mix transports within one ambient team.
+pub(crate) fn fibers_enabled() -> bool {
+    #[cfg(not(all(target_arch = "x86_64", unix)))]
+    {
+        false
+    }
+    #[cfg(all(target_arch = "x86_64", unix))]
+    {
+        static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *ON.get_or_init(|| {
+            !std::env::var("ARMBAR_SIM_FIBERS")
+                .is_ok_and(|v| v == "0" || v.eq_ignore_ascii_case("off"))
+        })
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", unix))]
+pub(crate) use imp::{run_on_fibers, FiberRt};
+
+#[cfg(all(target_arch = "x86_64", unix))]
+mod imp {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+    use std::ptr::NonNull;
+
+    /// Fiber stack size. Simulation bodies are shallow (a barrier algorithm
+    /// plus the engine rendezvous), but proptest/debug builds are greedy;
+    /// 256 KiB leaves a wide margin. Allocated without zeroing, so untouched
+    /// pages never become resident.
+    const STACK_SIZE: usize = 256 * 1024;
+
+    /// Written at the low end of every stack; checked when the stack is
+    /// returned to the pool. An overflow would have to march through this
+    /// word first.
+    const CANARY: usize = 0xFEED_FACE_CAFE_BEEF;
+
+    /// Saved execution context: just the stack pointer. Everything else
+    /// (the six SysV callee-saved registers and the return address) lives
+    /// on the fiber's own stack, pushed by [`fiber_switch`].
+    struct Context {
+        rsp: usize,
+    }
+
+    /// x86_64 SysV context switch: saves the callee-saved registers and the
+    /// return address on the current stack, stores the stack pointer to
+    /// `*save`, installs `*restore`, and returns on the other stack.
+    ///
+    /// The floating-point control words (`mxcsr`, `x87 cw`) are deliberately
+    /// *not* switched: nothing in this process modifies them, so every fiber
+    /// observes the process defaults.
+    #[unsafe(naked)]
+    unsafe extern "C" fn fiber_switch(save: *mut usize, restore: *const usize) {
+        core::arch::naked_asm!(
+            "push rbp",
+            "push rbx",
+            "push r12",
+            "push r13",
+            "push r14",
+            "push r15",
+            "mov [rdi], rsp",
+            "mov rsp, [rsi]",
+            "pop r15",
+            "pop r14",
+            "pop r13",
+            "pop r12",
+            "pop rbx",
+            "pop rbp",
+            "ret",
+        )
+    }
+
+    /// First frame of every fiber: [`prepare_stack`] seeds r12 with the
+    /// boot-args pointer and "returns" here. Moves the argument into place,
+    /// terminates the frame-pointer chain, restores the SysV stack
+    /// alignment a real `call` would have produced, and enters Rust.
+    /// [`fiber_entry`] never returns (the `ud2` is unreachable).
+    #[unsafe(naked)]
+    unsafe extern "C" fn fiber_boot() {
+        core::arch::naked_asm!(
+            "mov rdi, r12",
+            "xor ebp, ebp",
+            "sub rsp, 8",
+            "call {entry}",
+            "ud2",
+            entry = sym fiber_entry,
+        )
+    }
+
+    /// A pooled fiber stack (raw allocation; never zeroed).
+    struct Stack {
+        base: NonNull<u8>,
+    }
+
+    impl Stack {
+        fn layout() -> std::alloc::Layout {
+            std::alloc::Layout::from_size_align(STACK_SIZE, 16).expect("static layout")
+        }
+
+        fn new() -> Self {
+            // SAFETY: non-zero-sized, 16-aligned layout.
+            let p = unsafe { std::alloc::alloc(Self::layout()) };
+            let base =
+                NonNull::new(p).unwrap_or_else(|| std::alloc::handle_alloc_error(Self::layout()));
+            // SAFETY: in-bounds write at the low end of the fresh block.
+            unsafe { base.as_ptr().cast::<usize>().write(CANARY) };
+            Self { base }
+        }
+
+        /// One-past-the-end of the stack (stacks grow down); 16-aligned.
+        fn top(&self) -> *mut usize {
+            // SAFETY: one-past-the-end pointer of the allocation.
+            unsafe { self.base.as_ptr().add(STACK_SIZE).cast() }
+        }
+
+        fn check_canary(&self) {
+            // SAFETY: reads the word written in `new`.
+            let w = unsafe { self.base.as_ptr().cast::<usize>().read() };
+            assert_eq!(w, CANARY, "fiber stack overflow detected");
+        }
+    }
+
+    impl Drop for Stack {
+        fn drop(&mut self) {
+            // SAFETY: allocated in `new` with the same layout.
+            unsafe { std::alloc::dealloc(self.base.as_ptr(), Self::layout()) };
+        }
+    }
+
+    thread_local! {
+        /// Stacks reused across episodes on this host thread — the fiber
+        /// analogue of [`crate::SimTeam`]'s worker reuse.
+        static STACK_POOL: RefCell<Vec<Stack>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn pool_take() -> Stack {
+        STACK_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(Stack::new)
+    }
+
+    fn pool_put(stack: Stack) {
+        stack.check_canary();
+        STACK_POOL.with(|p| p.borrow_mut().push(stack));
+    }
+
+    /// What a booting fiber needs: its runtime and identity. Boxed and kept
+    /// alive in the [`Fiber`], so the raw pointer seeded into r12 stays
+    /// valid for the fiber's whole life.
+    struct BootArgs {
+        rt: *const FiberRt,
+        tid: usize,
+    }
+
+    struct Fiber {
+        ctx: Context,
+        stack: Stack,
+        /// Owner of the allocation `BootArgs` pointers refer to.
+        _boot: Box<BootArgs>,
+    }
+
+    /// Seeds a fresh stack so that switching into it lands in
+    /// [`fiber_boot`] with r12 = `arg`. Layout, from the top down: a zeroed
+    /// fake return address, `fiber_boot`'s address, then the six
+    /// callee-saved slots [`fiber_switch`] will pop (rbp, rbx, r12, r13,
+    /// r14, r15 — r12 carries `arg`).
+    fn prepare_stack(stack: &Stack, arg: *mut BootArgs) -> Context {
+        let top = stack.top();
+        // SAFETY: eight in-bounds words below the top of a 256 KiB stack.
+        unsafe {
+            top.sub(1).write(0);
+            top.sub(2).write(fiber_boot as *const () as usize);
+            top.sub(3).write(0); // rbp
+            top.sub(4).write(0); // rbx
+            top.sub(5).write(arg as usize); // r12
+            top.sub(6).write(0); // r13
+            top.sub(7).write(0); // r14
+            top.sub(8).write(0); // r15
+            Context { rsp: top.sub(8) as usize }
+        }
+    }
+
+    struct RtInner {
+        /// The driver's saved context while a fiber runs.
+        sched_ctx: Context,
+        /// One fiber per simulated thread, indexed by tid. Never grows
+        /// after `run_on_fibers` seeds it (context pointers must not move).
+        fibers: Vec<Fiber>,
+        /// Fibers with a delivered reply (or not yet started), in wake
+        /// order.
+        runnable: VecDeque<usize>,
+        /// The fiber currently executing, if any.
+        current: Option<usize>,
+        finished: usize,
+        shared: Arc<crate::engine::Shared>,
+        body: Arc<dyn Fn(&SimThread) + Send + Sync>,
+    }
+
+    /// The single-threaded fiber scheduler driving one episode.
+    ///
+    /// Boxed by [`run_on_fibers`] so the pointer handed to every fiber (and
+    /// stored in each [`SimThread`]) is stable. The `RefCell` enforces the
+    /// discipline that matters here: no borrow is ever held across a
+    /// context switch.
+    pub(crate) struct FiberRt {
+        inner: RefCell<RtInner>,
+    }
+
+    impl FiberRt {
+        /// Runs fibers until all have finished. The scheduler is strict
+        /// about liveness: the engine only quiesces with no runnable fiber
+        /// when it has delivered an outcome (completion or abort), so an
+        /// empty queue with unfinished fibers is a transport bug, not a
+        /// simulation deadlock — those are detected (and aborted) by the
+        /// engine itself.
+        fn drive(&self) {
+            loop {
+                let next = {
+                    let mut inner = self.inner.borrow_mut();
+                    if inner.finished == inner.fibers.len() {
+                        break;
+                    }
+                    match inner.runnable.pop_front() {
+                        Some(t) => {
+                            inner.current = Some(t);
+                            t
+                        }
+                        None => panic!(
+                            "fiber scheduler wedged: {}/{} fibers finished with none runnable",
+                            inner.finished,
+                            inner.fibers.len()
+                        ),
+                    }
+                };
+                let (save, restore) = {
+                    let mut inner = self.inner.borrow_mut();
+                    let save: *mut usize = &mut inner.sched_ctx.rsp;
+                    let restore: *const usize = &inner.fibers[next].ctx.rsp;
+                    (save, restore)
+                };
+                // SAFETY: both pointers outlive the switch (the Vec never
+                // reallocates mid-run) and no RefCell borrow is active.
+                unsafe { fiber_switch(save, restore) };
+            }
+        }
+
+        /// Yields the current fiber back to the scheduler; returns when a
+        /// wake re-enqueues it and the scheduler switches back in.
+        pub(crate) fn suspend(&self) {
+            let (save, restore) = {
+                let mut inner = self.inner.borrow_mut();
+                let t = inner.current.take().expect("suspend outside a fiber");
+                let save: *mut usize = &mut inner.fibers[t].ctx.rsp;
+                let restore: *const usize = &inner.sched_ctx.rsp;
+                (save, restore)
+            };
+            // SAFETY: as in `drive` — stable pointers, no live borrow.
+            unsafe { fiber_switch(save, restore) };
+        }
+
+        /// Marks the engine-woken tids runnable (self excluded — the caller
+        /// is running and checks its own reply cell directly).
+        pub(crate) fn enqueue_wakes(&self, wakes: &[usize], me: usize) {
+            if wakes.is_empty() {
+                return;
+            }
+            let mut inner = self.inner.borrow_mut();
+            for &t in wakes {
+                if t != me {
+                    inner.runnable.push_back(t);
+                }
+            }
+        }
+
+        /// Terminal yield of a finished fiber. Never returns: a finished
+        /// tid has no pending op and no waiter registration, so nothing can
+        /// re-enqueue it (the defensive loop turns a transport bug into a
+        /// wedge panic in `drive` instead of undefined behavior).
+        fn finish_current(&self) -> ! {
+            self.inner.borrow_mut().finished += 1;
+            loop {
+                self.suspend();
+            }
+        }
+    }
+
+    /// Rust-side entry of every fiber (called by [`fiber_boot`]): runs the
+    /// episode body with a fiber-transport [`SimThread`], then routes
+    /// through the engine's finish protocol. Panics — user or the engine's
+    /// internal `AbortSignal` tear-down — are caught here; unwinding past
+    /// the hand-seeded boot frame would be undefined behavior.
+    unsafe extern "C" fn fiber_entry(arg: *mut BootArgs) -> ! {
+        // SAFETY: `arg` points at the Box the Fiber owns; the runtime (and
+        // therefore the fiber table) outlives this fiber.
+        let (rt, tid) = unsafe { ((*arg).rt, (*arg).tid) };
+        let rt = unsafe { &*rt };
+        let (shared, body, nthreads) = {
+            let inner = rt.inner.borrow();
+            (Arc::clone(&inner.shared), Arc::clone(&inner.body), inner.fibers.len())
+        };
+        let ctx = SimThread::new_fiber(Arc::clone(&shared), tid, nthreads, NonNull::from(rt));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx)));
+        let panic_msg = match result {
+            Ok(()) => None,
+            Err(p) => {
+                if (*p).is::<crate::engine::AbortSignal>() {
+                    None // internal tear-down, not a user panic
+                } else {
+                    Some(crate::engine::panic_message(&*p))
+                }
+            }
+        };
+        let deferred = ctx.take_deferred();
+        drop(ctx);
+        let (wakes, _all_done) = shared.finish_thread_core(tid, panic_msg, deferred);
+        rt.enqueue_wakes(&wakes, tid);
+        rt.finish_current()
+    }
+
+    /// Runs one episode entirely on fibers: every simulated thread becomes
+    /// a coroutine on the calling OS thread. Semantics and results are
+    /// identical to the OS-thread transport.
+    pub(crate) fn run_on_fibers(
+        builder: SimBuilder,
+        body: Arc<dyn Fn(&SimThread) + Send + Sync>,
+    ) -> Result<RunStats, SimError> {
+        crate::engine::silence_abort_panics();
+        let nthreads = builder.nthreads;
+        let shared = Arc::new(builder.into_shared());
+        let rt = Box::new(FiberRt {
+            inner: RefCell::new(RtInner {
+                sched_ctx: Context { rsp: 0 },
+                fibers: Vec::with_capacity(nthreads),
+                runnable: VecDeque::with_capacity(nthreads),
+                current: None,
+                finished: 0,
+                shared: Arc::clone(&shared),
+                body,
+            }),
+        });
+        let rt_ptr: *const FiberRt = &*rt;
+        {
+            let mut inner = rt.inner.borrow_mut();
+            for tid in 0..nthreads {
+                let stack = pool_take();
+                let mut boot = Box::new(BootArgs { rt: rt_ptr, tid });
+                let arg: *mut BootArgs = &mut *boot;
+                let ctx = prepare_stack(&stack, arg);
+                inner.fibers.push(Fiber { ctx, stack, _boot: boot });
+                // Seed in tid order: before any operation is posted, every
+                // start order yields the same engine schedule, but tid
+                // order keeps the very first rendezvous sequence obvious.
+                inner.runnable.push_back(tid);
+            }
+        }
+        rt.drive();
+        let result = shared.collect();
+        for f in rt.inner.borrow_mut().fibers.drain(..) {
+            pool_put(f.stack);
+        }
+        result
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+pub(crate) use stub::{run_on_fibers, FiberRt};
+
+#[cfg(not(all(target_arch = "x86_64", unix)))]
+mod stub {
+    use super::*;
+
+    /// Placeholder so [`SimThread`](crate::engine::SimThread) compiles on
+    /// architectures without a fiber implementation; never instantiated
+    /// ([`fibers_enabled`](super::fibers_enabled) is `false`).
+    pub(crate) struct FiberRt {
+        _never: std::convert::Infallible,
+    }
+
+    impl FiberRt {
+        pub(crate) fn suspend(&self) {
+            match self._never {}
+        }
+
+        pub(crate) fn enqueue_wakes(&self, _wakes: &[usize], _me: usize) {
+            match self._never {}
+        }
+    }
+
+    pub(crate) fn run_on_fibers(
+        _builder: SimBuilder,
+        _body: Arc<dyn Fn(&SimThread) + Send + Sync>,
+    ) -> Result<RunStats, SimError> {
+        unreachable!("fiber transport is gated off on this architecture")
+    }
+}

@@ -25,17 +25,26 @@
 //!
 //! ## Execution model
 //!
-//! Each simulated thread is an OS thread running arbitrary Rust code; every
-//! [`SimThread`] operation posts to a shared engine that processes
-//! operations in virtual-time order (ties broken by thread id), one at a
-//! time. The engine is *cooperative*: whichever worker posts an operation
-//! runs the scheduling loop inline while it holds the state lock, so serial
-//! phases of a simulation advance without any context switches. The
-//! interleaving is **fully deterministic** — independent of host scheduling
-//! and host core count — and a blocked simulation (a buggy barrier) is
-//! detected and reported rather than hanging. Worker threads are pooled in
-//! episode-reusable [`SimTeam`]s; [`SimBuilder::run`] reuses an ambient
-//! per-host-thread team transparently.
+//! Each simulated thread runs arbitrary Rust code; every [`SimThread`]
+//! operation posts to a shared engine that processes operations in
+//! virtual-time order (ties broken by thread id), one at a time. The engine
+//! is *cooperative*: whichever thread posts an operation runs the
+//! scheduling loop inline while it holds the state lock, so serial phases
+//! of a simulation advance without any context switches. The interleaving
+//! is **fully deterministic** — independent of host scheduling and host
+//! core count — and a blocked simulation (a buggy barrier) is detected and
+//! reported rather than hanging.
+//!
+//! Two transports carry the simulated threads. On `x86_64` unix hosts,
+//! [`SimBuilder::run`] executes them as *fibers* — stackful coroutines on
+//! one OS thread, switching in userspace instead of through the kernel (the
+//! `fiber` module; `ARMBAR_SIM_FIBERS=0` opts out). Elsewhere (and
+//! in explicit [`SimTeam`] runs) they are OS threads pooled in
+//! episode-reusable teams. Results are byte-identical across transports.
+//!
+//! At P≥256 the engine's scheduler is additionally *sharded* per machine
+//! cluster (see `DESIGN.md` §13) — a pure scheduling-data-structure
+//! partition that never changes the processing order.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -63,6 +72,7 @@ pub mod engine;
 #[cfg(test)]
 mod engine_tests;
 pub mod error;
+pub(crate) mod fiber;
 pub mod line;
 pub mod rng;
 pub mod schedule;

@@ -3,58 +3,65 @@
 use armbar_topology::CoreId;
 
 /// A set of cores holding a valid copy of a line. The simulator supports up
-/// to 128 cores (two 64-bit words), which covers every modeled machine.
+/// to [`CoreSet::CAPACITY`] cores (sixteen 64-bit words), which covers the
+/// paper's machines and the MemPool-style kilocore topologies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreSet {
-    bits: [u64; 2],
+    bits: [u64; Self::WORDS],
 }
 
 impl CoreSet {
+    /// Bitset width in 64-bit words.
+    const WORDS: usize = 16;
+
+    /// Largest supported core count.
+    pub const CAPACITY: usize = Self::WORDS * 64;
+
     /// The empty set.
-    pub const EMPTY: CoreSet = CoreSet { bits: [0, 0] };
+    pub const EMPTY: CoreSet = CoreSet { bits: [0; Self::WORDS] };
 
     /// Inserts a core.
     #[inline]
     pub fn insert(&mut self, c: CoreId) {
-        debug_assert!(c < 128);
+        debug_assert!(c < Self::CAPACITY);
         self.bits[c / 64] |= 1u64 << (c % 64);
     }
 
     /// Removes a core.
     #[inline]
     pub fn remove(&mut self, c: CoreId) {
-        debug_assert!(c < 128);
+        debug_assert!(c < Self::CAPACITY);
         self.bits[c / 64] &= !(1u64 << (c % 64));
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, c: CoreId) -> bool {
-        debug_assert!(c < 128);
+        debug_assert!(c < Self::CAPACITY);
         self.bits[c / 64] & (1u64 << (c % 64)) != 0
     }
 
     /// Number of cores in the set.
     #[inline]
     pub fn len(&self) -> usize {
-        (self.bits[0].count_ones() + self.bits[1].count_ones()) as usize
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// True when empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.bits == [0, 0]
+        self.bits == [0; Self::WORDS]
     }
 
     /// Clears the set.
     #[inline]
     pub fn clear(&mut self) {
-        self.bits = [0, 0];
+        self.bits = [0; Self::WORDS];
     }
 
     /// Iterates over member core ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
-        (0..2usize).flat_map(move |w| {
+        (0..Self::WORDS).flat_map(move |w| {
             let mut word = self.bits[w];
             std::iter::from_fn(move || {
                 if word == 0 {
@@ -146,6 +153,21 @@ mod tests {
         assert_eq!(s.len(), 100);
         s.clear();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn coreset_covers_kilocore_range() {
+        let mut s = CoreSet::EMPTY;
+        s.insert(128);
+        s.insert(512);
+        s.insert(CoreSet::CAPACITY - 1);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(128) && s.contains(512) && s.contains(1023));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![128, 512, 1023]);
+        s.remove(512);
+        assert_eq!(s.len(), 2);
+        let full: CoreSet = (0..CoreSet::CAPACITY).collect();
+        assert_eq!(full.len(), 1024);
     }
 
     #[test]

@@ -241,6 +241,12 @@ pub(crate) fn run_with_ambient_team(
     builder: SimBuilder,
     body: Arc<dyn Fn(&SimThread) + Send + Sync>,
 ) -> Result<RunStats, SimError> {
+    // Preferred transport: fibers on one OS thread (see `crate::fiber`).
+    // `ARMBAR_SIM_FIBERS=0` falls through to the OS-thread teams below;
+    // explicit `SimTeam::run` calls always use OS threads.
+    if crate::fiber::fibers_enabled() {
+        return crate::fiber::run_on_fibers(builder, body);
+    }
     if team_reuse_disabled() {
         let mut team = SimTeam::new(builder.nthreads);
         return team.run_arc(builder, body);

@@ -95,17 +95,24 @@ pub struct Topology {
     pub(crate) rfo_matrix: Vec<f64>,
     /// Logical core-cluster size `N_c` (Section III-A).
     pub(crate) n_c: usize,
+    /// Cores per scheduler shard: the granularity at which the simulator
+    /// partitions its ready/running tables. Equal to `num_cores` (one
+    /// shard) unless the preset opts in to sharding.
+    pub(crate) shard_cores: usize,
     pub(crate) coherence: CoherenceParams,
 }
 
 impl Topology {
-    /// Builds one of the four machines evaluated in the paper.
+    /// Builds one of the preset machines: the four evaluated in the paper
+    /// plus the two MemPool-style kilocore extrapolations.
     pub fn preset(platform: Platform) -> Self {
         match platform {
             Platform::Phytium2000Plus => crate::platforms::phytium_2000plus(),
             Platform::ThunderX2 => crate::platforms::thunderx2(),
             Platform::Kunpeng920 => crate::platforms::kunpeng920(),
             Platform::XeonGold => crate::platforms::xeon_gold(),
+            Platform::MemPool256 => crate::platforms::mempool_256(),
+            Platform::MemPool1024 => crate::platforms::mempool_1024(),
         }
     }
 
@@ -234,6 +241,30 @@ impl Topology {
         self.cluster_of(a) == self.cluster_of(b)
     }
 
+    /// Cores per scheduler shard. The simulator keeps one ready heap and
+    /// one running set per shard (DESIGN.md §13); a machine with
+    /// `shard_cores == num_cores` runs the classic single-shard scheduler.
+    /// Sharding is a *scheduling* partition only — it never changes which
+    /// op the engine processes next, so results are byte-identical at any
+    /// shard size.
+    #[inline]
+    pub fn shard_cores(&self) -> usize {
+        self.shard_cores
+    }
+
+    /// Scheduler shard index of a core (cores `[k·S, (k+1)·S)` form
+    /// shard `k` where `S = shard_cores`).
+    #[inline]
+    pub fn shard_of(&self, core: CoreId) -> usize {
+        core / self.shard_cores
+    }
+
+    /// Number of scheduler shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_cores.div_ceil(self.shard_cores)
+    }
+
     /// The largest (outermost) layer latency of the machine, in ns.
     pub fn max_latency_ns(&self) -> f64 {
         self.layers.iter().map(|l| l.latency_ns).fold(self.epsilon_ns, f64::max)
@@ -285,6 +316,11 @@ impl Topology {
     pub(crate) fn validate(&self) {
         assert_eq!(self.pair_layer.len(), self.num_cores * self.num_cores);
         assert!(self.n_c >= 1 && self.n_c <= self.num_cores);
+        assert!(
+            self.shard_cores >= 1 && self.shard_cores <= self.num_cores,
+            "shard_cores out of range: {}",
+            self.shard_cores
+        );
         for a in 0..self.num_cores {
             for b in 0..self.num_cores {
                 let l = self.pair_layer[a * self.num_cores + b];
@@ -354,6 +390,34 @@ mod tests {
             }
             assert!(seen.iter().all(|&n| n == t.n_c()), "{p:?}: {seen:?}");
         }
+    }
+
+    #[test]
+    fn shards_partition_cores_on_every_preset() {
+        for p in Platform::EVERY {
+            let t = Topology::preset(p);
+            assert!(t.shard_cores() >= 1 && t.shard_cores() <= t.num_cores());
+            let mut seen = vec![0usize; t.num_shards()];
+            for c in 0..t.num_cores() {
+                seen[t.shard_of(c)] += 1;
+            }
+            assert_eq!(seen.iter().sum::<usize>(), t.num_cores(), "{p:?}");
+            // Shards never split a logical cluster: the scheduler partition
+            // is at least as coarse as N_c.
+            if t.shard_cores() < t.num_cores() {
+                assert_eq!(t.shard_cores() % t.n_c(), 0, "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_platforms_default_to_documented_shards() {
+        // Phytium and Xeon run the classic single-shard scheduler;
+        // ThunderX2 shards by socket, Kunpeng 920 by SCCL.
+        assert_eq!(Topology::preset(Platform::Phytium2000Plus).num_shards(), 1);
+        assert_eq!(Topology::preset(Platform::XeonGold).num_shards(), 1);
+        assert_eq!(Topology::preset(Platform::ThunderX2).num_shards(), 2);
+        assert_eq!(Topology::preset(Platform::Kunpeng920).num_shards(), 2);
     }
 
     #[test]

@@ -23,16 +23,38 @@ pub enum Platform {
     Kunpeng920,
     /// 32-core Intel Xeon Gold @ 2.1 GHz — the x86 reference of Figure 5.
     XeonGold,
+    /// MemPool-style 256-core hierarchical cluster: 64 tiles × 4 cores,
+    /// 4 groups of 16 tiles (the kilocore family's quarter-scale point).
+    MemPool256,
+    /// MemPool-style 1024-core hierarchical cluster: 256 tiles × 4 cores,
+    /// 16 groups of 64 cores (PAPERS.md: "Fast Shared-Memory Barrier
+    /// Synchronization for a 1024-Cores RISC-V Many-Core Cluster").
+    MemPool1024,
 }
 
 impl Platform {
-    /// All four platforms, ARM first, in the paper's order.
+    /// The four platforms evaluated in the paper, ARM first, in the
+    /// paper's order. The heavy experiment suites iterate this set; the
+    /// kilocore extrapolations have their own family.
     pub const ALL: [Platform; 4] =
         [Platform::Phytium2000Plus, Platform::ThunderX2, Platform::Kunpeng920, Platform::XeonGold];
 
     /// The three ARMv8 platforms (the paper's evaluation targets).
     pub const ARM: [Platform; 3] =
         [Platform::Phytium2000Plus, Platform::ThunderX2, Platform::Kunpeng920];
+
+    /// The MemPool-style kilocore extrapolations (ROADMAP open item 1).
+    pub const KILOCORE: [Platform; 2] = [Platform::MemPool256, Platform::MemPool1024];
+
+    /// Every preset machine: the paper's four plus the kilocore pair.
+    pub const EVERY: [Platform; 6] = [
+        Platform::Phytium2000Plus,
+        Platform::ThunderX2,
+        Platform::Kunpeng920,
+        Platform::XeonGold,
+        Platform::MemPool256,
+        Platform::MemPool1024,
+    ];
 
     /// Short display name as used in the paper's figures.
     pub fn label(self) -> &'static str {
@@ -41,6 +63,8 @@ impl Platform {
             Platform::ThunderX2 => "ThunderX2",
             Platform::Kunpeng920 => "Kunpeng920",
             Platform::XeonGold => "Intel Xeon Gold",
+            Platform::MemPool256 => "MemPool-256",
+            Platform::MemPool1024 => "MemPool-1024",
         }
     }
 }
@@ -94,6 +118,7 @@ pub fn thunderx2() -> Topology {
         .layer("across sockets", 140.7, 0.9)
         .n_c(32)
         .hierarchy(&[32])
+        .shard_cores(32) // one scheduler shard per socket
         .coherence(22.0, 12.0, 0.03)
         .noc_ns(4.0)
         .build()
@@ -113,6 +138,7 @@ pub fn kunpeng920() -> Topology {
         .layer("across SCCLs", 75.0, 0.5)
         .n_c(4)
         .hierarchy(&[4, 32])
+        .shard_cores(32) // one scheduler shard per SCCL
         .coherence(5.0, 0.8, 0.22)
         .noc_ns(2.5)
         .build()
@@ -131,6 +157,38 @@ pub fn xeon_gold() -> Topology {
         .coherence(2.0, 0.5, 0.01)
         .noc_ns(0.5)
         .build()
+}
+
+/// Shared core of the MemPool-style hierarchical presets: tiles of 4 cores
+/// (banked L1 interconnect, ~1-cycle), groups of 64 cores (local NoC
+/// stage), and the full cluster (global NoC stage). Latencies extrapolate
+/// the MemPool paper's 1/5/9-11-cycle access hierarchy at a 2 GHz clock;
+/// the coherence coefficients are calibrated the same way as the paper
+/// platforms' (low contention — the design goal of that machine is a
+/// sub-logarithmic-diameter NoC).
+fn mempool(name: &str, cores: usize) -> Topology {
+    TopologyBuilder::new(name, cores)
+        .cacheline_bytes(64)
+        .epsilon_ns(0.5)
+        .layer("within a tile", 2.0, 0.35)
+        .layer("within a group", 10.0, 0.45)
+        .layer("across groups", 21.0, 0.55)
+        .n_c(4)
+        .hierarchy(&[4, 64])
+        .shard_cores(64) // one scheduler shard per group
+        .coherence(1.5, 0.6, 0.01)
+        .noc_ns(0.8)
+        .build()
+}
+
+/// MemPool-style 256-core cluster: 64 tiles × 4 cores, 4 groups of 64.
+pub fn mempool_256() -> Topology {
+    mempool("MemPool-256", 256)
+}
+
+/// MemPool-style 1024-core cluster: 256 tiles × 4 cores, 16 groups of 64.
+pub fn mempool_1024() -> Topology {
+    mempool("MemPool-1024", 1024)
 }
 
 #[cfg(test)]
@@ -216,6 +274,60 @@ mod tests {
         assert_eq!(Platform::ThunderX2.to_string(), "ThunderX2");
         assert_eq!(Platform::Kunpeng920.to_string(), "Kunpeng920");
         assert_eq!(Platform::XeonGold.to_string(), "Intel Xeon Gold");
+        assert_eq!(Platform::MemPool256.to_string(), "MemPool-256");
+        assert_eq!(Platform::MemPool1024.to_string(), "MemPool-1024");
+    }
+
+    #[test]
+    fn every_is_all_plus_kilocore() {
+        assert_eq!(Platform::EVERY.len(), Platform::ALL.len() + Platform::KILOCORE.len());
+        for p in Platform::ALL.iter().chain(Platform::KILOCORE.iter()) {
+            assert!(Platform::EVERY.contains(p), "{p:?} missing from EVERY");
+        }
+    }
+
+    #[test]
+    fn mempool_1024_matches_the_tile_group_cluster_hierarchy() {
+        let t = mempool_1024();
+        assert_eq!(t.num_cores(), 1024);
+        assert_eq!(t.n_c(), 4);
+        assert_eq!(t.num_clusters(), 256); // tiles
+        assert_eq!(t.shard_cores(), 64); // groups
+        assert_eq!(t.num_shards(), 16);
+        assert_eq!(t.latency_ns(0, 3), 2.0); // within a tile
+        assert_eq!(t.latency_ns(0, 63), 10.0); // within a group
+        assert_eq!(t.latency_ns(0, 1023), 21.0); // across groups
+                                                 // The latency hierarchy is strictly increasing outward.
+        assert!(t.epsilon_ns() < 2.0 && 2.0 < 10.0 && 10.0 < 21.0);
+    }
+
+    #[test]
+    fn mempool_256_is_the_quarter_scale_point() {
+        let t = mempool_256();
+        assert_eq!(t.num_cores(), 256);
+        assert_eq!(t.num_shards(), 4);
+        // Same per-layer numbers as the 1024-core machine — only the
+        // group count differs, so curves are comparable across scales.
+        let big = mempool_1024();
+        assert_eq!(t.latency_ns(0, 3), big.latency_ns(0, 3));
+        assert_eq!(t.latency_ns(0, 63), big.latency_ns(0, 63));
+        assert_eq!(t.latency_ns(0, 255), big.latency_ns(0, 1023));
+        assert_eq!(t.cacheline_bytes(), big.cacheline_bytes());
+    }
+
+    #[test]
+    fn mempool_contention_is_below_the_arm_parts() {
+        // The MemPool design goal is a low-contention NoC: its
+        // invalidation and NoC service coefficients sit below every
+        // paper ARM platform.
+        for p in Platform::KILOCORE {
+            let t = Topology::preset(p);
+            for arm in Platform::ARM {
+                let a = Topology::preset(arm);
+                assert!(t.coherence().inv_ns < a.coherence().inv_ns, "{p:?} vs {arm:?}");
+                assert!(t.coherence().noc_ns < a.coherence().noc_ns, "{p:?} vs {arm:?}");
+            }
+        }
     }
 
     #[test]
