@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use armbar_conformance::{conform_matrix_on, ConformConfig};
+use armbar_conformance::{
+    conform_matrix_on, phaser_conform_matrix_on, ConformConfig, PhaserConformConfig,
+};
 use armbar_core::prelude::*;
 use armbar_epcc::{
     latency_table, phase_breakdown, sim_overhead_ns, trace_episodes, EpisodeTrace, OverheadConfig,
@@ -33,23 +35,29 @@ USAGE:
       Per-episode arrival/notification timings plus coherence-op counter
       deltas (local/remote reads, RFO invalidation fan-out, stalls) as
       structured CSV or JSON. Several algorithms trace concurrently.
-  armbar chaos [--platforms NAME,...] [--algos NAME,...] [--scenarios NAME,...]
-               [--backend sim|host|both] [--threads N] [--episodes N]
-               [--seed N] [--deadline-ms N] [--jobs N] [--format csv|json]
-               [--out FILE]
+  armbar chaos [--churn] [--platforms NAME,...] [--algos NAME,...]
+               [--scenarios NAME,...] [--backend sim|host|both] [--threads N]
+               [--episodes N] [--seed N] [--deadline-ms N] [--jobs N]
+               [--format csv|json] [--out FILE]
       Fault-injection survival table: every algorithm x platform under
       seeded straggler / latency / lost-wakeup / crash scenarios —
       deterministic on the simulator, deadline-guarded on the host.
-  armbar conform [--quick] [--platforms NAME,...] [--algos NAME,...]
-                 [--threads N] [--episodes N] [--seeds N]
-                 [--schedule-seed N] [--budget N] [--jobs N]
-                 [--format csv|json] [--out FILE]
+      --churn switches to the membership-churn preset: both phasers under
+      the join / leave / crash-evict / flap scenarios, with recovered /
+      degraded / poisoned outcomes.
+  armbar conform [--quick] [--phasers] [--platforms NAME,...]
+                 [--algos NAME,...] [--scenarios NAME,...] [--threads N]
+                 [--episodes N] [--seeds N] [--schedule-seed N] [--budget N]
+                 [--jobs N] [--format csv|json] [--out FILE]
       Schedule-exploring conformance check: each (platform, algorithm)
       cell is driven through --seeds seeded, perturbed interleavings and
       audited by safety oracles (no early exit, epoch consistency, no
       lost wake-up, quiescence). Violations ship a shrunk deterministic
       reproducer and make the command exit nonzero. --quick = all 14
       algorithms on Kunpeng920 at 8 threads, 1200 seeds per cell.
+      --phasers searches register/deregister interleavings of the dynamic
+      phasers under churn scripts instead, auditing the membership oracles
+      (no lost member, no phantom arrival), 800 seeds per cell by default.
 
 Sweeps fan out over min(--jobs | ARMBAR_JOBS, available cores) workers;
 results are byte-identical at any worker count (host-backend cells always
@@ -345,7 +353,10 @@ pub fn trace(rest: &[String]) -> Result<(), String> {
 /// [--backend sim|host|both] [--threads N] [--episodes N] [--seed N]
 /// [--deadline-ms N] [--jobs N] [--format csv|json] [--out FILE]`
 pub fn chaos(rest: &[String]) -> Result<(), String> {
-    let defaults = ChaosConfig::default();
+    // `--churn` swaps in the membership-churn preset (both phasers under
+    // the churn scenarios); every explicit flag still overrides it.
+    let churn = rest.iter().any(|a| a == "--churn");
+    let defaults = if churn { ChaosConfig::churn() } else { ChaosConfig::default() };
 
     let platforms = match flag_value(rest, "--platforms").or_else(|| flag_value(rest, "--platform"))
     {
@@ -356,13 +367,15 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
             }
             out
         }
-        // Default: the three ARM machines of the paper.
+        // Default: the three ARM machines of the paper (churn cells are
+        // membership-driven, so one machine model suffices there).
+        None if churn => defaults.platforms.clone(),
         None => Platform::ARM.to_vec(),
     };
     let algorithms = if flag_value(rest, "--algos").is_some() {
         parse_algos(rest)?
     } else {
-        AlgorithmId::ALL.to_vec()
+        defaults.algorithms.clone()
     };
     let scenarios = match flag_value(rest, "--scenarios") {
         Some(spec) => {
@@ -371,14 +384,19 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
                 let sc = Scenario::parse(part.trim()).ok_or_else(|| {
                     format!(
                         "unknown scenario {part:?} (known: {})",
-                        Scenario::ALL.map(Scenario::label).join(", ")
+                        Scenario::ALL
+                            .into_iter()
+                            .chain(Scenario::CHURN)
+                            .map(Scenario::label)
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )
                 })?;
                 out.push(sc);
             }
             out
         }
-        None => defaults.scenarios,
+        None => defaults.scenarios.clone(),
     };
     let backends = match flag_value(rest, "--backend").as_deref() {
         None => vec![Backend::Sim],
@@ -451,6 +469,9 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
 /// Exits nonzero (after writing the table) if any cell records a
 /// violation, so CI can gate on it directly.
 pub fn conform(rest: &[String]) -> Result<(), String> {
+    if rest.iter().any(|a| a == "--phasers") {
+        return conform_phasers(rest);
+    }
     let quick = rest.iter().any(|a| a == "--quick");
     let mut config = ConformConfig::default();
     if quick {
@@ -528,6 +549,126 @@ pub fn conform(rest: &[String]) -> Result<(), String> {
     } else {
         Err(format!(
             "{} cell(s) violated the safety oracles:\n  {}",
+            violated.len(),
+            violated.join("\n  ")
+        ))
+    }
+}
+
+/// `armbar conform --phasers [--platforms ...] [--algos ...]
+/// [--scenarios ...] [--threads N] [--episodes N] [--seeds N]
+/// [--schedule-seed N] [--budget N] [--jobs N] [--format csv|json]
+/// [--out FILE]`
+///
+/// The dynamic-membership arm of `conform`: searches
+/// register/deregister/eviction interleavings of the phasers under seeded
+/// churn scripts and audits the membership oracles. Exits nonzero on any
+/// violation, with a shrunk reproducer in the table.
+fn conform_phasers(rest: &[String]) -> Result<(), String> {
+    let mut config = PhaserConformConfig::default();
+
+    if let Some(spec) = flag_value(rest, "--platforms").or_else(|| flag_value(rest, "--platform")) {
+        let mut out = Vec::new();
+        for part in spec.split(',') {
+            out.push(parse_platform(&[part.trim().to_string()])?);
+        }
+        config.platforms = out;
+    }
+    if flag_value(rest, "--algos").is_some() {
+        let algos = parse_algos(rest)?;
+        if let Some(bad) = algos.iter().find(|a| !AlgorithmId::PHASERS.contains(a)) {
+            return Err(format!(
+                "{} has fixed membership; --phasers audits {}",
+                bad.label(),
+                AlgorithmId::PHASERS.map(|a| a.label()).join(", ")
+            ));
+        }
+        config.algorithms = algos;
+    }
+    if let Some(spec) = flag_value(rest, "--scenarios") {
+        let mut out = Vec::new();
+        for part in spec.split(',') {
+            let sc = Scenario::parse(part.trim())
+                .filter(|sc| Scenario::CHURN.contains(sc))
+                .ok_or_else(|| {
+                    format!(
+                        "unknown churn scenario {part:?} (known: {})",
+                        Scenario::CHURN.map(Scenario::label).join(", ")
+                    )
+                })?;
+            out.push(sc);
+        }
+        config.scenarios = out;
+    }
+    if let Some(s) = flag_value(rest, "--threads") {
+        config.threads = match s.parse() {
+            Ok(0) | Ok(1) | Err(_) => {
+                return Err(format!("bad thread count {s:?} (churn needs at least 2)"))
+            }
+            Ok(n) => n,
+        };
+    }
+    if let Some(s) = flag_value(rest, "--episodes") {
+        config.episodes = match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad episode count {s:?} (need at least 1)")),
+            Ok(n) => n,
+        };
+    }
+    if let Some(s) = flag_value(rest, "--seeds") {
+        config.seeds = match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad seed count {s:?} (need at least 1)")),
+            Ok(n) => n,
+        };
+    }
+    if let Some(s) = flag_value(rest, "--schedule-seed") {
+        config.base_seed = match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        }
+        .map_err(|_| format!("bad --schedule-seed {s:?}"))?;
+    }
+    if let Some(s) = flag_value(rest, "--budget") {
+        let budget = s.parse().map_err(|_| format!("bad --budget {s:?}"))?;
+        config.explorer = config.explorer.with_budget(budget);
+    }
+    let format = flag_value(rest, "--format").unwrap_or_else(|| "csv".into());
+    if format != "csv" && format != "json" {
+        return Err(format!("unknown format {format:?} (expected csv or json)"));
+    }
+    let pool = parse_pool(rest)?;
+
+    let cells = phaser_conform_matrix_on(&pool, &config);
+    let text = if format == "csv" {
+        armbar_conformance::render_phaser_csv(&cells, &config)
+    } else {
+        armbar_conformance::render_phaser_json(&cells, &config)
+    };
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("wrote {} phaser conformance cells to {path}", cells.len());
+        }
+        None => print!("{text}"),
+    }
+
+    let violated: Vec<String> = cells
+        .iter()
+        .filter(|c| !c.violations.is_empty())
+        .map(|c| {
+            format!(
+                "{} under {} on {}: {}",
+                c.algorithm.label(),
+                c.scenario.label(),
+                c.platform.label(),
+                c.detail()
+            )
+        })
+        .collect();
+    if violated.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} cell(s) violated the membership oracles:\n  {}",
             violated.len(),
             violated.join("\n  ")
         ))
@@ -841,6 +982,63 @@ mod tests {
         assert!(text.starts_with("# conform: base seed 0x5eed"));
         assert_eq!(text.lines().filter(|l| l.ends_with("distinct schedules")).count(), 2);
         assert!(text.contains(",ok,"));
+    }
+
+    #[test]
+    fn chaos_churn_preset_runs_both_phasers() {
+        let out = std::env::temp_dir().join("armbar_chaos_churn.csv");
+        chaos(&[
+            "--churn".to_string(),
+            "--threads".into(),
+            "4".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        for needle in ["PH-CTR", "PH-TREE", "crash-evict", "degraded", "flap"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.contains("poisoned"), "churn preset must recover:\n{text}");
+    }
+
+    #[test]
+    fn conform_phasers_runs_a_small_clean_matrix() {
+        let out = std::env::temp_dir().join("armbar_conform_phasers.csv");
+        conform(&[
+            "--phasers".to_string(),
+            "--threads".into(),
+            "4".into(),
+            "--episodes".into(),
+            "4".into(),
+            "--seeds".into(),
+            "6".into(),
+            "--scenarios".into(),
+            "leave,flap".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert!(text.starts_with("# conform-phasers:"));
+        for needle in ["PH-CTR,leave", "PH-TREE,flap", ",ok,"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(!text.contains("VIOLATED"), "{text}");
+    }
+
+    #[test]
+    fn conform_phasers_rejects_bad_flags() {
+        assert!(conform(&["--phasers".to_string(), "--algos".into(), "SENSE".into()]).is_err());
+        assert!(conform(&["--phasers".to_string(), "--scenarios".into(), "crash".into()]).is_err());
+        assert!(conform(&["--phasers".to_string(), "--threads".into(), "1".into()]).is_err());
+        assert!(conform(&["--phasers".to_string(), "--format".into(), "xml".into()]).is_err());
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //! armbar phases <platform> [--threads 64]
 //! armbar trace <platform> [--algorithm OPT] [--threads 64] [--episodes 8]
 //!              [--format csv|json] [--out FILE]
-//! armbar chaos [--platforms kunpeng,phytium] [--algos SENSE,OPT]
-//!              [--scenarios straggler,crash] [--backend sim|host|both]
+//! armbar chaos [--churn] [--platforms kunpeng,phytium] [--algos SENSE,OPT]
+//!              [--scenarios straggler,crash-evict] [--backend sim|host|both]
 //!              [--threads 8] [--seed 0xC4A05] [--format csv|json]
-//! armbar conform [--quick] [--platforms kunpeng] [--algos SENSE,OPT]
-//!                [--threads 8] [--episodes 2] [--seeds 1200]
-//!                [--schedule-seed 0xC0F0] [--budget 64] [--format csv|json]
+//! armbar conform [--quick] [--phasers] [--platforms kunpeng]
+//!                [--algos SENSE,OPT] [--threads 8] [--episodes 2]
+//!                [--seeds 1200] [--schedule-seed 0xC0F0] [--budget 64]
+//!                [--format csv|json]
 //! ```
 
 mod cmds;

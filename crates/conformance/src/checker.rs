@@ -71,6 +71,12 @@ pub enum ViolationKind {
     Quiescence,
     /// The barrier body panicked for a non-oracle reason.
     Panic,
+    /// A phaser member's completion ledger broke: a gap, a repeat, a
+    /// missing tail, or an eviction of a slot that never deserted.
+    LostMember,
+    /// Phaser activity outside the committed membership: an arrival,
+    /// leave, or eviction recorded for a slot that was not a member.
+    PhantomArrival,
 }
 
 impl ViolationKind {
@@ -83,6 +89,8 @@ impl ViolationKind {
             ViolationKind::Livelock => "livelock",
             ViolationKind::Quiescence => "quiescence",
             ViolationKind::Panic => "panic",
+            ViolationKind::LostMember => "lost-member",
+            ViolationKind::PhantomArrival => "phantom-arrival",
         }
     }
 }

@@ -167,12 +167,11 @@ mod tests {
         let mut p = ExplorerPolicy::new(3, ExplorerConfig { budget: 5, ..Default::default() });
         let mut perturbed = 0u32;
         for _ in 0..1000 {
-            match p.pick(&ready, None) {
-                ScheduleDecision::Delay { .. } => perturbed += 1,
-                // A preemption picking a non-minimal op is only provably a
-                // perturbation when it selects index 2 (time 3.0); the
-                // budget accounting below is checked directly instead.
-                _ => {}
+            // A preemption picking a non-minimal op is only provably a
+            // perturbation when it selects index 2 (time 3.0); the
+            // budget accounting below is checked directly instead.
+            if let ScheduleDecision::Delay { .. } = p.pick(&ready, None) {
+                perturbed += 1;
             }
         }
         assert!(perturbed <= 5, "delays alone exceeded the budget: {perturbed}");

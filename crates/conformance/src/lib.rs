@@ -17,6 +17,13 @@
 //! * **quiescence** — every episode's `ENTER`/`EXIT` phase marks balance
 //!   and alternate per thread, so no residual work leaks across episodes.
 //!
+//! The [`phaser`] module extends the search to **dynamic membership**: it
+//! drives the phasers through seeded register/deregister/eviction scripts
+//! under the same explorer and checks two membership oracles — *no lost
+//! member* (every committed member's completion ledger is gapless over its
+//! membership interval) and *no phantom arrival* (no activity is ever
+//! recorded outside the committed membership).
+//!
 //! Exploration rides the engine's `SchedulePolicy` hook: an
 //! [`ExplorerPolicy`] permutes tie-broken picks, preempts with bounded
 //! probability, and injects targeted delays at flag read/write sites. Every
@@ -39,10 +46,15 @@
 
 pub mod checker;
 pub mod explorer;
+pub mod phaser;
 pub mod report;
 
 pub use checker::{
     conform_matrix, conform_matrix_on, ConformCell, ConformConfig, Violation, ViolationKind,
 };
 pub use explorer::{ExplorerConfig, ExplorerPolicy};
+pub use phaser::{
+    check_membership_ledger, phaser_conform_matrix, phaser_conform_matrix_on, render_phaser_csv,
+    render_phaser_json, PhaserConformCell, PhaserConformConfig,
+};
 pub use report::{render_csv, render_json};

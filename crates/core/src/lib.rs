@@ -49,6 +49,7 @@ pub mod algorithms;
 pub mod env;
 pub mod host;
 pub mod oracle;
+pub mod phaser;
 pub mod registry;
 pub mod robust;
 pub mod trees;
@@ -61,8 +62,9 @@ pub use algorithms::{
 pub use env::{Barrier, MemCtx};
 pub use host::{HostCtx, HostMem, SpinPolicy};
 pub use oracle::EpisodeOracle;
+pub use phaser::{CentralPhaser, Phaser, TreePhaser};
 pub use registry::AlgorithmId;
-pub use robust::{BarrierError, PoisonGuard, RobustBarrier, RobustConfig};
+pub use robust::{BarrierError, PoisonGuard, RobustBarrier, RobustConfig, RobustPhaser};
 pub use wakeup::{Wakeup, WakeupKind};
 
 /// Convenient glob-import surface.
@@ -71,8 +73,9 @@ pub mod prelude {
     pub use crate::env::{Barrier, MemCtx};
     pub use crate::host::{HostCtx, HostMem, SpinPolicy};
     pub use crate::oracle::EpisodeOracle;
+    pub use crate::phaser::{CentralPhaser, Phaser, TreePhaser};
     pub use crate::registry::AlgorithmId;
-    pub use crate::robust::{BarrierError, RobustBarrier, RobustConfig};
+    pub use crate::robust::{BarrierError, RobustBarrier, RobustConfig, RobustPhaser};
     pub use crate::wakeup::WakeupKind;
 }
 

@@ -1,0 +1,876 @@
+//! Phaser-style barriers with **dynamic membership** (ROADMAP item 2).
+//!
+//! A [`Phaser`] is a barrier whose team can change while it runs:
+//! participants `register` to join, `deregister` to leave, and a crashed
+//! member can be *evicted* by a survivor that proxy-arrives on its behalf
+//! (the shyper hypervisor's `add_barrier_count` idiom — see SNIPPETS.md and
+//! [`crate::robust::RobustPhaser`]). Membership changes never tear a
+//! running episode: they are *requested* mid-epoch and **commit only at the
+//! epoch boundary**, applied by the champion (the last arriver) before it
+//! publishes the release. Within one epoch the member set is therefore
+//! immutable — every arrival-counting and tree-shape decision an algorithm
+//! makes is against a stable set — which is what makes the protocol safe
+//! without locks (the same reason `java.util.concurrent.Phaser` defers
+//! de/registration effects to phase boundaries).
+//!
+//! Two implementations, mirroring the paper's centralized-vs-tree split:
+//!
+//! * [`CentralPhaser`] — a counter phaser: `arrive` is one `fetch_add`;
+//!   the champion commits the boundary. O(1) per arrival, O(capacity)
+//!   boundary scan paid by the champion only; hot-spots like SENSE.
+//! * [`TreePhaser`] — a 4-ary arrival tree over the *current* members. The
+//!   champion recomputes the dense rank table at every boundary, so the
+//!   tree **reparents** itself around joins/leaves/evictions; each epoch
+//!   runs on a well-shaped tree of exactly the committed members.
+//!
+//! ## Word layout (all state in the shared arena, zero-initialized)
+//!
+//! * `membership` — `(epoch << 12) | count`, the epoch-stamped membership
+//!   word. The all-zero word decodes as "epoch 1, the initial members"
+//!   so a freshly materialized arena is a valid phaser. Capacity is capped
+//!   at 4095 members (the count field) and ~2^20 epochs (the epoch field;
+//!   the word is 32 bits — long-running hosts should rebuild the phaser
+//!   before the epoch field wraps).
+//! * `release` — monotonic completion clock: `release >= e` iff epoch `e`
+//!   committed. Waiters spin here; re-entrant fast members can lap slow
+//!   ones safely because the comparison is `>=`, never `==`.
+//! * per-slot padded words: request `state`, `join_epoch` ack,
+//!   `last_arrived` ledger, `evicted_at` one-shot report, `evict_claim`
+//!   ticket. "Slot" is the thread id; a slot can leave and rejoin.
+//!
+//! ## Boundary commit order
+//!
+//! The champion (1) applies the requested state transitions, (2) rebuilds
+//! per-epoch tables (tree ranks / the central arrival counter), (3) stores
+//! the new `membership` word, (4) acks joiners via `join_epoch`, and (5)
+//! stores `release` **last**. Because every store is Release and every load
+//! Acquire, a thread that observes the release (or its join ack) also
+//! observes the fully committed membership it is about to run under.
+
+use armbar_simcoh::{arena::padded_elem, Addr, Arena};
+use armbar_topology::Topology;
+
+use crate::env::{Barrier, MemCtx};
+use crate::robust::BarrierError;
+
+/// Slot-state machine. Requests (`JoinReq`/`LeaveReq`/`EvictReq`) are
+/// stored mid-epoch by anyone; transitions commit only at the boundary.
+/// The raw zero word means "never touched": initial members decode as
+/// `Active`, everyone else as `Out`.
+const OUT: u32 = 0;
+const JOIN_REQ: u32 = 1;
+const ACTIVE: u32 = 2;
+const LEAVE_REQ: u32 = 3;
+const EVICT_REQ: u32 = 4;
+const EVICTED: u32 = 5;
+/// Explicit post-leave state (distinct from the raw zero so an initial
+/// member that left does not decode back to `Active`).
+const LEFT: u32 = 6;
+
+const EPOCH_SHIFT: u32 = 12;
+const COUNT_MASK: u32 = (1 << EPOCH_SHIFT) - 1;
+
+/// Base of the phaser event mark labels (distinct from the `0xB00x` phase
+/// marks): `0xC000_0000 | kind << 24 | slot << 12 | epoch`. The slot field
+/// is meaningful for [`PH_EVICTED`] (the *evictor* emits it on the victim's
+/// behalf); for the self-reported kinds the mark's own `tid` is the slot.
+pub const MARK_PHASER: u32 = 0xC000_0000;
+/// Event kind: this slot became a member from the encoded epoch on.
+pub const PH_JOINED: u32 = 1;
+/// Event kind: this slot arrived *and observed the release* of the epoch.
+pub const PH_COMPLETED: u32 = 2;
+/// Event kind: this slot's final arrival — member through the epoch, gone
+/// after its boundary.
+pub const PH_LEFT: u32 = 3;
+/// Event kind: the encoded slot was evicted at the encoded epoch.
+pub const PH_EVICTED: u32 = 4;
+
+/// Encodes a phaser event mark (see [`MARK_PHASER`]).
+pub fn phaser_mark(kind: u32, slot: usize, epoch: u32) -> u32 {
+    debug_assert!(epoch <= COUNT_MASK, "mark epoch field saturates at 4095");
+    MARK_PHASER | (kind << 24) | ((slot as u32) << 12) | (epoch & COUNT_MASK)
+}
+
+/// Decodes a phaser event mark into `(kind, slot, epoch)`; `None` for
+/// non-phaser labels (e.g. the `MARK_ENTER`/`MARK_EXIT` phase marks).
+pub fn decode_phaser_mark(label: u32) -> Option<(u32, usize, u32)> {
+    if label & 0xF000_0000 != MARK_PHASER {
+        return None;
+    }
+    Some(((label >> 24) & 0xF, ((label >> 12) & COUNT_MASK) as usize, label & COUNT_MASK))
+}
+
+/// A barrier with episode-boundary dynamic membership.
+///
+/// Contract for callers: a member must not `arrive` again for a new epoch
+/// until the epoch of its previous arrival has committed — interleave
+/// arrivals with [`Phaser::wait_epoch`] (or use
+/// [`Phaser::arrive_and_wait`]). A slot that deregistered may re-register
+/// only after its final epoch committed (wait on `wait_epoch` first).
+pub trait Phaser: Send + Sync {
+    /// Requests membership for this thread's slot and blocks until a
+    /// boundary commits it; returns the first epoch this slot is a member
+    /// of (its first `arrive` must be for that epoch).
+    fn register(&self, ctx: &dyn MemCtx) -> u32 {
+        let token = self.request_join(ctx);
+        self.await_join(ctx, token)
+    }
+
+    /// The non-blocking half of [`Phaser::register`]: stores the join
+    /// request and returns a token for [`Phaser::await_join`]. Split so a
+    /// caller can make the request visible to a peer (e.g. a scripted
+    /// handshake word that keeps the team running boundaries until the
+    /// join commits) *before* blocking on the ack.
+    fn request_join(&self, ctx: &dyn MemCtx) -> u32;
+
+    /// Blocks until the join requested with `token` commits; returns the
+    /// first member epoch.
+    fn await_join(&self, ctx: &dyn MemCtx, token: u32) -> u32;
+
+    /// Arrives for the current epoch; returns that epoch. Does **not**
+    /// wait for the release (split-phase). Idempotent per epoch: calling
+    /// again before the epoch commits re-enters the same arrival, so a
+    /// bounded wait that aborted mid-`arrive` can safely retry.
+    ///
+    /// Fails with [`BarrierError::Evicted`] (exactly once, consuming the
+    /// report) if this slot was evicted by a survivor.
+    fn arrive(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError>;
+
+    /// Blocks until epoch `epoch` has committed.
+    fn wait_epoch(&self, ctx: &dyn MemCtx, epoch: u32);
+
+    /// [`Phaser::arrive`] then [`Phaser::wait_epoch`]; the normal episode.
+    fn arrive_and_wait(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError> {
+        let e = self.arrive(ctx)?;
+        self.wait_epoch(ctx, e);
+        ctx.mark(phaser_mark(PH_COMPLETED, ctx.tid(), e));
+        Ok(e)
+    }
+
+    /// Leaves the team: requests the transition and makes this slot's
+    /// *final* arrival (counting toward the current epoch so peers are not
+    /// left short), without waiting for the release. Returns the final
+    /// epoch; re-registration requires `wait_epoch(final)` first.
+    fn deregister(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError>;
+
+    /// Scans for an evictable member of epoch `epoch`: a current member
+    /// that has not arrived for it (and, for tree phasers, whose subtree
+    /// is otherwise complete, so the proxy arrival can propagate). `None`
+    /// when every member has arrived, the stall is not yet attributable,
+    /// or `epoch` is no longer current — a recoverer whose timeout
+    /// straddled a boundary commit must not scan the *next* epoch, where
+    /// every member trivially "has not arrived yet".
+    fn find_victim(&self, ctx: &dyn MemCtx, epoch: u32) -> Option<usize>;
+
+    /// Claims and executes the eviction of `victim` for epoch `epoch`:
+    /// first-claim-wins ticket, the winner stamps `evicted_at`, requests
+    /// the `Evicted` transition, and **proxy-arrives** on the victim's
+    /// behalf (running the boundary itself if that was the last arrival).
+    /// Returns `false` if another thread already claimed this victim or
+    /// `epoch` already committed (the caller should simply re-enter its
+    /// wait). Winning the ticket while `epoch` is still current proves the
+    /// epoch cannot have committed (the unarrived, unclaimed victim's
+    /// count is missing), so the proxy arrival lands in the right epoch.
+    fn evict(&self, ctx: &dyn MemCtx, victim: usize, epoch: u32) -> bool;
+
+    /// The current epoch (the one arrivals are counted against).
+    fn epoch(&self, ctx: &dyn MemCtx) -> u32;
+
+    /// The committed member count of the current epoch.
+    fn members(&self, ctx: &dyn MemCtx) -> u32;
+
+    /// Algorithm label (`"PH-CTR"` / `"PH-TREE"`).
+    fn name(&self) -> &str;
+}
+
+/// The shared slot machinery: membership/release words plus the per-slot
+/// request, ack, ledger, report and ticket arrays. Both phaser variants
+/// embed one of these; the variant adds only its arrival structure.
+struct Slots {
+    cap: usize,
+    initial: usize,
+    membership: Addr,
+    release: Addr,
+    state: Addr,
+    join_epoch: Addr,
+    last_arrived: Addr,
+    evicted_at: Addr,
+    evict_claim: Addr,
+    stride: usize,
+}
+
+impl Slots {
+    fn new(arena: &mut Arena, cap: usize, initial: usize, topo: &Topology) -> Self {
+        assert!(cap >= 1 && cap <= COUNT_MASK as usize, "capacity must be 1..=4095");
+        assert!(initial >= 1 && initial <= cap, "need 1..=cap initial members");
+        let line = topo.cacheline_bytes();
+        Self {
+            cap,
+            initial,
+            membership: arena.alloc_padded_u32(line),
+            release: arena.alloc_padded_u32(line),
+            state: arena.alloc_padded_u32_array(cap, line),
+            join_epoch: arena.alloc_padded_u32_array(cap, line),
+            last_arrived: arena.alloc_padded_u32_array(cap, line),
+            evicted_at: arena.alloc_padded_u32_array(cap, line),
+            evict_claim: arena.alloc_padded_u32_array(cap, line),
+            stride: line,
+        }
+    }
+
+    fn state_of(&self, slot: usize) -> Addr {
+        padded_elem(self.state, slot, self.stride)
+    }
+    fn join_epoch_of(&self, slot: usize) -> Addr {
+        padded_elem(self.join_epoch, slot, self.stride)
+    }
+    fn last_arrived_of(&self, slot: usize) -> Addr {
+        padded_elem(self.last_arrived, slot, self.stride)
+    }
+    fn evicted_at_of(&self, slot: usize) -> Addr {
+        padded_elem(self.evicted_at, slot, self.stride)
+    }
+    fn evict_claim_of(&self, slot: usize) -> Addr {
+        padded_elem(self.evict_claim, slot, self.stride)
+    }
+
+    /// Decodes the raw state word: zero means "never touched", which is
+    /// `Active` for the initial members and `Out` for everyone else.
+    fn effective_state(&self, raw: u32, slot: usize) -> u32 {
+        if raw == 0 {
+            if slot < self.initial {
+                ACTIVE
+            } else {
+                OUT
+            }
+        } else {
+            raw
+        }
+    }
+
+    /// Is `slot` a member of the current epoch? Stable within the epoch:
+    /// mid-epoch leave/evict *requests* keep the slot a member until the
+    /// boundary commits them.
+    fn is_member(&self, ctx: &dyn MemCtx, slot: usize) -> bool {
+        matches!(
+            self.effective_state(ctx.load(self.state_of(slot)), slot),
+            ACTIVE | LEAVE_REQ | EVICT_REQ
+        )
+    }
+
+    /// `(epoch, count)` of the current epoch. The zero word decodes as
+    /// epoch 1 with the initial member count.
+    fn decode(&self, ctx: &dyn MemCtx) -> (u32, u32) {
+        let m = ctx.load(self.membership);
+        if m & COUNT_MASK == 0 {
+            (1, self.initial as u32)
+        } else {
+            (m >> EPOCH_SHIFT, m & COUNT_MASK)
+        }
+    }
+
+    /// One-shot eviction report: consumes and returns `Evicted` if a
+    /// survivor evicted this slot.
+    fn take_eviction(&self, ctx: &dyn MemCtx) -> Result<(), BarrierError> {
+        let slot = ctx.tid();
+        let at = ctx.load(self.evicted_at_of(slot));
+        if at != 0 {
+            ctx.store(self.evicted_at_of(slot), 0);
+            return Err(BarrierError::Evicted { tid: slot, episode: at });
+        }
+        Ok(())
+    }
+
+    /// Applies the requested transitions for the boundary of `epoch` and
+    /// returns the member slots of `epoch + 1` in slot order plus the
+    /// subset that joined at this boundary. Only the champion calls this;
+    /// the membership/ack/release stores happen in `publish` *after* the
+    /// variant rebuilt its arrival structure.
+    fn apply_transitions(&self, ctx: &dyn MemCtx) -> (Vec<usize>, Vec<usize>) {
+        let mut members = Vec::with_capacity(self.cap);
+        let mut joiners = Vec::new();
+        for slot in 0..self.cap {
+            let raw = ctx.load(self.state_of(slot));
+            match self.effective_state(raw, slot) {
+                JOIN_REQ => {
+                    ctx.store(self.state_of(slot), ACTIVE);
+                    members.push(slot);
+                    joiners.push(slot);
+                }
+                ACTIVE => members.push(slot),
+                LEAVE_REQ => ctx.store(self.state_of(slot), LEFT),
+                EVICT_REQ => ctx.store(self.state_of(slot), EVICTED),
+                _ => {}
+            }
+        }
+        debug_assert!(!members.is_empty(), "a phaser must keep at least one member");
+        (members, joiners)
+    }
+
+    /// Publishes the boundary: the new membership word, the join acks (so
+    /// a joiner that wakes also sees the committed membership stored
+    /// before its ack), and the release **last**.
+    fn publish(&self, ctx: &dyn MemCtx, epoch: u32, members: &[usize], joiners: &[usize]) {
+        ctx.store(self.membership, ((epoch + 1) << EPOCH_SHIFT) | members.len() as u32);
+        for &slot in joiners {
+            ctx.store(self.join_epoch_of(slot), epoch + 1);
+        }
+        ctx.store(self.release, epoch);
+    }
+
+    fn request_join(&self, ctx: &dyn MemCtx) -> u32 {
+        let slot = ctx.tid();
+        debug_assert!(slot < self.cap, "slot {slot} outside phaser capacity {}", self.cap);
+        let cur = ctx.load(self.join_epoch_of(slot));
+        ctx.store(self.state_of(slot), JOIN_REQ);
+        cur
+    }
+
+    fn await_join(&self, ctx: &dyn MemCtx, token: u32) -> u32 {
+        let slot = ctx.tid();
+        let acked = ctx.spin_until_ge(self.join_epoch_of(slot), token + 1);
+        ctx.mark(phaser_mark(PH_JOINED, slot, acked));
+        acked
+    }
+
+    /// First-claim-wins eviction ticket plus the report/transition stores.
+    /// Returns `false` for claim losers. The ticket never resets, so a slot
+    /// that rejoined after an eviction cannot be evicted a second time —
+    /// its next stall falls back to poisoning (documented limitation).
+    fn claim_eviction(&self, ctx: &dyn MemCtx, victim: usize, epoch: u32) -> bool {
+        if ctx.fetch_add(self.evict_claim_of(victim), 1) != 0 {
+            return false;
+        }
+        ctx.store(self.evicted_at_of(victim), epoch);
+        ctx.store(self.state_of(victim), EVICT_REQ);
+        ctx.mark(phaser_mark(PH_EVICTED, victim, epoch));
+        true
+    }
+}
+
+/// Centralized counter phaser: one `fetch_add` per arrival, champion
+/// commits the boundary. The dynamic-membership analogue of SENSE.
+pub struct CentralPhaser {
+    slots: Slots,
+    arrivals: Addr,
+}
+
+impl CentralPhaser {
+    /// A phaser for up to `cap` slots of which `0..initial` start as
+    /// members. Allocate before the arena is materialized.
+    pub fn new(arena: &mut Arena, cap: usize, initial: usize, topo: &Topology) -> Self {
+        let line = topo.cacheline_bytes();
+        Self {
+            slots: Slots::new(arena, cap, initial, topo),
+            arrivals: arena.alloc_padded_u32(line),
+        }
+    }
+
+    /// Fixed-membership construction (all `p` slots start as members), for
+    /// the registry / `Barrier` uses.
+    pub fn full(arena: &mut Arena, p: usize, topo: &Topology) -> Self {
+        Self::new(arena, p, p, topo)
+    }
+
+    fn commit_boundary(&self, ctx: &dyn MemCtx, epoch: u32) {
+        let (members, joiners) = self.slots.apply_transitions(ctx);
+        ctx.store(self.arrivals, 0);
+        self.slots.publish(ctx, epoch, &members, &joiners);
+    }
+}
+
+impl Phaser for CentralPhaser {
+    fn request_join(&self, ctx: &dyn MemCtx) -> u32 {
+        self.slots.request_join(ctx)
+    }
+
+    fn await_join(&self, ctx: &dyn MemCtx, token: u32) -> u32 {
+        self.slots.await_join(ctx, token)
+    }
+
+    fn arrive(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError> {
+        self.slots.take_eviction(ctx)?;
+        let slot = ctx.tid();
+        let (epoch, count) = self.slots.decode(ctx);
+        // Idempotent re-entry: a bounded wait that aborted after the
+        // fetch_add must not arrive twice for the same epoch.
+        if ctx.load(self.slots.last_arrived_of(slot)) != epoch {
+            ctx.store(self.slots.last_arrived_of(slot), epoch);
+            if ctx.fetch_add(self.arrivals, 1) + 1 == count {
+                self.commit_boundary(ctx, epoch);
+            }
+        }
+        Ok(epoch)
+    }
+
+    fn wait_epoch(&self, ctx: &dyn MemCtx, epoch: u32) {
+        ctx.spin_until_ge(self.slots.release, epoch);
+    }
+
+    fn deregister(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError> {
+        self.slots.take_eviction(ctx)?;
+        ctx.store(self.slots.state_of(ctx.tid()), LEAVE_REQ);
+        let e = self.arrive(ctx)?;
+        ctx.mark(phaser_mark(PH_LEFT, ctx.tid(), e));
+        Ok(e)
+    }
+
+    fn find_victim(&self, ctx: &dyn MemCtx, epoch: u32) -> Option<usize> {
+        if self.slots.decode(ctx).0 != epoch {
+            return None; // the stalled epoch already committed
+        }
+        (0..self.slots.cap).find(|&slot| {
+            self.slots.is_member(ctx, slot)
+                && ctx.load(self.slots.last_arrived_of(slot)) < epoch
+                && slot != ctx.tid()
+        })
+    }
+
+    fn evict(&self, ctx: &dyn MemCtx, victim: usize, epoch: u32) -> bool {
+        let (cur, count) = self.slots.decode(ctx);
+        if cur != epoch || !self.slots.claim_eviction(ctx, victim, epoch) {
+            return false;
+        }
+        // Proxy arrival (shyper's `add_barrier_count`): the survivor
+        // arrives on the victim's behalf; if that was the last arrival the
+        // evictor runs the boundary itself.
+        ctx.store(self.slots.last_arrived_of(victim), epoch);
+        if ctx.fetch_add(self.arrivals, 1) + 1 == count {
+            self.commit_boundary(ctx, epoch);
+        }
+        true
+    }
+
+    fn epoch(&self, ctx: &dyn MemCtx) -> u32 {
+        self.slots.decode(ctx).0
+    }
+    fn members(&self, ctx: &dyn MemCtx) -> u32 {
+        self.slots.decode(ctx).1
+    }
+    fn name(&self) -> &str {
+        "PH-CTR"
+    }
+}
+
+impl Barrier for CentralPhaser {
+    fn wait(&self, ctx: &dyn MemCtx) {
+        self.arrive_and_wait(ctx).expect("fixed-membership phaser cannot be evicted");
+    }
+    fn name(&self) -> &str {
+        Phaser::name(self)
+    }
+}
+
+/// 4-ary arrival-tree phaser that **reparents** on membership change: the
+/// champion recomputes the dense rank table (member slots in slot order →
+/// ranks `0..count`) at every boundary, so each epoch's tree spans exactly
+/// the committed members. Rank `r`'s children are ranks `4r+1..=4r+4`
+/// (clamped to the member count); internal ranks aggregate child arrivals
+/// through per-rank padded counters, rank 0 commits the boundary.
+pub struct TreePhaser {
+    slots: Slots,
+    /// Per-slot rank table, written by the champion: `0` = "use the slot
+    /// number" (valid only for the initial membership, where slots 0..p
+    /// are ranks 0..p), otherwise `rank + 1`.
+    rank_of: Addr,
+    /// Per-rank child-arrival counters.
+    counter: Addr,
+}
+
+const FANIN: usize = 4;
+
+impl TreePhaser {
+    /// See [`CentralPhaser::new`]; same slot semantics, tree arrivals.
+    pub fn new(arena: &mut Arena, cap: usize, initial: usize, topo: &Topology) -> Self {
+        let line = topo.cacheline_bytes();
+        Self {
+            slots: Slots::new(arena, cap, initial, topo),
+            rank_of: arena.alloc_padded_u32_array(cap, line),
+            counter: arena.alloc_padded_u32_array(cap, line),
+        }
+    }
+
+    /// Fixed-membership construction, for the registry / `Barrier` uses.
+    pub fn full(arena: &mut Arena, p: usize, topo: &Topology) -> Self {
+        Self::new(arena, p, p, topo)
+    }
+
+    fn rank_addr(&self, slot: usize) -> Addr {
+        padded_elem(self.rank_of, slot, self.slots.stride)
+    }
+    fn counter_addr(&self, rank: usize) -> Addr {
+        padded_elem(self.counter, rank, self.slots.stride)
+    }
+
+    fn rank(&self, ctx: &dyn MemCtx, slot: usize) -> usize {
+        match ctx.load(self.rank_addr(slot)) {
+            0 => slot,
+            r => r as usize - 1,
+        }
+    }
+
+    fn nchildren(rank: usize, count: u32) -> usize {
+        let lo = FANIN * rank + 1;
+        (count as usize).saturating_sub(lo).min(FANIN)
+    }
+
+    fn commit_boundary(&self, ctx: &dyn MemCtx, epoch: u32) {
+        let (members, joiners) = self.slots.apply_transitions(ctx);
+        // Reparent: dense ranks over the new member set, in slot order.
+        for (rank, &slot) in members.iter().enumerate() {
+            ctx.store(self.rank_addr(slot), rank as u32 + 1);
+        }
+        self.slots.publish(ctx, epoch, &members, &joiners);
+    }
+
+    /// Consumes a complete child set and propagates the arrival upward
+    /// from `rank` (running the boundary at rank 0). Shared by the normal
+    /// arrival path and the eviction proxy. The counter reset is safe
+    /// before the parent bump: every counter in the tree is reset before
+    /// the root can commit, so next-epoch bumps always land on zero.
+    fn propagate(&self, ctx: &dyn MemCtx, rank: usize, epoch: u32, count: u32) {
+        if Self::nchildren(rank, count) > 0 {
+            ctx.store(self.counter_addr(rank), 0);
+        }
+        if rank == 0 {
+            self.commit_boundary(ctx, epoch);
+        } else {
+            ctx.fetch_add(self.counter_addr((rank - 1) / FANIN), 1);
+        }
+    }
+}
+
+impl Phaser for TreePhaser {
+    fn request_join(&self, ctx: &dyn MemCtx) -> u32 {
+        self.slots.request_join(ctx)
+    }
+
+    fn await_join(&self, ctx: &dyn MemCtx, token: u32) -> u32 {
+        self.slots.await_join(ctx, token)
+    }
+
+    fn arrive(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError> {
+        self.slots.take_eviction(ctx)?;
+        let slot = ctx.tid();
+        let (epoch, count) = self.slots.decode(ctx);
+        ctx.store(self.slots.last_arrived_of(slot), epoch);
+        let rank = self.rank(ctx, slot);
+        let nch = Self::nchildren(rank, count);
+        // The only blocking point of `arrive`: a bounded wait that aborts
+        // here consumed nothing, so re-entering `arrive` simply re-spins.
+        if nch > 0 {
+            ctx.spin_until_eq(self.counter_addr(rank), nch as u32);
+        }
+        self.propagate(ctx, rank, epoch, count);
+        Ok(epoch)
+    }
+
+    fn wait_epoch(&self, ctx: &dyn MemCtx, epoch: u32) {
+        ctx.spin_until_ge(self.slots.release, epoch);
+    }
+
+    fn deregister(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError> {
+        self.slots.take_eviction(ctx)?;
+        ctx.store(self.slots.state_of(ctx.tid()), LEAVE_REQ);
+        let e = self.arrive(ctx)?;
+        ctx.mark(phaser_mark(PH_LEFT, ctx.tid(), e));
+        Ok(e)
+    }
+
+    fn find_victim(&self, ctx: &dyn MemCtx, epoch: u32) -> Option<usize> {
+        let (cur, count) = self.slots.decode(ctx);
+        if cur != epoch {
+            return None; // the stalled epoch already committed
+        }
+        // Deepest stalled member whose own subtree is complete, so the
+        // proxy arrival can propagate without waiting in the victim's
+        // stead. Ranks grow with depth, so scanning for the max rank
+        // finds the deepest; a stalled member with an incomplete subtree
+        // is not yet attributable (a descendant is the real stall).
+        let mut best: Option<(usize, usize)> = None;
+        for slot in 0..self.slots.cap {
+            if slot == ctx.tid()
+                || !self.slots.is_member(ctx, slot)
+                || ctx.load(self.slots.last_arrived_of(slot)) >= epoch
+            {
+                continue;
+            }
+            let rank = self.rank(ctx, slot);
+            let nch = Self::nchildren(rank, count);
+            if nch > 0 && ctx.load(self.counter_addr(rank)) != nch as u32 {
+                continue;
+            }
+            if best.is_none_or(|(r, _)| rank > r) {
+                best = Some((rank, slot));
+            }
+        }
+        best.map(|(_, slot)| slot)
+    }
+
+    fn evict(&self, ctx: &dyn MemCtx, victim: usize, epoch: u32) -> bool {
+        let (cur, count) = self.slots.decode(ctx);
+        if cur != epoch || !self.slots.claim_eviction(ctx, victim, epoch) {
+            return false;
+        }
+        ctx.store(self.slots.last_arrived_of(victim), epoch);
+        self.propagate(ctx, self.rank(ctx, victim), epoch, count);
+        true
+    }
+
+    fn epoch(&self, ctx: &dyn MemCtx) -> u32 {
+        self.slots.decode(ctx).0
+    }
+    fn members(&self, ctx: &dyn MemCtx) -> u32 {
+        self.slots.decode(ctx).1
+    }
+    fn name(&self) -> &str {
+        "PH-TREE"
+    }
+}
+
+impl Barrier for TreePhaser {
+    fn wait(&self, ctx: &dyn MemCtx) {
+        self.arrive_and_wait(ctx).expect("fixed-membership phaser cannot be evicted");
+    }
+    fn name(&self) -> &str {
+        Phaser::name(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_simcoh::SimBuilder;
+    use armbar_topology::Platform;
+    use std::sync::Arc;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::preset(Platform::Kunpeng920))
+    }
+
+    fn build(
+        which: &str,
+        arena: &mut Arena,
+        cap: usize,
+        initial: usize,
+        t: &Topology,
+    ) -> Arc<dyn Phaser> {
+        match which {
+            "ctr" => Arc::new(CentralPhaser::new(arena, cap, initial, t)),
+            "tree" => Arc::new(TreePhaser::new(arena, cap, initial, t)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn mark_encoding_round_trips() {
+        for (kind, slot, epoch) in [(PH_JOINED, 0, 1), (PH_EVICTED, 4094, 4095), (PH_LEFT, 7, 9)] {
+            assert_eq!(
+                decode_phaser_mark(phaser_mark(kind, slot, epoch)),
+                Some((kind, slot, epoch))
+            );
+        }
+        assert_eq!(decode_phaser_mark(crate::env::MARK_ENTER), None);
+        assert_eq!(decode_phaser_mark(0), None);
+    }
+
+    #[test]
+    fn stale_epoch_recovery_cannot_evict() {
+        // Regression: a recoverer whose timeout straddles a boundary
+        // commit holds a victim search licensed by the *old* epoch. Once
+        // the boundary moves, that license is dead — scanning the fresh
+        // epoch (where nobody has arrived yet) must name no victim, and a
+        // stale eviction claim must lose.
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 4, 4, &t);
+            SimBuilder::new(Arc::clone(&t), 4)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        ph.arrive_and_wait(ctx).unwrap();
+                        if ctx.tid() == 0 {
+                            // Epoch 1 committed; a vote still pinned to it
+                            // must be inert.
+                            assert_eq!(ph.find_victim(ctx, 1), None, "{which}");
+                            assert!(!ph.evict(ctx, 1, 1), "{which}");
+                            // The fresh epoch has no arrivals yet — that
+                            // is not evidence of a stall either way; the
+                            // scan may name a peer only for the *current*
+                            // epoch, which a real detector reaches only
+                            // after a timeout.
+                        }
+                        ph.arrive_and_wait(ctx).unwrap();
+                    }
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn fixed_membership_phasers_run_as_barriers() {
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 8, 8, &t);
+            let stats = SimBuilder::new(Arc::clone(&t), 8)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        for e in 1..=5u32 {
+                            assert_eq!(ph.arrive_and_wait(ctx).unwrap(), e, "{which}");
+                        }
+                    }
+                })
+                .unwrap();
+            assert!(stats.max_time_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn late_joiner_participates_from_its_ack_epoch() {
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 6, 5, &t);
+            SimBuilder::new(Arc::clone(&t), 6)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        if ctx.tid() == 5 {
+                            let k = ph.register(ctx);
+                            assert!(
+                                (2..=6).contains(&k),
+                                "{which}: join commits at a boundary, got {k}"
+                            );
+                            // A member must keep arriving until it leaves;
+                            // run through the team's final epoch.
+                            for e in k..=6 {
+                                assert_eq!(ph.arrive_and_wait(ctx).unwrap(), e, "{which}");
+                            }
+                        } else {
+                            let mut last = 0;
+                            for _ in 0..6 {
+                                last = ph.arrive_and_wait(ctx).unwrap();
+                            }
+                            assert_eq!(last, 6, "{which}");
+                            assert_eq!(ph.members(ctx), 6, "{which}: joiner counted");
+                        }
+                    }
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn leaver_drops_out_at_the_boundary() {
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 8, 8, &t);
+            SimBuilder::new(Arc::clone(&t), 8)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        ph.arrive_and_wait(ctx).unwrap();
+                        if ctx.tid() == 3 {
+                            // Final arrival for epoch 2; gone afterwards.
+                            assert_eq!(ph.deregister(ctx).unwrap(), 2, "{which}");
+                        } else {
+                            for e in 2..=4u32 {
+                                assert_eq!(ph.arrive_and_wait(ctx).unwrap(), e, "{which}");
+                            }
+                            assert_eq!(ph.members(ctx), 7, "{which}: leaver dropped");
+                        }
+                    }
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn flap_leave_then_rejoin_same_slot() {
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 4, 4, &t);
+            SimBuilder::new(Arc::clone(&t), 4)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        if ctx.tid() == 1 {
+                            let e = ph.deregister(ctx).unwrap();
+                            ph.wait_epoch(ctx, e); // leave must commit first
+                            let k = ph.register(ctx);
+                            assert!(k > e, "{which}: rejoined for a later epoch");
+                            assert!(k <= 6, "{which}: rejoin ack ran away: {k}");
+                            for e in k..=6 {
+                                assert_eq!(ph.arrive_and_wait(ctx).unwrap(), e, "{which}");
+                            }
+                        } else {
+                            for _ in 0..6 {
+                                ph.arrive_and_wait(ctx).unwrap();
+                            }
+                        }
+                    }
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn eviction_completes_the_epoch_and_reports_once() {
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 4, 4, &t);
+            SimBuilder::new(Arc::clone(&t), 4)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        ph.arrive_and_wait(ctx).unwrap();
+                        match ctx.tid() {
+                            2 => {
+                                // Deserts epoch 2. Waiting the release is
+                                // legal without arriving; the next arrival
+                                // then reports the eviction exactly once.
+                                ph.wait_epoch(ctx, 2);
+                                let err = ph.arrive_and_wait(ctx).unwrap_err();
+                                assert_eq!(
+                                    err,
+                                    BarrierError::Evicted { tid: 2, episode: 2 },
+                                    "{which}"
+                                );
+                            }
+                            // Tid 3 detects: it is a leaf in the tree
+                            // variant, so its own `arrive` never blocks and
+                            // it is free to run the eviction.
+                            3 => {
+                                ph.arrive(ctx).unwrap();
+                                loop {
+                                    // Transient scans may blame a slow but
+                                    // healthy peer; a real detector only
+                                    // runs this after a timeout. Wait for
+                                    // the stall to pin on the deserter.
+                                    match ph.find_victim(ctx, 2) {
+                                        Some(2) => break,
+                                        _ => ctx.compute_ns(50.0),
+                                    }
+                                }
+                                assert!(ph.evict(ctx, 2, 2), "{which}");
+                                ph.wait_epoch(ctx, 2);
+                                assert_eq!(ph.members(ctx), 3, "{which}: reformed P-1");
+                                ph.arrive_and_wait(ctx).unwrap();
+                            }
+                            _ => {
+                                ph.arrive_and_wait(ctx).unwrap();
+                                ph.arrive_and_wait(ctx).unwrap();
+                            }
+                        }
+                    }
+                })
+                .unwrap();
+        }
+    }
+}

@@ -9,6 +9,7 @@ use crate::algorithms::{
     McsBarrier, NwayDisseminationBarrier, RingBarrier, SenseBarrier, TournamentBarrier,
 };
 use crate::env::Barrier;
+use crate::phaser::{CentralPhaser, TreePhaser};
 
 /// Every barrier configuration referenced by the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +43,12 @@ pub enum AlgorithmId {
     NwayDissemination,
     /// Cited (ref [7]): Aravind two-pass ring barrier.
     Ring,
+    /// Dynamic-membership centralized counter phaser (PR 7). Built here at
+    /// fixed full membership; not part of [`AlgorithmId::ALL`] so the
+    /// fixed-P sweeps and golden fixtures stay at the paper's 14.
+    PhaserCentral,
+    /// Dynamic-membership 4-ary reparenting tree phaser (PR 7).
+    PhaserTree,
 }
 
 impl AlgorithmId {
@@ -92,6 +99,8 @@ impl AlgorithmId {
             AlgorithmId::Hybrid => "HYBRID",
             AlgorithmId::NwayDissemination => "NDIS",
             AlgorithmId::Ring => "RING",
+            AlgorithmId::PhaserCentral => "PH-CTR",
+            AlgorithmId::PhaserTree => "PH-TREE",
         }
     }
 
@@ -115,14 +124,23 @@ impl AlgorithmId {
                 Box::new(NwayDisseminationBarrier::new(arena, p, topo, 2))
             }
             AlgorithmId::Ring => Box::new(RingBarrier::new(arena, p, topo)),
+            AlgorithmId::PhaserCentral => Box::new(CentralPhaser::full(arena, p, topo)),
+            AlgorithmId::PhaserTree => Box::new(TreePhaser::full(arena, p, topo)),
         }
     }
+
+    /// The two dynamic-membership phasers (PR 7), kept out of
+    /// [`AlgorithmId::ALL`] so the fixed-P experiment grids and golden
+    /// fixtures are unchanged; the churn pipelines iterate this instead.
+    pub const PHASERS: [AlgorithmId; 2] = [AlgorithmId::PhaserCentral, AlgorithmId::PhaserTree];
 
     /// Parses a figure-legend label (case-insensitive) or a long-form
     /// alias (`optimized`, `dissemination`, …), for CLI use.
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.to_ascii_lowercase();
-        if let Some(id) = Self::ALL.into_iter().find(|a| a.label().to_ascii_lowercase() == s) {
+        if let Some(id) =
+            Self::ALL.into_iter().chain(Self::PHASERS).find(|a| a.label().to_ascii_lowercase() == s)
+        {
             return Some(id);
         }
         Some(match s.as_str() {
@@ -137,6 +155,8 @@ impl AlgorithmId {
             "padded-4way" | "4way" => AlgorithmId::Padded4Way,
             "optimized" | "ours" => AlgorithmId::Optimized,
             "nway-dissemination" | "nway" => AlgorithmId::NwayDissemination,
+            "phaser-central" | "phctr" => AlgorithmId::PhaserCentral,
+            "phaser-tree" | "phtree" => AlgorithmId::PhaserTree,
             _ => return None,
         })
     }
@@ -156,9 +176,19 @@ mod tests {
 
     #[test]
     fn every_algorithm_builds_and_runs() {
-        for id in AlgorithmId::ALL {
+        for id in AlgorithmId::ALL.into_iter().chain(AlgorithmId::PHASERS) {
             check_sim(Platform::ThunderX2, 16, 2, move |a, p, t| id.build(a, p, t));
         }
+    }
+
+    #[test]
+    fn phaser_labels_round_trip_and_stay_out_of_all() {
+        for id in AlgorithmId::PHASERS {
+            assert_eq!(AlgorithmId::parse(id.label()), Some(id));
+            assert!(!AlgorithmId::ALL.contains(&id), "{id:?} must not join the fixed-P grid");
+        }
+        assert_eq!(AlgorithmId::parse("phaser-tree"), Some(AlgorithmId::PhaserTree));
+        assert_eq!(AlgorithmId::parse("phctr"), Some(AlgorithmId::PhaserCentral));
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn main() {
         ("phase_breakdown", figs::phase_breakdown::run(&scale)),
         ("hotspot", figs::hotspot::run(&scale)),
         ("kilocore", figs::kilocore::run(&scale)),
+        ("churn", figs::churn::run(&scale)),
     ];
     for (slug, reports) in suites {
         for (i, report) in reports.iter().enumerate() {

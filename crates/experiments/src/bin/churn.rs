@@ -1,0 +1,13 @@
+//! Regenerates the churn sweep (phaser overhead vs. membership churn
+//! rate); see `armbar_experiments::figs::churn`. Pass `--quick` for the
+//! CI scale.
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    for (i, report) in figs::churn::run(&scale).iter().enumerate() {
+        report.print();
+        report.write_csv(results_dir(), &format!("churn_{i}")).expect("failed to write CSV");
+    }
+}

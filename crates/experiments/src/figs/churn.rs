@@ -1,0 +1,196 @@
+//! Churn overhead: phaser episode cost vs. membership churn rate.
+//!
+//! The paper's barriers assume a fixed team; the workspace's phasers relax
+//! that (ROADMAP item 2). This experiment prices the relaxation: both
+//! phasers run `episodes` epochs while one slot *flaps* — an orderly
+//! `deregister`, one epoch out, then `request_join`/`await_join` back in —
+//! on a fixed schedule, and the table reports simulated ns/episode against
+//! the churn rate (flap leave-events per 100 epochs). Rate 0 is the
+//! steady-state baseline, so the rightmost column is the direct answer to
+//! "what does dynamic membership cost when it is actually exercised?".
+//!
+//! Rejoin liveness uses the same shepherd idiom as the chaos harness: the
+//! shepherd slot holds its arrival for the gate epoch (two after the
+//! leave) on a handshake word the churner stores after requesting the
+//! rejoin, so a boundary is guaranteed to scan the request — without it, a
+//! request landing after the team's final boundary would never be acked.
+
+use std::sync::Arc;
+
+use armbar_core::prelude::*;
+use armbar_simcoh::{Addr, Arena, SimBuilder};
+use armbar_sweep::{Job, SweepPool};
+use armbar_topology::{Platform, Topology};
+
+use crate::report::{us, Report};
+use crate::runner::{topo, Scale};
+
+/// Churn rates swept: flap leave-events per 100 epochs. 0 = steady team.
+const RATES: [u32; 4] = [0, 5, 10, 20];
+
+/// (platform, threads) points: the paper's 64-core machine plus the
+/// kilocore projection's 256-core MemPool for the largest team.
+const POINTS: [(Platform, usize); 3] =
+    [(Platform::Kunpeng920, 16), (Platform::Kunpeng920, 64), (Platform::MemPool256, 256)];
+
+/// Per-episode compute between arrivals, matching the standard overhead
+/// measurement (`OverheadConfig::delay_ns`).
+const WORK_NS: f64 = 100.0;
+
+/// Runs the churn sweep: one report, every (phaser, P, rate) cell.
+pub fn run(scale: &Scale) -> Vec<Report> {
+    let pool = SweepPool::ambient();
+    let mut r = Report::new(
+        "Churn — phaser overhead vs. membership churn rate (us/episode)",
+        &["algorithm", "platform", "threads", "churn %/100 epochs", "overhead (us)"],
+    );
+    let cells: Vec<(AlgorithmId, Platform, usize, u32)> = AlgorithmId::PHASERS
+        .iter()
+        .flat_map(|&id| {
+            POINTS.iter().flat_map(move |&(pf, p)| RATES.iter().map(move |&rate| (id, pf, p, rate)))
+        })
+        .collect();
+    let jobs = cells
+        .iter()
+        .map(|&(id, pf, p, rate)| Job::parallel(move || churn_overhead_ns(pf, p, id, rate, scale)))
+        .collect();
+    for (&(id, pf, p, rate), ns) in cells.iter().zip(pool.run(jobs)) {
+        r.row(vec![
+            id.label().to_string(),
+            topo(pf).name().to_string(),
+            p.to_string(),
+            rate.to_string(),
+            us(ns),
+        ]);
+    }
+    r.note("one slot flaps (orderly leave, one epoch out, rejoin) every 100/rate epochs;");
+    r.note("boundary commits pay the membership scan, so churn prices the reform path.");
+    vec![r]
+}
+
+/// Mean simulated ns/episode of `algorithm` at `p` threads under `rate`
+/// flap leave-events per 100 epochs, over `scale.reps` seeded runs.
+fn churn_overhead_ns(
+    platform: Platform,
+    p: usize,
+    algorithm: AlgorithmId,
+    rate: u32,
+    scale: &Scale,
+) -> f64 {
+    let t = topo(platform);
+    let episodes = scale.episodes;
+    let period = 100u32.checked_div(rate);
+    let mut total = 0.0;
+    for rep in 0..scale.reps {
+        total += churn_run_ns(&t, p, algorithm, period, episodes, scale.cfg(rep).seed);
+    }
+    total / scale.reps as f64 / episodes as f64
+}
+
+/// One seeded churn run; returns the total simulated time. Public so the
+/// churn bench (`bench_churn`) can time the identical workload wall-clock.
+pub fn churn_run_ns(
+    t: &Arc<Topology>,
+    p: usize,
+    algorithm: AlgorithmId,
+    period: Option<u32>,
+    episodes: u32,
+    seed: u64,
+) -> f64 {
+    let mut arena = Arena::new();
+    let phaser: Arc<dyn Phaser> = match algorithm {
+        AlgorithmId::PhaserCentral => Arc::new(CentralPhaser::full(&mut arena, p, t)),
+        AlgorithmId::PhaserTree => Arc::new(TreePhaser::full(&mut arena, p, t)),
+        other => panic!("churn experiment needs a phaser, got {other}"),
+    };
+    let aux = arena.alloc_padded_u32(t.cacheline_bytes());
+    let stats = SimBuilder::new(Arc::clone(t), p)
+        .seed(seed)
+        .run(move |sim| churn_worker(&*phaser, sim, aux, p, episodes, period))
+        .unwrap_or_else(|e| panic!("{algorithm} churn run at p={p}: {e}"));
+    stats.max_time_ns()
+}
+
+/// One thread of the churn workload. The last slot is the churner, slot 0
+/// the shepherd; everyone else arrives every epoch. Both the churner and
+/// the shepherd derive flap `cycle` boundaries from the same schedule, so
+/// their handshakes pair up without shared bookkeeping.
+fn churn_worker(
+    phaser: &dyn Phaser,
+    ctx: &dyn MemCtx,
+    aux: Addr,
+    p: usize,
+    episodes: u32,
+    period: Option<u32>,
+) {
+    let tid = ctx.tid();
+    let churner = p - 1;
+    let mut cycle: u32 = 0;
+    let mut next: u32 = 1;
+    while next <= episodes {
+        // A flap cycle needs the leave epoch plus two more boundaries
+        // (ack gate, first rejoined arrival) to fit inside the run.
+        let flap =
+            period.map(|per| (cycle + 1).saturating_mul(per)).filter(|leave| leave + 3 <= episodes);
+        if tid == churner && flap == Some(next) {
+            let final_epoch = phaser.deregister(ctx).expect("orderly leave cannot fail");
+            phaser.wait_epoch(ctx, final_epoch);
+            let token = phaser.request_join(ctx);
+            ctx.store(aux, cycle + 1);
+            next = phaser.await_join(ctx, token);
+            cycle += 1;
+            continue;
+        }
+        if tid == 0 {
+            if let Some(leave) = flap {
+                // Shepherd: hold the gate epoch's arrival until the
+                // churner's rejoin request is visible.
+                if next == leave + 2 {
+                    ctx.spin_until_ge(aux, cycle + 1);
+                    cycle += 1;
+                }
+            }
+        }
+        ctx.compute_ns(WORK_NS);
+        phaser.arrive(ctx).expect("steady member cannot be evicted");
+        phaser.wait_epoch(ctx, next);
+        next += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Enough episodes for a 20%-rate flap (period 5) to fit twice.
+    fn tiny() -> Scale {
+        Scale { reps: 1, episodes: 12, sweep: vec![] }
+    }
+
+    #[test]
+    fn churn_grid_covers_phasers_rates_and_scales() {
+        let reports = run(&tiny());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.rows.len(), 2 * POINTS.len() * RATES.len());
+        assert!(r.rows.iter().all(|row| row[4].parse::<f64>().unwrap() > 0.0));
+    }
+
+    #[test]
+    fn churn_costs_more_than_steady_state() {
+        let t = topo(Platform::Kunpeng920);
+        let steady = churn_run_ns(&t, 16, AlgorithmId::PhaserCentral, None, 12, 0x5EED);
+        let churned = churn_run_ns(&t, 16, AlgorithmId::PhaserCentral, Some(5), 12, 0x5EED);
+        // Flap cycles hold a shepherd gate and re-commit membership; they
+        // cannot be free.
+        assert!(churned > steady, "churned {churned} vs steady {steady}");
+    }
+
+    #[test]
+    fn churn_runs_are_seed_deterministic() {
+        let t = topo(Platform::Kunpeng920);
+        let a = churn_run_ns(&t, 16, AlgorithmId::PhaserTree, Some(10), 12, 0x7);
+        let b = churn_run_ns(&t, 16, AlgorithmId::PhaserTree, Some(10), 12, 0x7);
+        assert_eq!(a, b);
+    }
+}

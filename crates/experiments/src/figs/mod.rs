@@ -5,6 +5,7 @@
 //! tests can execute the identical pipeline at [`crate::Scale::quick`].
 
 pub mod ablations;
+pub mod churn;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;

@@ -21,17 +21,18 @@
 //! (covered by `armbar_simcoh::team` tests).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use armbar_core::{
-    AlgorithmId, Barrier, BarrierError, HostMem, RobustBarrier, RobustConfig, SpinPolicy,
+    AlgorithmId, Barrier, BarrierError, CentralPhaser, HostMem, MemCtx, Phaser, RobustBarrier,
+    RobustConfig, RobustPhaser, SpinPolicy, TreePhaser,
 };
-use armbar_simcoh::{Arena, SimBuilder, SimError};
+use armbar_simcoh::{Addr, Arena, SimBuilder, SimError};
 use armbar_sweep::{Job, SweepPool};
 use armbar_topology::{Platform, Topology};
 
-use crate::plan::{FaultPlan, Scenario};
+use crate::plan::{ChurnPlan, FaultPlan, Scenario};
 use crate::FaultyCtx;
 
 /// Which execution backend a chaos cell ran on.
@@ -106,6 +107,20 @@ impl Default for ChaosConfig {
     }
 }
 
+impl ChaosConfig {
+    /// The churn matrix preset: both phasers × the [`Scenario::CHURN`]
+    /// scenarios, with enough episodes (5) for a flap to leave, sit out,
+    /// rejoin and arrive again within one run.
+    pub fn churn() -> Self {
+        Self {
+            algorithms: AlgorithmId::PHASERS.to_vec(),
+            scenarios: Scenario::CHURN.to_vec(),
+            episodes: 5,
+            ..Self::default()
+        }
+    }
+}
+
 /// How one cell ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CellOutcome {
@@ -116,6 +131,12 @@ pub enum CellOutcome {
     /// The episode hung and the deadline tripped (host only) — the fault
     /// was detected, but only as lost progress.
     TimedOut,
+    /// Churn: every episode completed, but only because a survivor evicted
+    /// the scripted deserter and proxy-arrived on its behalf.
+    Degraded { mechanism: String },
+    /// Churn: recovery gave up (or never applied) and the team poisoned —
+    /// the failure mode [`armbar_core::RobustPhaser`] exists to avoid.
+    Poisoned { mechanism: String },
 }
 
 /// One row of the survival table.
@@ -137,20 +158,27 @@ pub struct ChaosCell {
 
 impl ChaosCell {
     /// Table status: `ok` (baseline completed), `recovered` (completed
-    /// despite planned faults), `detected` (typed error), or `timed-out`.
+    /// despite planned faults/churn), `detected` (typed error),
+    /// `timed-out`, `degraded` (completed through an eviction), or
+    /// `poisoned` (churn recovery failed).
     pub fn status(&self) -> &'static str {
         match (&self.outcome, self.scenario) {
             (CellOutcome::Completed, Scenario::Baseline) => "ok",
             (CellOutcome::Completed, _) => "recovered",
             (CellOutcome::Detected { .. }, _) => "detected",
             (CellOutcome::TimedOut, _) => "timed-out",
+            (CellOutcome::Degraded { .. }, _) => "degraded",
+            (CellOutcome::Poisoned { .. }, _) => "poisoned",
         }
     }
 
-    /// Free-text detail for `detected` rows, empty otherwise.
+    /// Free-text detail for `detected`/`degraded`/`poisoned` rows, empty
+    /// otherwise.
     pub fn detail(&self) -> &str {
         match &self.outcome {
-            CellOutcome::Detected { mechanism } => mechanism,
+            CellOutcome::Detected { mechanism }
+            | CellOutcome::Degraded { mechanism }
+            | CellOutcome::Poisoned { mechanism } => mechanism,
             _ => "",
         }
     }
@@ -185,12 +213,19 @@ pub fn chaos_matrix_on(pool: &SweepPool, config: &ChaosConfig) -> Vec<ChaosCell>
                         threads: config.threads,
                         outcome,
                     };
-                    jobs.push(match backend {
-                        Backend::Sim => Job::parallel(move || {
+                    let churn = Scenario::CHURN.contains(&scenario);
+                    jobs.push(match (backend, churn) {
+                        (Backend::Sim, false) => Job::parallel(move || {
                             cell(run_sim_cell(platform, algorithm, scenario, config))
                         }),
-                        Backend::Host => Job::serial(move || {
+                        (Backend::Sim, true) => Job::parallel(move || {
+                            cell(run_churn_sim_cell(platform, algorithm, scenario, config))
+                        }),
+                        (Backend::Host, false) => Job::serial(move || {
                             cell(run_host_cell(platform, algorithm, scenario, config))
+                        }),
+                        (Backend::Host, true) => Job::serial(move || {
+                            cell(run_churn_host_cell(platform, algorithm, scenario, config))
                         }),
                     });
                 }
@@ -201,8 +236,10 @@ pub fn chaos_matrix_on(pool: &SweepPool, config: &ChaosConfig) -> Vec<ChaosCell>
 }
 
 /// Keeps planned crashes from spraying panic messages and backtraces over
-/// the survival table: they are expected, caught, and classified.
-fn silence_injected_crashes() {
+/// the survival table: they are expected, caught, and classified. Public
+/// so integration tests that drive [`FaultyCtx`] crash plans directly can
+/// reuse the same filter.
+pub fn silence_injected_crashes() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -268,7 +305,7 @@ fn run_host_cell(
         &mut arena,
         topo.cacheline_bytes(),
         inner,
-        RobustConfig { deadline: config.deadline, policy: SpinPolicy::from_env() },
+        RobustConfig { deadline: config.deadline, policy: SpinPolicy::from_env(), max_polls: None },
     );
     let plan = FaultPlan::scenario(scenario, config.seed, p);
     let mem = HostMem::new(&arena);
@@ -321,6 +358,232 @@ fn run_host_cell(
         return CellOutcome::TimedOut;
     }
     CellOutcome::Completed
+}
+
+/// Stall-detection budget for simulator churn cells, in failed polls (see
+/// [`RobustConfig::max_polls`]). Far above any healthy wait at chaos-sized
+/// teams, so the only timeouts are the scripted desertion — and the same
+/// seed detects it at the same virtual time on every run.
+pub const CHURN_SIM_MAX_POLLS: u64 = 20_000;
+
+/// Builds the dynamic-membership phaser behind a churn cell; `None` for
+/// fixed-membership algorithms, which cannot run membership churn.
+pub fn build_phaser(
+    algorithm: AlgorithmId,
+    arena: &mut Arena,
+    cap: usize,
+    initial: usize,
+    topo: &Topology,
+) -> Option<Box<dyn Phaser>> {
+    match algorithm {
+        AlgorithmId::PhaserCentral => Some(Box::new(CentralPhaser::new(arena, cap, initial, topo))),
+        AlgorithmId::PhaserTree => Some(Box::new(TreePhaser::new(arena, cap, initial, topo))),
+        _ => None,
+    }
+}
+
+/// How one churn participant ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnVerdict {
+    /// Ran its script to the end (all arrivals, or an orderly leave).
+    Done,
+    /// Collected the one-shot eviction report after its scripted desertion.
+    Evicted { episode: u32 },
+    /// The script broke down: a scripted step failed in an unexpected way.
+    Unexpected(String),
+    /// A typed failure (timeout / poison) — recovery did not hold.
+    Error(BarrierError),
+}
+
+/// One thread's run of its [`ChurnPlan`] script: identical on both
+/// backends, since every churn event is membership-driven (no memory
+/// faults are injected). `aux` is the scripted handshake word behind
+/// [`ChurnPlan::gate`]. Public so the conformance checker can drive the
+/// *same* script under its schedule explorer.
+pub fn churn_thread(
+    robust: &RobustPhaser,
+    ctx: &dyn MemCtx,
+    plan: &ChurnPlan,
+    aux: Addr,
+    episodes: u32,
+) -> ChurnVerdict {
+    let slot = ctx.tid();
+    let script = plan.script(slot);
+    let mut next: u32 = 1;
+    if let Some(j) = script.join_after {
+        // Late joiner: sit out until the release clock reaches the
+        // scripted epoch, then request-signal-await so the shepherd keeps
+        // a boundary alive for the ack.
+        if j > 0 {
+            if let Err(e) = robust.wait_epoch(ctx, j) {
+                return ChurnVerdict::Error(e);
+            }
+        }
+        let token = robust.request_join(ctx);
+        ctx.store(aux, 1);
+        next = robust.await_join(ctx, token);
+    }
+    while next <= episodes {
+        if plan.gate() == Some((slot, next)) {
+            // Shepherd: hold this arrival until the joiner's request is
+            // visible, so this epoch's boundary is guaranteed to commit
+            // the join (otherwise a request landing after the team's final
+            // boundary would never be acked).
+            ctx.spin_until_ge(aux, 1);
+        }
+        if script.desert_at == Some(next) {
+            // Desert silently: sit out while the survivors time out, vote,
+            // and proxy-arrive; then come back for the one-shot report.
+            if let Err(e) = robust.wait_epoch(ctx, next) {
+                return ChurnVerdict::Error(e);
+            }
+            return match robust.arrive_and_wait(ctx) {
+                Err(BarrierError::Evicted { episode, .. }) => ChurnVerdict::Evicted { episode },
+                Ok(e) => ChurnVerdict::Unexpected(format!(
+                    "deserter of epoch {next} arrived for epoch {e} without an eviction report"
+                )),
+                Err(e) => ChurnVerdict::Error(e),
+            };
+        }
+        if script.leave_at == Some(next) {
+            let final_epoch = match robust.deregister(ctx) {
+                Ok(e) => e,
+                Err(e) => return ChurnVerdict::Error(e),
+            };
+            if !script.rejoin {
+                return ChurnVerdict::Done;
+            }
+            // Flap: the leave must commit before the same slot may rejoin.
+            if let Err(e) = robust.wait_epoch(ctx, final_epoch) {
+                return ChurnVerdict::Error(e);
+            }
+            let token = robust.request_join(ctx);
+            ctx.store(aux, 1);
+            next = robust.await_join(ctx, token);
+            continue;
+        }
+        match robust.arrive_and_wait(ctx) {
+            Ok(e) => next = e + 1,
+            Err(e) => return ChurnVerdict::Error(e),
+        }
+    }
+    ChurnVerdict::Done
+}
+
+/// Folds per-thread verdicts into the cell outcome: errors dominate
+/// (recovery failed), exactly one eviction report is `degraded`, a clean
+/// sheet is `completed`.
+fn classify_churn(plan: &ChurnPlan, verdicts: &[ChurnVerdict]) -> CellOutcome {
+    for v in verdicts {
+        match v {
+            ChurnVerdict::Error(e) => return CellOutcome::Poisoned { mechanism: e.to_string() },
+            ChurnVerdict::Unexpected(why) => {
+                return CellOutcome::Poisoned { mechanism: why.clone() }
+            }
+            _ => {}
+        }
+    }
+    let evictions: Vec<u32> = verdicts
+        .iter()
+        .filter_map(|v| match v {
+            ChurnVerdict::Evicted { episode } => Some(*episode),
+            _ => None,
+        })
+        .collect();
+    match evictions.as_slice() {
+        [] => CellOutcome::Completed,
+        [episode] => CellOutcome::Degraded {
+            mechanism: format!(
+                "evicted t{} at epoch {episode}; survivors completed degraded",
+                plan.victim()
+            ),
+        },
+        more => CellOutcome::Poisoned {
+            mechanism: format!("{} eviction reports for one deserter", more.len()),
+        },
+    }
+}
+
+fn run_churn_sim_cell(
+    platform: Platform,
+    algorithm: AlgorithmId,
+    scenario: Scenario,
+    config: &ChaosConfig,
+) -> CellOutcome {
+    let topo = Arc::new(Topology::preset(platform));
+    let p = config.threads.min(topo.num_cores()).max(2);
+    let episodes = config.episodes;
+    let plan = ChurnPlan::scenario(scenario, config.seed, p, episodes);
+    let mut arena = Arena::new();
+    let Some(inner) = build_phaser(algorithm, &mut arena, p, plan.initial_members(), &topo) else {
+        return CellOutcome::Detected {
+            mechanism: "churn scenarios require a phaser algorithm".to_string(),
+        };
+    };
+    let aux = arena.alloc_padded_u32(topo.cacheline_bytes());
+    let robust = Arc::new(RobustPhaser::new(
+        &mut arena,
+        topo.cacheline_bytes(),
+        inner,
+        RobustConfig { max_polls: Some(CHURN_SIM_MAX_POLLS), ..RobustConfig::default() },
+    ));
+    let verdicts = Arc::new(Mutex::new(vec![None; p]));
+    let result = SimBuilder::new(topo, p).seed(config.seed).run({
+        let robust = Arc::clone(&robust);
+        let verdicts = Arc::clone(&verdicts);
+        let plan = plan.clone();
+        move |sim| {
+            let v = churn_thread(&robust, sim, &plan, aux, episodes);
+            verdicts.lock().unwrap()[sim.tid()] = Some(v);
+        }
+    });
+    if let Err(e) = result {
+        return CellOutcome::Poisoned { mechanism: format!("sim aborted: {e}") };
+    }
+    let verdicts: Vec<ChurnVerdict> =
+        verdicts.lock().unwrap().iter().cloned().map(Option::unwrap).collect();
+    classify_churn(&plan, &verdicts)
+}
+
+fn run_churn_host_cell(
+    platform: Platform,
+    algorithm: AlgorithmId,
+    scenario: Scenario,
+    config: &ChaosConfig,
+) -> CellOutcome {
+    let topo = Topology::preset(platform);
+    let p = config.threads.min(topo.num_cores()).max(2);
+    let episodes = config.episodes;
+    let plan = ChurnPlan::scenario(scenario, config.seed, p, episodes);
+    let mut arena = Arena::new();
+    let Some(inner) = build_phaser(algorithm, &mut arena, p, plan.initial_members(), &topo) else {
+        return CellOutcome::Detected {
+            mechanism: "churn scenarios require a phaser algorithm".to_string(),
+        };
+    };
+    let aux = arena.alloc_padded_u32(topo.cacheline_bytes());
+    let robust = RobustPhaser::new(
+        &mut arena,
+        topo.cacheline_bytes(),
+        inner,
+        RobustConfig { deadline: config.deadline, policy: SpinPolicy::from_env(), max_polls: None },
+    );
+    let mem = HostMem::new(&arena);
+    let verdicts: Vec<ChurnVerdict> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|tid| {
+                let robust = &robust;
+                let plan = &plan;
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    let ctx = mem.ctx(tid, p);
+                    churn_thread(robust, &ctx, plan, aux, episodes)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("churn worker must not die")).collect()
+    });
+    classify_churn(&plan, &verdicts)
 }
 
 /// Renders cells as CSV with a `#`-prefixed provenance header. Contains no
@@ -460,6 +723,85 @@ mod tests {
             matches!(&cells[2].outcome, CellOutcome::Detected { mechanism } if mechanism.starts_with("panic")),
             "{:?}",
             cells[2].outcome
+        );
+    }
+
+    fn churn_config() -> ChaosConfig {
+        ChaosConfig { threads: 8, ..ChaosConfig::churn() }
+    }
+
+    #[test]
+    fn churn_matrix_recovers_joins_leaves_and_flaps_on_sim() {
+        let cells = chaos_matrix(&churn_config());
+        assert_eq!(cells.len(), 8, "2 phasers x 4 churn scenarios");
+        for c in &cells {
+            match c.scenario {
+                Scenario::CrashEvict => assert_eq!(
+                    c.status(),
+                    "degraded",
+                    "{}/{}: deserter must be evicted, got {:?}",
+                    c.algorithm.label(),
+                    c.scenario,
+                    c.outcome
+                ),
+                _ => assert_eq!(
+                    c.status(),
+                    "recovered",
+                    "{}/{}: churn must complete, got {:?}",
+                    c.algorithm.label(),
+                    c.scenario,
+                    c.outcome
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_matrix_replays_bit_identically_at_any_worker_count() {
+        let config = churn_config();
+        let serial = render_csv(&chaos_matrix_on(&SweepPool::new(1), &config), &config);
+        let parallel = render_csv(&chaos_matrix_on(&SweepPool::new(4), &config), &config);
+        assert_eq!(serial, parallel);
+        let again = render_csv(&chaos_matrix(&config), &config);
+        assert_eq!(serial, again, "same seed must replay the same churn table");
+    }
+
+    #[test]
+    fn churn_cells_on_host_complete_degraded_not_poisoned() {
+        let config = ChaosConfig {
+            backends: vec![Backend::Host],
+            scenarios: Scenario::CHURN.to_vec(),
+            threads: 4,
+            deadline: Duration::from_millis(500),
+            ..ChaosConfig::churn()
+        };
+        let cells = chaos_matrix(&config);
+        for c in &cells {
+            let want = if c.scenario == Scenario::CrashEvict { "degraded" } else { "recovered" };
+            assert_eq!(
+                c.status(),
+                want,
+                "host {}/{}: got {:?}",
+                c.algorithm.label(),
+                c.scenario,
+                c.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn churn_scenarios_reject_fixed_membership_algorithms() {
+        let config = ChaosConfig {
+            algorithms: vec![AlgorithmId::Sense],
+            scenarios: vec![Scenario::CrashEvict],
+            ..ChaosConfig::churn()
+        };
+        let cells = chaos_matrix(&config);
+        assert_eq!(cells.len(), 1);
+        assert!(
+            matches!(&cells[0].outcome, CellOutcome::Detected { mechanism } if mechanism.contains("phaser")),
+            "{:?}",
+            cells[0].outcome
         );
     }
 

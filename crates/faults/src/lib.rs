@@ -49,7 +49,7 @@ pub mod plan;
 
 pub use ctx::FaultyCtx;
 pub use harness::{
-    chaos_matrix, chaos_matrix_on, render_csv, render_json, Backend, CellOutcome, ChaosCell,
-    ChaosConfig,
+    build_phaser, chaos_matrix, chaos_matrix_on, churn_thread, render_csv, render_json,
+    silence_injected_crashes, Backend, CellOutcome, ChaosCell, ChaosConfig, ChurnVerdict,
 };
-pub use plan::{Fault, FaultPlan, Scenario};
+pub use plan::{ChurnPlan, Fault, FaultPlan, Scenario, SlotScript};

@@ -33,10 +33,23 @@ pub enum Scenario {
     LostWakeup,
     /// One seeded victim crashes after a few operations.
     Crash,
+    /// Churn: one seeded late joiner registers mid-run (phasers only).
+    Join,
+    /// Churn: one seeded member deregisters mid-run (phasers only).
+    Leave,
+    /// Churn: one seeded member silently deserts an episode; the
+    /// survivors must evict it via proxy arrival and complete degraded
+    /// (phasers under [`armbar_core::RobustPhaser`] only).
+    CrashEvict,
+    /// Churn: one seeded member leaves, sits out an epoch, and rejoins
+    /// the same slot (phasers only).
+    Flap,
 }
 
 impl Scenario {
-    /// Every scenario, in survival-table row order.
+    /// The fixed-membership scenarios, in survival-table row order.
+    /// Deliberately unchanged by the churn extension: every fixed-P chaos
+    /// fixture and CI grep pins this set.
     pub const ALL: [Scenario; 5] = [
         Scenario::Baseline,
         Scenario::Straggler,
@@ -44,6 +57,10 @@ impl Scenario {
         Scenario::LostWakeup,
         Scenario::Crash,
     ];
+
+    /// The dynamic-membership (phaser) scenarios, in churn-table order.
+    pub const CHURN: [Scenario; 4] =
+        [Scenario::Join, Scenario::Leave, Scenario::CrashEvict, Scenario::Flap];
 
     /// Scenarios a correct barrier must *absorb* (complete despite the
     /// fault), as opposed to ones it can only *detect*.
@@ -58,13 +75,24 @@ impl Scenario {
             Scenario::Latency => "latency",
             Scenario::LostWakeup => "lost-wakeup",
             Scenario::Crash => "crash",
+            Scenario::Join => "join",
+            Scenario::Leave => "leave",
+            Scenario::CrashEvict => "crash-evict",
+            Scenario::Flap => "flap",
         }
     }
 
-    /// Parses a table label (case-insensitive), for CLI use.
+    /// Parses a label (case-insensitive), for CLI use. Accepts fuzzy
+    /// spellings the same way the CLI's algorithm parsing does: all
+    /// non-alphanumerics are stripped, so `lost-wakeup`, `lost_wakeup`
+    /// and `lostwakeup` are one scenario (and `crash-evict`/`crash_evict`
+    /// /`crashevict` stay distinct from `crash`).
     pub fn parse(s: &str) -> Option<Self> {
-        let s = s.to_ascii_lowercase();
-        Self::ALL.into_iter().find(|sc| sc.label() == s)
+        let norm = |s: &str| -> String {
+            s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
+        };
+        let s = norm(s);
+        Self::ALL.into_iter().chain(Self::CHURN).find(|sc| norm(sc.label()) == s)
     }
 }
 
@@ -127,6 +155,9 @@ impl FaultPlan {
             Scenario::Crash => {
                 plan.with(Fault::Crash { tid: victim, after_ops: 2 + rng.next_u64() % 4 })
             }
+            // Churn scenarios inject no memory faults: the misbehavior is
+            // membership-driven and scripted by [`ChurnPlan::scenario`].
+            Scenario::Join | Scenario::Leave | Scenario::CrashEvict | Scenario::Flap => plan,
         }
     }
 
@@ -175,6 +206,138 @@ impl FaultPlan {
             Fault::Latency { max_extra_ns } => Some(*max_extra_ns),
             _ => None,
         })
+    }
+}
+
+/// What one slot does across a churn run (epochs are 1-based, matching the
+/// phaser's release clock). At most one of the events is scripted per
+/// slot; a default script is a steady member for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotScript {
+    /// The slot starts **out** and requests membership once the release
+    /// clock reaches this epoch (0 = request immediately).
+    pub join_after: Option<u32>,
+    /// The slot's final arrival is this epoch (`deregister` there); with
+    /// `rejoin` it then requests membership again after the leave commits.
+    pub leave_at: Option<u32>,
+    /// Flap: re-register after the leave committed.
+    pub rejoin: bool,
+    /// The slot silently stops arriving from this epoch on — survivors
+    /// must evict it and complete the epoch degraded.
+    pub desert_at: Option<u32>,
+}
+
+impl SlotScript {
+    /// Is this slot a member of epoch 1?
+    pub fn is_initial_member(&self) -> bool {
+        self.join_after.is_none()
+    }
+}
+
+/// A deterministic membership-churn script for one phaser run: which slot
+/// joins/leaves/deserts/flaps and when, drawn from a seed with the same
+/// mixing discipline as [`FaultPlan::scenario`] so a
+/// `(scenario, seed, p, episodes)` quadruple always replays the same run
+/// on either backend.
+///
+/// Liveness: a join request that lands after the team's **final** boundary
+/// would never be acked, so every joining script comes with a *shepherd* —
+/// a steady member that holds its arrival for [`ChurnPlan::gate`]'s epoch
+/// until the joiner has stored its request (signalled through a scripted
+/// handshake word). The runner wires the handshake; the plan only names
+/// the shepherd and the gated epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPlan {
+    seed: u64,
+    scenario: Scenario,
+    victim: usize,
+    scripts: Vec<SlotScript>,
+    gate: Option<(usize, u32)>,
+}
+
+impl ChurnPlan {
+    /// The seeded realization of a churn scenario for `p` slots over
+    /// `episodes` epochs. Panics on non-churn scenarios.
+    pub fn scenario(scenario: Scenario, seed: u64, p: usize, episodes: u32) -> Self {
+        assert!(p >= 2, "churn needs a victim and at least one survivor");
+        assert!(
+            Scenario::CHURN.contains(&scenario),
+            "{scenario} is a fault scenario, not a churn scenario"
+        );
+        let mix = (scenario.label().len() as u64) << 56;
+        let mut rng = SplitMix64::new(seed ^ mix ^ 0xFA_17);
+        let e = episodes;
+        let mut scripts = vec![SlotScript::default(); p];
+        let (victim, gate) = match scenario {
+            Scenario::Join => {
+                // The joiner must be the top slot: initial members are the
+                // prefix 0..p-1 (the phaser's zero-word decoding).
+                let victim = p - 1;
+                let j = if e >= 3 {
+                    1 + (rng.next_u64() % u64::from((e - 2).min(2))) as u32
+                } else {
+                    0
+                };
+                scripts[victim].join_after = Some(j);
+                (victim, Some((0, (j + 2).min(e))))
+            }
+            Scenario::Leave => {
+                let victim = (rng.next_u64() % p as u64) as usize;
+                let l = if e >= 2 { 2 + (rng.next_u64() % u64::from(e - 1)) as u32 } else { 1 };
+                scripts[victim].leave_at = Some(l);
+                (victim, None)
+            }
+            Scenario::CrashEvict => {
+                let victim = (rng.next_u64() % p as u64) as usize;
+                let d = if e >= 2 { 2 + (rng.next_u64() % u64::from(e - 1)) as u32 } else { 1 };
+                scripts[victim].desert_at = Some(d);
+                (victim, None)
+            }
+            Scenario::Flap => {
+                let victim = (rng.next_u64() % p as u64) as usize;
+                let l = if e >= 5 {
+                    1 + (rng.next_u64() % u64::from((e - 4).min(2))) as u32
+                } else {
+                    1
+                };
+                scripts[victim].leave_at = Some(l);
+                scripts[victim].rejoin = true;
+                (victim, Some(((victim + 1) % p, (l + 2).min(e))))
+            }
+            _ => unreachable!(),
+        };
+        Self { seed, scenario, victim, scripts, gate }
+    }
+
+    /// The seed the plan was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+    /// The scenario the plan realizes.
+    pub fn kind(&self) -> Scenario {
+        self.scenario
+    }
+    /// The churning slot.
+    pub fn victim(&self) -> usize {
+        self.victim
+    }
+    /// Per-slot scripts, indexed by slot.
+    pub fn scripts(&self) -> &[SlotScript] {
+        &self.scripts
+    }
+    /// The script of one slot.
+    pub fn script(&self, slot: usize) -> SlotScript {
+        self.scripts[slot]
+    }
+    /// `(shepherd slot, gated epoch)` for joining scripts: the shepherd
+    /// must hold its arrival for the gated epoch until the joiner's
+    /// request is visible, so at least one boundary commits the join.
+    pub fn gate(&self) -> Option<(usize, u32)> {
+        self.gate
+    }
+    /// How many slots are members of epoch 1 (always the prefix `0..n`).
+    pub fn initial_members(&self) -> usize {
+        self.scripts.iter().filter(|s| s.is_initial_member()).count()
     }
 }
 
@@ -244,10 +407,71 @@ mod tests {
 
     #[test]
     fn scenario_labels_round_trip() {
-        for sc in Scenario::ALL {
+        for sc in Scenario::ALL.into_iter().chain(Scenario::CHURN) {
             assert_eq!(Scenario::parse(sc.label()), Some(sc));
             assert_eq!(Scenario::parse(&sc.label().to_uppercase()), Some(sc));
         }
         assert_eq!(Scenario::parse("nonsense"), None);
+    }
+
+    /// Satellite: underscore/compact spellings parse like the CLI's fuzzy
+    /// algorithm names, and the compact churn label stays distinct from
+    /// the plain crash scenario.
+    #[test]
+    fn scenario_parse_accepts_fuzzy_aliases() {
+        for alias in ["lost_wakeup", "lostwakeup", "Lost-Wakeup", "LOST_WAKEUP"] {
+            assert_eq!(Scenario::parse(alias), Some(Scenario::LostWakeup), "{alias}");
+        }
+        for alias in ["crash_evict", "crashevict", "crash-evict", "CRASH_EVICT"] {
+            assert_eq!(Scenario::parse(alias), Some(Scenario::CrashEvict), "{alias}");
+        }
+        assert_eq!(Scenario::parse("crash"), Some(Scenario::Crash));
+        assert_eq!(Scenario::parse("all scenarios"), None);
+    }
+
+    #[test]
+    fn churn_plans_are_deterministic_and_in_range() {
+        for sc in Scenario::CHURN {
+            for seed in 0..32 {
+                for (p, e) in [(2usize, 5u32), (8, 5), (8, 3), (16, 8), (64, 5)] {
+                    let plan = ChurnPlan::scenario(sc, seed, p, e);
+                    assert_eq!(plan, ChurnPlan::scenario(sc, seed, p, e), "{sc}");
+                    assert!(plan.victim() < p, "{sc} seed {seed}: victim out of range");
+                    assert_eq!(plan.scripts().len(), p);
+                    let s = plan.script(plan.victim());
+                    for epoch in [s.join_after, s.leave_at, s.desert_at].into_iter().flatten() {
+                        assert!(epoch <= e, "{sc} seed {seed}: scripted epoch {epoch} > {e}");
+                    }
+                    if let Some((shepherd, gate)) = plan.gate() {
+                        assert_ne!(shepherd, plan.victim(), "{sc}: shepherd must be steady");
+                        assert!(plan.script(shepherd) == SlotScript::default(), "{sc}");
+                        assert!((1..=e).contains(&gate), "{sc}: gate {gate} outside run");
+                    }
+                    // Steady slots: everyone but the victim.
+                    for (slot, script) in plan.scripts().iter().enumerate() {
+                        if slot != plan.victim() {
+                            assert_eq!(*script, SlotScript::default(), "{sc} slot {slot}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_victims_vary_with_the_seed() {
+        let victims: std::collections::HashSet<usize> = (0..32)
+            .map(|seed| ChurnPlan::scenario(Scenario::CrashEvict, seed, 8, 5).victim())
+            .collect();
+        assert!(victims.len() > 1, "32 seeds never varied the churn victim");
+    }
+
+    #[test]
+    fn join_plans_put_the_joiner_on_the_top_slot() {
+        let plan = ChurnPlan::scenario(Scenario::Join, 3, 8, 5);
+        assert_eq!(plan.victim(), 7);
+        assert_eq!(plan.initial_members(), 7);
+        assert!(plan.script(7).join_after.is_some());
+        assert!(plan.gate().is_some(), "joins always carry a shepherd gate");
     }
 }

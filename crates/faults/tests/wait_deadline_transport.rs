@@ -1,0 +1,131 @@
+//! `RobustBarrier::wait_deadline` outcome tables on the simulator, under
+//! every fixed-membership [`Scenario`], pinned to a golden table.
+//!
+//! The assertion is transport-blind on purpose: CI runs this test under
+//! both simulator transports (stackful fibers, the default, and OS
+//! threads via `ARMBAR_SIM_FIBERS=0`), and both must reproduce the same
+//! bytes — per-thread error typing, first-poisoner attribution, and the
+//! crashed slot all included. A transport that reorders detection would
+//! change who wins the poison ticket and show up as a diff here.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use armbar_core::registry::AlgorithmId;
+use armbar_core::robust::{BarrierError, RobustBarrier, RobustConfig};
+use armbar_faults::{silence_injected_crashes, FaultPlan, FaultyCtx, Scenario};
+use armbar_simcoh::{Arena, SimBuilder, SimError};
+use armbar_topology::{Platform, Topology};
+
+const SEED: u64 = 0xDEAD_0011;
+const THREADS: usize = 8;
+const EPISODES: u32 = 3;
+/// Poll-count deadline: deterministic on the simulator (the wall-clock
+/// `Duration` passed to `wait_deadline` stays far away at sim speeds).
+const MAX_POLLS: u64 = 20_000;
+
+/// Runs one (algorithm, scenario) cell and returns the per-tid outcome
+/// labels, plus the run-level result label.
+fn run_cell(algorithm: AlgorithmId, scenario: Scenario) -> (Vec<String>, String) {
+    let topo = Arc::new(Topology::preset(Platform::Kunpeng920));
+    let mut arena = Arena::new();
+    let inner = algorithm.build(&mut arena, THREADS, &topo);
+    let robust = Arc::new(RobustBarrier::new(
+        &mut arena,
+        topo.cacheline_bytes(),
+        inner,
+        RobustConfig { max_polls: Some(MAX_POLLS), ..RobustConfig::default() },
+    ));
+    let plan = FaultPlan::scenario(scenario, SEED, THREADS);
+    let verdicts = Arc::new(Mutex::new(vec![String::new(); THREADS]));
+    let result = SimBuilder::new(Arc::clone(&topo), THREADS).seed(SEED).run({
+        let robust = Arc::clone(&robust);
+        let verdicts = Arc::clone(&verdicts);
+        move |sim| {
+            let ctx = FaultyCtx::new(sim, &plan);
+            let tid = sim.tid();
+            for e in 0..EPISODES {
+                match robust.wait_deadline(&ctx, Duration::from_secs(5)) {
+                    Ok(()) => {}
+                    Err(err) => {
+                        let label = match err {
+                            BarrierError::Timeout { .. } => format!("timeout@e{e}"),
+                            BarrierError::Poisoned { by, .. } => {
+                                format!("poisoned-by-t{by}@e{e}")
+                            }
+                            BarrierError::Evicted { .. } => unreachable!("fixed membership"),
+                        };
+                        verdicts.lock().unwrap()[tid] = label;
+                        return;
+                    }
+                }
+            }
+            verdicts.lock().unwrap()[tid] = "ok".to_string();
+        }
+    });
+    let run = match &result {
+        Ok(_) => "completed".to_string(),
+        Err(SimError::ThreadPanic { tid, .. }) => {
+            // The scripted crash: the victim's own slot never records.
+            verdicts.lock().unwrap()[*tid] = "crashed".to_string();
+            format!("panic-t{tid}")
+        }
+        Err(other) => format!("{other:?}"),
+    };
+    // A panic aborts the episode engine-side; peers cut off mid-episode
+    // record nothing — render those slots as `-`.
+    let v = verdicts
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|s| if s.is_empty() { "-".to_string() } else { s.clone() })
+        .collect();
+    (v, run)
+}
+
+fn outcome_table() -> String {
+    silence_injected_crashes();
+    let mut out = String::from("algorithm,scenario,run,per-tid\n");
+    for algorithm in [AlgorithmId::Sense, AlgorithmId::Stour] {
+        for scenario in Scenario::ALL {
+            let (verdicts, run) = run_cell(algorithm, scenario);
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                algorithm.label(),
+                scenario.label(),
+                run,
+                verdicts.join("|")
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn wait_deadline_outcome_table_is_golden_on_any_transport() {
+    let table = outcome_table();
+    print!("{table}");
+    assert_eq!(table, GOLDEN, "outcome table diverged from the golden table");
+}
+
+/// Regenerate by running this test with `--nocapture` and pasting stdout.
+///
+/// Reading the table: the poll deadline (20k polls) is deliberately tight,
+/// so even the *survivable* straggler trips it — every scenario becomes a
+/// deadline exercise, which is the point (survivability itself is covered
+/// by the chaos harness, with its unbounded sim waits). The straggler rows
+/// pin first-poisoner attribution: exactly one `timeout` (the first
+/// detector by virtual time), everyone else `poisoned-by` that winner.
+const GOLDEN: &str = "\
+algorithm,scenario,run,per-tid
+SENSE,baseline,completed,ok|ok|ok|ok|ok|ok|ok|ok
+SENSE,straggler,completed,poisoned-by-t6@e0|poisoned-by-t6@e0|poisoned-by-t6@e0|poisoned-by-t6@e0|poisoned-by-t6@e0|poisoned-by-t6@e0|timeout@e0|poisoned-by-t6@e0
+SENSE,latency,completed,ok|ok|ok|ok|ok|ok|ok|ok
+SENSE,lost-wakeup,completed,ok|ok|ok|ok|ok|ok|ok|ok
+SENSE,crash,panic-t3,-|-|-|crashed|-|-|-|-
+STOUR,baseline,completed,ok|ok|ok|ok|ok|ok|ok|ok
+STOUR,straggler,completed,poisoned-by-t7@e0|poisoned-by-t7@e0|poisoned-by-t7@e0|poisoned-by-t7@e0|poisoned-by-t7@e0|poisoned-by-t7@e0|poisoned-by-t7@e0|timeout@e0
+STOUR,latency,completed,ok|ok|ok|ok|ok|ok|ok|ok
+STOUR,lost-wakeup,completed,poisoned-by-t3@e0|poisoned-by-t3@e0|poisoned-by-t3@e0|timeout@e0|poisoned-by-t3@e0|poisoned-by-t3@e0|poisoned-by-t3@e0|poisoned-by-t3@e0
+STOUR,crash,panic-t3,-|-|-|crashed|-|-|-|-
+";

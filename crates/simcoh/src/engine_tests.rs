@@ -390,7 +390,7 @@ impl SchedulePolicy for MisbehavingPolicy {
     fn pick(&mut self, ready: &[ReadyOp], _min: Option<(f64, usize)>) -> ScheduleDecision {
         // Out-of-range index and, via Wait-with-nobody-running at episode
         // start, an unservable stall request.
-        if ready.len() % 2 == 0 {
+        if ready.len().is_multiple_of(2) {
             ScheduleDecision::Run(usize::MAX)
         } else {
             ScheduleDecision::Delay { index: 0, ns: f64::NAN }
