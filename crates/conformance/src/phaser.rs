@@ -25,7 +25,7 @@ use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
 use armbar_core::phaser::{
-    decode_phaser_mark, Phaser, PH_COMPLETED, PH_EVICTED, PH_JOINED, PH_LEFT,
+    decode_phaser_mark, Phaser, PH_COMPLETED, PH_EVICTED, PH_JOINED, PH_LEFT, PH_MARK_EPOCH_MAX,
 };
 use armbar_core::{AlgorithmId, BarrierError, RobustConfig, RobustPhaser};
 use armbar_faults::harness::CHURN_SIM_MAX_POLLS;
@@ -271,6 +271,15 @@ pub fn check_membership_ledger(
     initial: usize,
     episodes: u32,
 ) -> Result<(), (ViolationKind, String)> {
+    // The mark's 12-bit epoch field saturates at `PH_MARK_EPOCH_MAX`
+    // rather than aliasing; a horizon at or past the ceiling would make
+    // saturated marks indistinguishable from real completions of the cap
+    // epoch, so the replay refuses outright instead of mis-judging.
+    assert!(
+        episodes < PH_MARK_EPOCH_MAX,
+        "episode horizon {episodes} would saturate the phaser mark epoch field (max {})",
+        PH_MARK_EPOCH_MAX - 1
+    );
     // Events grouped by the mark's *slot field*, not its recording tid:
     // every kind is self-reported except `PH_EVICTED`, which the evictor
     // emits on the victim's behalf. The global mark slice is in virtual

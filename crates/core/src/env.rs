@@ -32,6 +32,12 @@ pub trait MemCtx {
     fn store(&self, addr: Addr, value: u32);
     /// Atomic wrapping fetch-add (AcqRel); returns the previous value.
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32;
+    /// Atomic compare-exchange (AcqRel): stores `new` iff the word equals
+    /// `current`. Returns the previous value either way — the exchange
+    /// succeeded iff it equals `current`. This is the arbitration
+    /// primitive for races that plain load/store cannot decide, e.g. a
+    /// phaser member's own arrival versus a survivor's proxy arrival.
+    fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32;
     /// Spins until the word at `addr` equals `value`; returns it.
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32;
     /// Spins until the word at `addr` is ≥ `value` (monotonic epochs).
@@ -121,6 +127,9 @@ impl MemCtx for armbar_simcoh::SimThread {
     }
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         SimThread::fetch_add(self, addr, delta)
+    }
+    fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
+        SimThread::compare_exchange(self, addr, current, new)
     }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         SimThread::spin_until_eq(self, addr, value)

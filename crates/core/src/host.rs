@@ -246,6 +246,16 @@ impl MemCtx for HostCtx {
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         self.mem.word(addr).fetch_add(delta, Ordering::AcqRel)
     }
+    fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
+        match self.mem.word(addr).compare_exchange(
+            current,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(prev) | Err(prev) => prev,
+        }
+    }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         self.spin(addr, |v| v == value)
     }

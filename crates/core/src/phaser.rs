@@ -4,7 +4,10 @@
 //! participants `register` to join, `deregister` to leave, and a crashed
 //! member can be *evicted* by a survivor that proxy-arrives on its behalf
 //! (the shyper hypervisor's `add_barrier_count` idiom — see SNIPPETS.md and
-//! [`crate::robust::RobustPhaser`]). Membership changes never tear a
+//! [`crate::robust::RobustPhaser`]). A victim that turns out to be merely
+//! slow may race its own arrival against the proxy; a CAS on the slot's
+//! `last_arrived` ledger arbitrates, so exactly one of the two is ever
+//! counted (see `Slots::claim_arrival`). Membership changes never tear a
 //! running episode: they are *requested* mid-epoch and **commit only at the
 //! epoch boundary**, applied by the champion (the last arriver) before it
 //! publishes the release. Within one epoch the member set is therefore
@@ -85,14 +88,26 @@ pub const PH_LEFT: u32 = 3;
 /// Event kind: the encoded slot was evicted at the encoded epoch.
 pub const PH_EVICTED: u32 = 4;
 
-/// Encodes a phaser event mark (see [`MARK_PHASER`]).
+/// Largest epoch a phaser event mark can encode (the mark's epoch field
+/// is 12 bits). [`phaser_mark`] **saturates** here: every event past this
+/// epoch carries `PH_MARK_EPOCH_MAX`, so marks never alias back onto
+/// earlier epochs. Ledger-replaying oracles must cap their episode
+/// horizon strictly below this value (the conformance checker asserts
+/// its configuration against it).
+pub const PH_MARK_EPOCH_MAX: u32 = COUNT_MASK;
+
+/// Encodes a phaser event mark (see [`MARK_PHASER`]). The epoch field
+/// saturates at [`PH_MARK_EPOCH_MAX`] — a visible ceiling instead of
+/// silent aliasing, which a ledger replay would misread as revisits of
+/// ancient epochs.
 pub fn phaser_mark(kind: u32, slot: usize, epoch: u32) -> u32 {
-    debug_assert!(epoch <= COUNT_MASK, "mark epoch field saturates at 4095");
-    MARK_PHASER | (kind << 24) | ((slot as u32) << 12) | (epoch & COUNT_MASK)
+    MARK_PHASER | (kind << 24) | ((slot as u32) << 12) | epoch.min(PH_MARK_EPOCH_MAX)
 }
 
 /// Decodes a phaser event mark into `(kind, slot, epoch)`; `None` for
 /// non-phaser labels (e.g. the `MARK_ENTER`/`MARK_EXIT` phase marks).
+/// Decoded epochs are exact up to [`PH_MARK_EPOCH_MAX`] and pinned there
+/// beyond it (see [`phaser_mark`]).
 pub fn decode_phaser_mark(label: u32) -> Option<(u32, usize, u32)> {
     if label & 0xF000_0000 != MARK_PHASER {
         return None;
@@ -151,11 +166,20 @@ pub trait Phaser: Send + Sync {
     /// *final* arrival (counting toward the current epoch so peers are not
     /// left short), without waiting for the release. Returns the final
     /// epoch; re-registration requires `wait_epoch(final)` first.
+    ///
+    /// A phaser never drains to zero members: the **last** member must
+    /// not deregister (park it with `wait_epoch` instead, or drop the
+    /// phaser). The boundary commit enforces this with a panic — an
+    /// empty committed membership word would decode as a fresh epoch-1
+    /// phaser with the initial members, silently corrupting the state.
     fn deregister(&self, ctx: &dyn MemCtx) -> Result<u32, BarrierError>;
 
     /// Scans for an evictable member of epoch `epoch`: a current member
-    /// that has not arrived for it (and, for tree phasers, whose subtree
-    /// is otherwise complete, so the proxy arrival can propagate). `None`
+    /// that has not even *begun* arriving for it — neither the entry
+    /// stamp nor the arrival ledger has reached the epoch — (and, for
+    /// tree phasers, whose subtree is otherwise complete, so the proxy
+    /// arrival can propagate). A live member mid-`arrive` (e.g. spinning
+    /// on its subtree) is therefore never named. `None`
     /// when every member has arrived, the stall is not yet attributable,
     /// or `epoch` is no longer current — a recoverer whose timeout
     /// straddled a boundary commit must not scan the *next* epoch, where
@@ -171,6 +195,22 @@ pub trait Phaser: Send + Sync {
     /// wait). Winning the ticket while `epoch` is still current proves the
     /// epoch cannot have committed (the unarrived, unclaimed victim's
     /// count is missing), so the proxy arrival lands in the right epoch.
+    ///
+    /// The victim is not required to be dead: a merely-slow member may be
+    /// running its own `arrive` for the same epoch concurrently. The
+    /// proxy arrival and the victim's own are arbitrated by a CAS on the
+    /// slot's arrival ledger, so exactly one of them is counted — the
+    /// epoch total can never overshoot. A wrongfully evicted live victim
+    /// thus still completes the epoch (whichever side counted it), is out
+    /// from the boundary on, and learns of the eviction exactly once at
+    /// its next `arrive`. One liveness caveat for the tree variant: a
+    /// straggler picked as victim *before it began arriving* may enter
+    /// `arrive` concurrently with the proxy; if the proxy wins while the
+    /// straggler is spinning on its subtree counter, the propagation
+    /// resets that counter and the raw spin never terminates —
+    /// wrongful-eviction recovery requires bounded waits (see
+    /// `RobustPhaser`), which abort the spin and surface the eviction
+    /// report on re-entry.
     fn evict(&self, ctx: &dyn MemCtx, victim: usize, epoch: u32) -> bool;
 
     /// The current epoch (the one arrivals are counted against).
@@ -193,7 +233,15 @@ struct Slots {
     release: Addr,
     state: Addr,
     join_epoch: Addr,
+    /// CAS-arbitrated arrival ledger (see [`Slots::claim_arrival`]).
     last_arrived: Addr,
+    /// Advisory entry stamp: the slot stores the epoch here the moment it
+    /// *begins* `arrive`, before any blocking wait. Victim scans consult
+    /// it so a live member mid-arrival (e.g. a tree rank spinning on its
+    /// subtree, which claims the ledger only afterwards) is never
+    /// mistaken for a stalled one. Self-stored only — safety never rests
+    /// on it, the CAS claim does.
+    entered: Addr,
     evicted_at: Addr,
     evict_claim: Addr,
     stride: usize,
@@ -212,6 +260,7 @@ impl Slots {
             state: arena.alloc_padded_u32_array(cap, line),
             join_epoch: arena.alloc_padded_u32_array(cap, line),
             last_arrived: arena.alloc_padded_u32_array(cap, line),
+            entered: arena.alloc_padded_u32_array(cap, line),
             evicted_at: arena.alloc_padded_u32_array(cap, line),
             evict_claim: arena.alloc_padded_u32_array(cap, line),
             stride: line,
@@ -226,6 +275,9 @@ impl Slots {
     }
     fn last_arrived_of(&self, slot: usize) -> Addr {
         padded_elem(self.last_arrived, slot, self.stride)
+    }
+    fn entered_of(&self, slot: usize) -> Addr {
+        padded_elem(self.entered, slot, self.stride)
     }
     fn evicted_at_of(&self, slot: usize) -> Addr {
         padded_elem(self.evicted_at, slot, self.stride)
@@ -303,7 +355,16 @@ impl Slots {
                 _ => {}
             }
         }
-        debug_assert!(!members.is_empty(), "a phaser must keep at least one member");
+        // Hard assert, not debug: committing an empty member set would
+        // store a membership word whose count field is zero, which
+        // `decode` reinterprets as "epoch 1, the initial members" — the
+        // phaser silently resurrects with stale state. Refusing loudly is
+        // the only safe option; the contract (see [`Phaser::deregister`])
+        // is that the last member parks instead of leaving.
+        assert!(
+            !members.is_empty(),
+            "phaser drained to zero members: the last member must not deregister"
+        );
         (members, joiners)
     }
 
@@ -345,6 +406,41 @@ impl Slots {
         ctx.store(self.state_of(victim), EVICT_REQ);
         ctx.mark(phaser_mark(PH_EVICTED, victim, epoch));
         true
+    }
+
+    /// Atomically claims `slot`'s arrival for `epoch`: a CAS walks
+    /// `last_arrived` up to `epoch` and only the caller whose exchange
+    /// lands gets `true`. This is the arbitration the eviction race needs:
+    /// a slow-but-alive victim's own `arrive` and the elected evictor's
+    /// proxy can run concurrently, and with a plain load/store ledger both
+    /// would count an arrival for the same slot in the same epoch — the
+    /// count overshoots and the next epoch can release early (a barrier
+    /// safety violation). With the CAS exactly one of them wins and does
+    /// the counting; the loser observes `last_arrived >= epoch` and backs
+    /// off (for the slot's own re-entry after a bounded-wait abort, that
+    /// back-off is what makes `arrive` idempotent per epoch).
+    fn claim_arrival(&self, ctx: &dyn MemCtx, slot: usize, epoch: u32) -> bool {
+        let ledger = self.last_arrived_of(slot);
+        let mut prev = ctx.load(ledger);
+        loop {
+            if prev >= epoch {
+                return false; // already arrived: re-entry, or the rival won
+            }
+            let got = ctx.compare_exchange(ledger, prev, epoch);
+            if got == prev {
+                return true;
+            }
+            prev = got;
+        }
+    }
+
+    /// The victim-scan predicate: `slot` has shown no sign of life for
+    /// `epoch` — it neither *began* `arrive` (the entry stamp) nor has a
+    /// counted arrival (the CAS ledger, which a tree rank claims only
+    /// after its subtree spin). Checking the entry stamp keeps a live
+    /// member mid-arrival off the victim list.
+    fn unarrived(&self, ctx: &dyn MemCtx, slot: usize, epoch: u32) -> bool {
+        ctx.load(self.entered_of(slot)) < epoch && ctx.load(self.last_arrived_of(slot)) < epoch
     }
 }
 
@@ -392,13 +488,15 @@ impl Phaser for CentralPhaser {
         self.slots.take_eviction(ctx)?;
         let slot = ctx.tid();
         let (epoch, count) = self.slots.decode(ctx);
-        // Idempotent re-entry: a bounded wait that aborted after the
-        // fetch_add must not arrive twice for the same epoch.
-        if ctx.load(self.slots.last_arrived_of(slot)) != epoch {
-            ctx.store(self.slots.last_arrived_of(slot), epoch);
-            if ctx.fetch_add(self.arrivals, 1) + 1 == count {
-                self.commit_boundary(ctx, epoch);
-            }
+        ctx.store(self.slots.entered_of(slot), epoch);
+        // The CAS claim arbitrates this arrival against both the slot's
+        // own re-entry (a bounded wait that aborted after counting must
+        // not count twice) and a survivor's concurrent proxy arrival
+        // ([`Phaser::evict`]); only the claim winner touches the counter.
+        if self.slots.claim_arrival(ctx, slot, epoch)
+            && ctx.fetch_add(self.arrivals, 1) + 1 == count
+        {
+            self.commit_boundary(ctx, epoch);
         }
         Ok(epoch)
     }
@@ -421,7 +519,7 @@ impl Phaser for CentralPhaser {
         }
         (0..self.slots.cap).find(|&slot| {
             self.slots.is_member(ctx, slot)
-                && ctx.load(self.slots.last_arrived_of(slot)) < epoch
+                && self.slots.unarrived(ctx, slot, epoch)
                 && slot != ctx.tid()
         })
     }
@@ -432,10 +530,14 @@ impl Phaser for CentralPhaser {
             return false;
         }
         // Proxy arrival (shyper's `add_barrier_count`): the survivor
-        // arrives on the victim's behalf; if that was the last arrival the
-        // evictor runs the boundary itself.
-        ctx.store(self.slots.last_arrived_of(victim), epoch);
-        if ctx.fetch_add(self.arrivals, 1) + 1 == count {
+        // arrives on the victim's behalf — but only if it wins the CAS
+        // claim. A slow-but-alive victim may be counting its own arrival
+        // concurrently, and with both counted the total would overshoot
+        // and the *next* epoch could release early. The eviction stands
+        // either way: the victim is out from the boundary on.
+        if self.slots.claim_arrival(ctx, victim, epoch)
+            && ctx.fetch_add(self.arrivals, 1) + 1 == count
+        {
             self.commit_boundary(ctx, epoch);
         }
         true
@@ -553,7 +655,10 @@ impl Phaser for TreePhaser {
         self.slots.take_eviction(ctx)?;
         let slot = ctx.tid();
         let (epoch, count) = self.slots.decode(ctx);
-        ctx.store(self.slots.last_arrived_of(slot), epoch);
+        if ctx.load(self.slots.last_arrived_of(slot)) >= epoch {
+            return Ok(epoch); // re-entry: this epoch's arrival is counted
+        }
+        ctx.store(self.slots.entered_of(slot), epoch);
         let rank = self.rank(ctx, slot);
         let nch = Self::nchildren(rank, count);
         // The only blocking point of `arrive`: a bounded wait that aborts
@@ -561,7 +666,14 @@ impl Phaser for TreePhaser {
         if nch > 0 {
             ctx.spin_until_eq(self.counter_addr(rank), nch as u32);
         }
-        self.propagate(ctx, rank, epoch, count);
+        // Claimed *after* the spin so the winner propagates immediately —
+        // claim and propagate contain no blocking point, so an abort can
+        // never strand a won-but-unpropagated claim. The loser (a
+        // survivor proxied this arrival concurrently, see
+        // [`Phaser::evict`]) must not propagate a second time.
+        if self.slots.claim_arrival(ctx, slot, epoch) {
+            self.propagate(ctx, rank, epoch, count);
+        }
         Ok(epoch)
     }
 
@@ -591,7 +703,7 @@ impl Phaser for TreePhaser {
         for slot in 0..self.slots.cap {
             if slot == ctx.tid()
                 || !self.slots.is_member(ctx, slot)
-                || ctx.load(self.slots.last_arrived_of(slot)) >= epoch
+                || !self.slots.unarrived(ctx, slot, epoch)
             {
                 continue;
             }
@@ -612,8 +724,14 @@ impl Phaser for TreePhaser {
         if cur != epoch || !self.slots.claim_eviction(ctx, victim, epoch) {
             return false;
         }
-        ctx.store(self.slots.last_arrived_of(victim), epoch);
-        self.propagate(ctx, self.rank(ctx, victim), epoch, count);
+        // Proxy arrival gated on the CAS claim: a slow-but-alive victim
+        // may be completing the same epoch itself, and exactly one of the
+        // two may consume the subtree counter and bump the parent — a
+        // double propagation would overshoot an upstream counter and let
+        // the next epoch release early. The eviction stands either way.
+        if self.slots.claim_arrival(ctx, victim, epoch) {
+            self.propagate(ctx, self.rank(ctx, victim), epoch, count);
+        }
         true
     }
 
@@ -640,7 +758,7 @@ impl Barrier for TreePhaser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use armbar_simcoh::SimBuilder;
+    use armbar_simcoh::{SimBuilder, SimError};
     use armbar_topology::Platform;
     use std::sync::Arc;
 
@@ -816,6 +934,116 @@ mod tests {
                     }
                 })
                 .unwrap();
+        }
+    }
+
+    #[test]
+    fn mark_epoch_saturates_instead_of_aliasing() {
+        let m = phaser_mark(PH_COMPLETED, 3, 70_000);
+        assert_eq!(decode_phaser_mark(m), Some((PH_COMPLETED, 3, PH_MARK_EPOCH_MAX)));
+        assert_eq!(m, phaser_mark(PH_COMPLETED, 3, PH_MARK_EPOCH_MAX));
+        // One below the cap still round-trips exactly.
+        assert_eq!(
+            decode_phaser_mark(phaser_mark(PH_LEFT, 0, PH_MARK_EPOCH_MAX - 1)),
+            Some((PH_LEFT, 0, PH_MARK_EPOCH_MAX - 1))
+        );
+    }
+
+    #[test]
+    fn arrival_claim_elects_exactly_one_winner() {
+        let t = topo();
+        let mut arena = Arena::new();
+        let ph = Arc::new(CentralPhaser::new(&mut arena, 4, 4, &t));
+        let wins = arena.alloc_padded_u32(t.cacheline_bytes());
+        let done = arena.alloc_padded_u32(t.cacheline_bytes());
+        SimBuilder::new(Arc::clone(&t), 2)
+            .run({
+                let ph = Arc::clone(&ph);
+                move |ctx| {
+                    if ph.slots.claim_arrival(ctx, 0, 5) {
+                        ctx.fetch_add(wins, 1);
+                    }
+                    ctx.fetch_add(done, 1);
+                    ctx.spin_until_eq(done, 2);
+                    assert_eq!(ctx.load(wins), 1, "exactly one claimant may win");
+                    // The ledger lands on the claimed epoch either way,
+                    // and repeat claims for it (re-entries) lose.
+                    assert_eq!(ctx.load(ph.slots.last_arrived_of(0)), 5);
+                    assert!(!ph.slots.claim_arrival(ctx, 0, 5));
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn evictor_loses_the_arrival_race_to_a_live_victim() {
+        // Eviction-vs-arrival race: the victim is alive and has *already*
+        // arrived when a survivor evicts it. The proxy arrival must lose
+        // the CAS claim — under a plain load/store ledger both sides
+        // counted the same slot for the same epoch, the total overshot,
+        // and the next epoch could release a member short.
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 2, 2, &t);
+            let aux = arena.alloc_padded_u32(t.cacheline_bytes());
+            SimBuilder::new(Arc::clone(&t), 2)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        if ctx.tid() == 1 {
+                            assert_eq!(ph.arrive(ctx).unwrap(), 1, "{which}");
+                            ctx.store(aux, 1); // arrival is on the ledger
+                            ph.wait_epoch(ctx, 1);
+                            // The wrongful eviction still stands and
+                            // reports exactly once at the next arrive.
+                            assert_eq!(
+                                ph.arrive(ctx).unwrap_err(),
+                                BarrierError::Evicted { tid: 1, episode: 1 },
+                                "{which}"
+                            );
+                        } else {
+                            ctx.spin_until_ge(aux, 1);
+                            assert!(ph.evict(ctx, 1, 1), "{which}");
+                            // Had the proxy double-counted, epoch 1 would
+                            // have committed on the evict alone and this
+                            // arrival would land in epoch 2 (the tree
+                            // variant would deadlock on an overshot
+                            // counter instead).
+                            assert_eq!(ph.arrive(ctx).unwrap(), 1, "{which}");
+                            ph.wait_epoch(ctx, 1);
+                            assert_eq!(ph.members(ctx), 1, "{which}: victim out");
+                            assert_eq!(ph.epoch(ctx), 2, "{which}");
+                        }
+                    }
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn draining_the_last_member_panics_loudly() {
+        // An empty committed membership word would decode as a fresh
+        // epoch-1 phaser; the boundary must refuse loudly in release
+        // builds, not just under debug assertions.
+        for which in ["ctr", "tree"] {
+            let t = topo();
+            let mut arena = Arena::new();
+            let ph = build(which, &mut arena, 1, 1, &t);
+            let err = SimBuilder::new(Arc::clone(&t), 1)
+                .run({
+                    let ph = Arc::clone(&ph);
+                    move |ctx| {
+                        let _ = ph.deregister(ctx);
+                    }
+                })
+                .unwrap_err();
+            match err {
+                SimError::ThreadPanic { message, .. } => {
+                    assert!(message.contains("drained to zero members"), "{which}: {message}");
+                }
+                other => panic!("{which}: expected panic, got {other}"),
+            }
         }
     }
 

@@ -400,6 +400,45 @@ impl RobustPhaser {
         })
     }
 
+    /// Bounded wait on an **out-of-band signal word** (e.g. a churn
+    /// script's join-handshake gate) until it reaches `value`; same
+    /// deadline/poll budget as the episode waits. Unlike those, a timeout
+    /// here neither votes (the stall is the *peer* side of the handshake
+    /// dying, not a phaser member desertion — there is no victim to
+    /// evict) nor poisons the team (the phaser itself may be perfectly
+    /// healthy); the caller just gets the `Timeout` and classifies its
+    /// own failure. A poisoned team still fails fast.
+    pub fn wait_signal(
+        &self,
+        ctx: &dyn MemCtx,
+        addr: Addr,
+        value: u32,
+    ) -> Result<u32, BarrierError> {
+        silence_wait_aborts();
+        if let Some(by) = self.poisoned_by(ctx) {
+            return Err(BarrierError::Poisoned { tid: ctx.tid(), by });
+        }
+        let bounded = BoundedCtx {
+            inner: ctx,
+            poison: self.poison,
+            deadline: Instant::now() + self.config.deadline,
+            policy: self.config.policy.clone(),
+            max_polls: self.config.max_polls,
+        };
+        match catch_unwind(AssertUnwindSafe(|| bounded.spin_until_ge(addr, value))) {
+            Ok(v) => Ok(v),
+            Err(payload) => match payload.downcast::<WaitAbort>() {
+                Ok(abort) => Err(match *abort {
+                    WaitAbort::Timeout { addr, spins } => {
+                        BarrierError::Timeout { tid: ctx.tid(), addr, spins }
+                    }
+                    WaitAbort::Poisoned { by } => BarrierError::Poisoned { tid: ctx.tid(), by },
+                }),
+                Err(other) => resume_unwind(other),
+            },
+        }
+    }
+
     /// Runs `f` under a bounded context; on timeout, tries one recovery
     /// step and re-enters (phaser operations are idempotent per epoch, see
     /// [`Phaser::arrive`]), poisoning when recovery is exhausted.
@@ -576,6 +615,9 @@ impl MemCtx for BoundedCtx<'_> {
     }
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         self.inner.fetch_add(addr, delta)
+    }
+    fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
+        self.inner.compare_exchange(addr, current, new)
     }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         self.poll(addr, |v| v == value)

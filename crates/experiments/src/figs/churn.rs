@@ -178,11 +178,15 @@ mod tests {
 
     #[test]
     fn churn_costs_more_than_steady_state() {
-        let t = topo(Platform::Kunpeng920);
-        let steady = churn_run_ns(&t, 16, AlgorithmId::PhaserCentral, None, 12, 0x5EED);
-        let churned = churn_run_ns(&t, 16, AlgorithmId::PhaserCentral, Some(5), 12, 0x5EED);
         // Flap cycles hold a shepherd gate and re-commit membership; they
-        // cannot be free.
+        // cannot be free. One cycle's cost is within single-schedule
+        // noise of the out-epoch's savings (one member fewer arrives), so
+        // measure across enough epochs for several cycles — at period 5
+        // over 24 epochs (4 flaps) the structural overhead dominates on
+        // every seed.
+        let t = topo(Platform::Kunpeng920);
+        let steady = churn_run_ns(&t, 16, AlgorithmId::PhaserCentral, None, 24, 0x5EED);
+        let churned = churn_run_ns(&t, 16, AlgorithmId::PhaserCentral, Some(5), 24, 0x5EED);
         assert!(churned > steady, "churned {churned} vs steady {steady}");
     }
 

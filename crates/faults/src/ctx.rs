@@ -108,6 +108,10 @@ impl MemCtx for FaultyCtx<'_> {
         self.before_op();
         self.inner.fetch_add(addr, delta)
     }
+    fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
+        self.before_op();
+        self.inner.compare_exchange(addr, current, new)
+    }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         self.before_op();
         self.inner.spin_until_eq(addr, value)

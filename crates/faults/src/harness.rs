@@ -428,8 +428,13 @@ pub fn churn_thread(
             // Shepherd: hold this arrival until the joiner's request is
             // visible, so this epoch's boundary is guaranteed to commit
             // the join (otherwise a request landing after the team's final
-            // boundary would never be acked).
-            ctx.spin_until_ge(aux, 1);
+            // boundary would never be acked). Bounded: if the joiner died
+            // before signaling, an unbounded spin here would hang the
+            // shepherd forever; the deadline turns that into a failed
+            // cell instead.
+            if let Err(e) = robust.wait_signal(ctx, aux, 1) {
+                return ChurnVerdict::Error(e);
+            }
         }
         if script.desert_at == Some(next) {
             // Desert silently: sit out while the survivors time out, vote,

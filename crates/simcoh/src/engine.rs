@@ -97,6 +97,9 @@ enum OpReq {
     Load(Addr),
     Store(Addr, u32),
     FetchAdd(Addr, u32),
+    /// Compare-exchange `(addr, current, new)`: stores `new` iff the word
+    /// equals `current`; replies with the previous value either way.
+    CmpXchg(Addr, u32, u32),
     SpinUntil(Addr, Pred, WaitKind),
     /// Wait until every listed word is ≥ the epoch. The fetches of the
     /// involved lines overlap (memory-level parallelism), unlike a chain of
@@ -122,6 +125,7 @@ fn describe_op(op: &OpReq) -> (ReadyOpKind, Option<Addr>) {
         OpReq::Load(a) => (ReadyOpKind::Read, Some(*a)),
         OpReq::Store(a, _) => (ReadyOpKind::Write, Some(*a)),
         OpReq::FetchAdd(a, _) => (ReadyOpKind::Rmw, Some(*a)),
+        OpReq::CmpXchg(a, _, _) => (ReadyOpKind::Rmw, Some(*a)),
         OpReq::SpinUntil(a, _, _) => (ReadyOpKind::Spin, Some(*a)),
         OpReq::SpinUntilAllGe(addrs, _) => (ReadyOpKind::Spin, addrs.first().copied()),
         OpReq::Mark(_) | OpReq::Now | OpReq::Counters => (ReadyOpKind::Free, None),
@@ -139,6 +143,7 @@ fn op_tag(op: &OpReq) -> u64 {
         OpReq::Mark(_) => 6,
         OpReq::Now => 7,
         OpReq::Counters => 8,
+        OpReq::CmpXchg(..) => 9,
     }
 }
 
@@ -765,6 +770,14 @@ impl SimThread {
     /// with other writes/RMWs on the same line.
     pub fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         self.call_value(OpReq::FetchAdd(addr, delta))
+    }
+
+    /// Atomic compare-exchange: stores `new` iff the word equals `current`
+    /// and returns the previous value either way (success iff it equals
+    /// `current`). Charged like any RMW — an ARMv8.1 `CAS` takes the line
+    /// exclusively whether or not the comparison succeeds.
+    pub fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
+        self.call_value(OpReq::CmpXchg(addr, current, new))
     }
 
     /// Spins until `pred(value_at(addr))` holds; returns the satisfying
@@ -1394,6 +1407,7 @@ impl Shared {
             OpReq::Load(a)
             | OpReq::Store(a, _)
             | OpReq::FetchAdd(a, _)
+            | OpReq::CmpXchg(a, _, _)
             | OpReq::SpinUntil(a, _, _) => self.line_at(g, self.line_key(*a)).available_at,
             OpReq::SpinUntilAllGe(addrs, _) => addrs
                 .iter()
@@ -1402,7 +1416,8 @@ impl Shared {
             _ => 0.0,
         };
         if busy_until > g.time[tid] {
-            let is_write = matches!(op, OpReq::Store(..) | OpReq::FetchAdd(..));
+            let is_write =
+                matches!(op, OpReq::Store(..) | OpReq::FetchAdd(..) | OpReq::CmpXchg(..));
             g.stats.record_stall(tid, is_write, busy_until - g.time[tid]);
             g.time[tid] = busy_until;
             g.slots[tid].pending = Some(op);
@@ -1424,6 +1439,17 @@ impl Shared {
             OpReq::FetchAdd(addr, d) => {
                 let old = self.value(g, addr);
                 self.do_write(g, tid, addr, old.wrapping_add(d), true);
+                self.wake_waiters(g, addr, tid);
+                self.reply(g, tid, Reply::Value(old));
+            }
+            OpReq::CmpXchg(addr, current, new) => {
+                // ARMv8.1 LSE `CAS` issues the RMW regardless of the
+                // comparison outcome — a failed exchange still takes the
+                // line exclusively — so both branches are charged as an
+                // RMW write (the failure rewrites the unchanged value).
+                let old = self.value(g, addr);
+                let stored = if old == current { new } else { old };
+                self.do_write(g, tid, addr, stored, true);
                 self.wake_waiters(g, addr, tid);
                 self.reply(g, tid, Reply::Value(old));
             }
@@ -1779,6 +1805,61 @@ mod tests {
             })
             .unwrap();
         assert!(stats.total_mem_ops() >= 4);
+    }
+
+    #[test]
+    fn compare_exchange_arbitrates_one_winner() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        // All four threads CAS 0 -> tid+1 on the same word: exactly one
+        // succeeds and every loser observes a non-zero previous value.
+        let winners = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        SimBuilder::new(topo(), 4)
+            .run({
+                let winners = std::sync::Arc::clone(&winners);
+                move |ctx| {
+                    let old = ctx.compare_exchange(a, 0, ctx.tid() as u32 + 1);
+                    if old == 0 {
+                        winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    let settled = ctx.load(a);
+                    assert!((1..=4).contains(&settled), "some CAS must have landed");
+                }
+            })
+            .unwrap();
+        assert_eq!(winners.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure_report_previous() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        SimBuilder::new(topo(), 1)
+            .run(move |ctx| {
+                assert_eq!(ctx.compare_exchange(a, 0, 7), 0); // success
+                assert_eq!(ctx.load(a), 7);
+                assert_eq!(ctx.compare_exchange(a, 3, 9), 7); // failure
+                assert_eq!(ctx.load(a), 7, "failed CAS must not store");
+                assert_eq!(ctx.compare_exchange(a, 7, 9), 7); // success again
+                assert_eq!(ctx.load(a), 9);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn compare_exchange_wakes_spinners_on_success() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        SimBuilder::new(topo(), 2)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.compute_ns(100.0); // let t1 park first
+                    assert_eq!(ctx.compare_exchange(a, 0, 5), 0);
+                } else {
+                    assert_eq!(ctx.spin_until_eq(a, 5), 5);
+                }
+            })
+            .unwrap();
     }
 
     #[test]
