@@ -462,9 +462,19 @@ pub fn chaos(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `armbar conform [--quick] [--platforms ...] [--algos ...] [--threads N]
-/// [--episodes N] [--seeds N] [--schedule-seed N] [--budget N] [--jobs N]
+/// `armbar conform [--quick] [--weak] [--platforms ...] [--algos ...]
+/// [--threads N] [--episodes N] [--seeds N] [--schedule-seed N]
+/// [--budget N] [--reorder-budget N] [--fence-report FILE] [--jobs N]
 /// [--format csv|json] [--out FILE]`
+///
+/// `--weak` turns on the bounded weak-memory search (reordering budget 64
+/// per trial) and extends the sweep to the phasers: the fixed-membership
+/// matrix runs first, then the churn matrix, both under the same
+/// reordering explorer. `--reorder-budget N` sets the budget explicitly
+/// (without `--weak`, the default 0 keeps the engine sequentially
+/// consistent). `--fence-report FILE` additionally runs the
+/// fence-minimization matrix (`--fence-seeds N` seeds per demotion
+/// level) and writes its Markdown report.
 ///
 /// Exits nonzero (after writing the table) if any cell records a
 /// violation, so CI can gate on it directly.
@@ -473,11 +483,17 @@ pub fn conform(rest: &[String]) -> Result<(), String> {
         return conform_phasers(rest);
     }
     let quick = rest.iter().any(|a| a == "--quick");
+    let weak = rest.iter().any(|a| a == "--weak");
     let mut config = ConformConfig::default();
     if quick {
         // The acceptance sweep: every algorithm, ≥1000 distinct schedules
         // per cell.
         config.seeds = 1200;
+    }
+    if weak {
+        config.explorer =
+            armbar_conformance::ExplorerConfig { reorder_prob: 0.8, ..config.explorer }
+                .with_reorder_budget(64);
     }
 
     if let Some(spec) = flag_value(rest, "--platforms").or_else(|| flag_value(rest, "--platform")) {
@@ -519,6 +535,17 @@ pub fn conform(rest: &[String]) -> Result<(), String> {
         let budget = s.parse().map_err(|_| format!("bad --budget {s:?}"))?;
         config.explorer = config.explorer.with_budget(budget);
     }
+    if let Some(s) = flag_value(rest, "--reorder-budget") {
+        let rb = s.parse().map_err(|_| format!("bad --reorder-budget {s:?}"))?;
+        config.explorer = config.explorer.with_reorder_budget(rb);
+    }
+    let fence_seeds = match flag_value(rest, "--fence-seeds") {
+        Some(s) => match s.parse() {
+            Ok(0) | Err(_) => return Err(format!("bad --fence-seeds {s:?} (need at least 1)")),
+            Ok(n) => Some(n),
+        },
+        None => None,
+    };
     let format = flag_value(rest, "--format").unwrap_or_else(|| "csv".into());
     if format != "csv" && format != "json" {
         return Err(format!("unknown format {format:?} (expected csv or json)"));
@@ -526,24 +553,87 @@ pub fn conform(rest: &[String]) -> Result<(), String> {
     let pool = parse_pool(rest)?;
 
     let cells = conform_matrix_on(&pool, &config);
-    let text = if format == "csv" {
+    let mut text = if format == "csv" {
         armbar_conformance::render_csv(&cells, &config)
     } else {
         armbar_conformance::render_json(&cells, &config)
     };
-    match flag_value(rest, "--out") {
-        Some(path) => {
-            std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
-            eprintln!("wrote {} conformance cells to {path}", cells.len());
-        }
-        None => print!("{text}"),
-    }
 
-    let violated: Vec<String> = cells
+    let mut violated: Vec<String> = cells
         .iter()
         .filter(|c| !c.violations.is_empty())
         .map(|c| format!("{} on {}: {}", c.algorithm.label(), c.platform.label(), c.detail()))
         .collect();
+
+    // Under --weak the phasers ride along: dynamic membership is where
+    // a reordered arrival or eviction store does the most damage.
+    let mut phaser_cell_count = 0;
+    if weak {
+        let mut pconfig = PhaserConformConfig {
+            platforms: config.platforms.clone(),
+            explorer: config.explorer,
+            threads: config.threads.max(2),
+            ..PhaserConformConfig::default()
+        };
+        if let Some(s) = flag_value(rest, "--seeds") {
+            pconfig.seeds = s.parse().map_err(|_| format!("bad seed count {s:?}"))?;
+        }
+        if let Some(s) = flag_value(rest, "--schedule-seed") {
+            pconfig.base_seed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            }
+            .map_err(|_| format!("bad --schedule-seed {s:?}"))?;
+        }
+        let pcells = phaser_conform_matrix_on(&pool, &pconfig);
+        phaser_cell_count = pcells.len();
+        text.push_str(&if format == "csv" {
+            armbar_conformance::render_phaser_csv(&pcells, &pconfig)
+        } else {
+            armbar_conformance::render_phaser_json(&pcells, &pconfig)
+        });
+        violated.extend(pcells.iter().filter(|c| !c.violations.is_empty()).map(|c| {
+            format!(
+                "{} under {} on {}: {}",
+                c.algorithm.label(),
+                c.scenario.label(),
+                c.platform.label(),
+                c.detail()
+            )
+        }));
+    }
+
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("wrote {} conformance cells to {path}", cells.len() + phaser_cell_count);
+        }
+        None => print!("{text}"),
+    }
+
+    if let Some(path) = flag_value(rest, "--fence-report") {
+        let mut fcfg = armbar_conformance::FenceConfig {
+            platforms: config.platforms.clone(),
+            algorithms: config.algorithms.clone(),
+            threads: config.threads,
+            ..armbar_conformance::FenceConfig::default()
+        };
+        if let Some(n) = fence_seeds {
+            fcfg.seeds = n;
+        }
+        let fcells = armbar_conformance::fence_matrix_on(&pool, &fcfg);
+        let md = armbar_conformance::render_fence_markdown(&fcells, &fcfg);
+        std::fs::write(&path, &md).map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote fence report ({} cells) to {path}", fcells.len());
+        violated.extend(fcells.iter().filter(|c| c.weakest_passing().is_none()).map(|c| {
+            format!(
+                "{} on {}: shipped fence placement VIOLATED (see {path})",
+                c.algorithm.label(),
+                c.platform.label()
+            )
+        }));
+    }
+
     if violated.is_empty() {
         Ok(())
     } else {
@@ -566,6 +656,11 @@ pub fn conform(rest: &[String]) -> Result<(), String> {
 /// violation, with a shrunk reproducer in the table.
 fn conform_phasers(rest: &[String]) -> Result<(), String> {
     let mut config = PhaserConformConfig::default();
+    if rest.iter().any(|a| a == "--weak") {
+        config.explorer =
+            armbar_conformance::ExplorerConfig { reorder_prob: 0.8, ..config.explorer }
+                .with_reorder_budget(64);
+    }
 
     if let Some(spec) = flag_value(rest, "--platforms").or_else(|| flag_value(rest, "--platform")) {
         let mut out = Vec::new();
@@ -630,6 +725,10 @@ fn conform_phasers(rest: &[String]) -> Result<(), String> {
     if let Some(s) = flag_value(rest, "--budget") {
         let budget = s.parse().map_err(|_| format!("bad --budget {s:?}"))?;
         config.explorer = config.explorer.with_budget(budget);
+    }
+    if let Some(s) = flag_value(rest, "--reorder-budget") {
+        let rb = s.parse().map_err(|_| format!("bad --reorder-budget {s:?}"))?;
+        config.explorer = config.explorer.with_reorder_budget(rb);
     }
     let format = flag_value(rest, "--format").unwrap_or_else(|| "csv".into());
     if format != "csv" && format != "json" {
@@ -1048,8 +1147,119 @@ mod tests {
         assert!(conform(&["--seeds".to_string(), "none".into()]).is_err());
         assert!(conform(&["--schedule-seed".to_string(), "0xzz".into()]).is_err());
         assert!(conform(&["--budget".to_string(), "many".into()]).is_err());
+        assert!(conform(&["--reorder-budget".to_string(), "many".into()]).is_err());
         assert!(conform(&["--format".to_string(), "xml".into()]).is_err());
         assert!(conform(&["--platforms".to_string(), "riscv".into()]).is_err());
+    }
+
+    #[test]
+    fn conform_weak_runs_barriers_and_phasers() {
+        // --weak must drive both matrices under the reordering explorer
+        // and record the reordering knobs in both provenance headers.
+        let out = std::env::temp_dir().join("armbar_conform_weak.csv");
+        conform(&[
+            "--weak".to_string(),
+            "--platforms".into(),
+            "kunpeng".into(),
+            "--algos".into(),
+            "SENSE".into(),
+            "--threads".into(),
+            "4".into(),
+            "--episodes".into(),
+            "2".into(),
+            "--seeds".into(),
+            "6".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert!(text.starts_with("# conform:"), "{text}");
+        assert!(text.contains("rbudget 64 (p=0.8)"), "{text}");
+        assert!(text.contains("# conform-phasers:"), "barriers AND phasers:\n{text}");
+        assert!(text.contains("PH-CTR"), "{text}");
+        assert!(text.contains("PH-TREE"), "{text}");
+        assert!(!text.contains("VIOLATED"), "{text}");
+    }
+
+    #[test]
+    fn conform_replay_flags_round_trip_the_reproducer_line() {
+        // Every field of a violation's `[replay: seed S budget B
+        // rbudget R episodes E]` line maps onto a flag; the provenance
+        // header must echo the values back exactly.
+        let out = std::env::temp_dir().join("armbar_conform_replay.csv");
+        conform(&[
+            "--platforms".to_string(),
+            "kunpeng".into(),
+            "--algos".into(),
+            "SENSE".into(),
+            "--threads".into(),
+            "4".into(),
+            "--schedule-seed".into(),
+            "0xBEEF".into(),
+            "--budget".into(),
+            "2".into(),
+            "--reorder-budget".into(),
+            "4".into(),
+            "--episodes".into(),
+            "1".into(),
+            "--seeds".into(),
+            "1".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let _ = std::fs::remove_file(&out);
+        assert!(
+            text.starts_with(
+                "# conform: base seed 0xbeef, seeds/cell 1, episodes 1, threads 4, \
+                 budget 2, rbudget 4"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn conform_fence_report_writes_markdown() {
+        let out = std::env::temp_dir().join("armbar_conform_fence_cells.csv");
+        let report = std::env::temp_dir().join("armbar_fence_report.md");
+        conform(&[
+            "--platforms".to_string(),
+            "kunpeng".into(),
+            "--algos".into(),
+            "SENSE".into(),
+            "--threads".into(),
+            "4".into(),
+            "--episodes".into(),
+            "1".into(),
+            "--seeds".into(),
+            "1".into(),
+            "--fence-seeds".into(),
+            "10".into(),
+            "--fence-report".into(),
+            report.to_str().unwrap().into(),
+            "--jobs".into(),
+            "2".into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let _ = std::fs::remove_file(&out);
+        let md = std::fs::read_to_string(&report).unwrap();
+        let _ = std::fs::remove_file(&report);
+        assert!(md.starts_with("# Fence minimization report"), "{md}");
+        assert!(md.contains("| Kunpeng920 | SENSE |"), "{md}");
+        assert!(conform(&[
+            "--fence-seeds".to_string(),
+            "0".into(),
+            "--fence-report".into(),
+            "x".into()
+        ])
+        .is_err());
     }
 
     #[test]

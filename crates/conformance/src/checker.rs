@@ -116,6 +116,10 @@ pub struct Violation {
     /// Minimal perturbation budget that still reproduces it (0 = the
     /// violation needs no perturbation at all).
     pub budget: u32,
+    /// Minimal weak-memory reordering budget that still reproduces it
+    /// (0 = the violation is a scheduling bug, reproducible under
+    /// sequential consistency; > 0 = a genuine memory-ordering bug).
+    pub reorder_budget: u32,
     /// Minimal episode count that still reproduces it.
     pub episodes: u32,
 }
@@ -152,8 +156,8 @@ impl ConformCell {
         match self.violations.first() {
             None => format!("{} distinct schedules", self.distinct_schedules),
             Some(v) => format!(
-                "{}: {} [replay: seed {:#x} budget {} episodes {}]",
-                v.kind, v.detail, v.seed, v.budget, v.episodes
+                "{}: {} [replay: seed {:#x} budget {} rbudget {} episodes {}]",
+                v.kind, v.detail, v.seed, v.budget, v.reorder_budget, v.episodes
             ),
         }
     }
@@ -273,8 +277,21 @@ pub fn check_quiescence(marks: &[Mark], threads: usize, episodes: u32) -> Result
     Ok(())
 }
 
-/// Minimizes a failing trial: smallest perturbation budget (0, 1, 2, 4, …)
-/// that still violates, then the smallest episode count at that budget.
+/// Powers-of-two shrink ladder below `limit`: 0, 1, 2, 4, … .
+pub(crate) fn shrink_candidates(limit: u32) -> Vec<u32> {
+    let mut candidates: Vec<u32> = vec![0];
+    let mut b = 1;
+    while b < limit {
+        candidates.push(b);
+        b *= 2;
+    }
+    candidates
+}
+
+/// Minimizes a failing trial: smallest weak-memory reordering budget first
+/// (so a reproducer at rbudget 0 is provably a scheduling bug, not a
+/// memory-ordering bug), then the smallest perturbation budget
+/// (0, 1, 2, 4, …) that still violates, then the smallest episode count.
 /// Every probe is deterministic, so the returned reproducer is exact.
 fn shrink(
     topo: &Arc<Topology>,
@@ -284,31 +301,34 @@ fn shrink(
     found: (ViolationKind, String),
 ) -> Violation {
     let mut budget = cfg.explorer.budget;
+    let mut reorder_budget = cfg.explorer.reorder_budget;
     let mut episodes = cfg.episodes;
     let mut kind = found.0;
     let mut detail = found.1;
 
-    let probe = |budget: u32, episodes: u32| -> Option<(ViolationKind, String)> {
+    let probe = |budget: u32, reorder_budget: u32, episodes: u32| {
         run_trial(
             topo,
             algorithm,
             cfg.threads,
             episodes,
             seed,
-            cfg.explorer.with_budget(budget),
+            cfg.explorer.with_budget(budget).with_reorder_budget(reorder_budget),
             cfg.op_budget,
         )
         .err()
     };
 
-    let mut candidates: Vec<u32> = vec![0];
-    let mut b = 1;
-    while b < cfg.explorer.budget {
-        candidates.push(b);
-        b *= 2;
+    for &cand in &shrink_candidates(cfg.explorer.reorder_budget) {
+        if let Some((k, d)) = probe(budget, cand, episodes) {
+            reorder_budget = cand;
+            kind = k;
+            detail = d;
+            break;
+        }
     }
-    for &cand in &candidates {
-        if let Some((k, d)) = probe(cand, episodes) {
+    for &cand in &shrink_candidates(cfg.explorer.budget) {
+        if let Some((k, d)) = probe(cand, reorder_budget, episodes) {
             budget = cand;
             kind = k;
             detail = d;
@@ -316,14 +336,14 @@ fn shrink(
         }
     }
     for e in 1..cfg.episodes {
-        if let Some((k, d)) = probe(budget, e) {
+        if let Some((k, d)) = probe(budget, reorder_budget, e) {
             episodes = e;
             kind = k;
             detail = d;
             break;
         }
     }
-    Violation { kind, detail, seed, budget, episodes }
+    Violation { kind, detail, seed, budget, reorder_budget, episodes }
 }
 
 /// Searches one (platform, algorithm) cell: runs up to `cfg.seeds` trials,
@@ -382,7 +402,7 @@ pub fn conform_matrix_on(pool: &SweepPool, cfg: &ConformConfig) -> Vec<ConformCe
 
 /// Keeps expected oracle violations (and their teardown) from spraying
 /// panic reports over the table: they are caught, classified, and shrunk.
-fn silence_oracle_panics() {
+pub(crate) fn silence_oracle_panics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -435,6 +455,51 @@ mod tests {
                 c.algorithm.label(),
                 c.distinct_schedules,
                 c.trials
+            );
+        }
+    }
+
+    #[test]
+    fn weak_search_matrix_is_clean_and_deterministic() {
+        // The weak-memory search over a sample of the matrix: the shipped
+        // acquire/release annotations must survive reordered schedules,
+        // and the table must stay byte-identical at any worker count
+        // (the weak decision stream is per-trial, not per-worker).
+        let cfg = ConformConfig {
+            algorithms: vec![AlgorithmId::Sense, AlgorithmId::Dissemination, AlgorithmId::Mcs],
+            threads: 4,
+            episodes: 2,
+            seeds: 30,
+            explorer: ExplorerConfig { reorder_prob: 0.8, ..ExplorerConfig::default() }
+                .with_reorder_budget(16),
+            ..ConformConfig::default()
+        };
+        let serial = conform_matrix_on(&SweepPool::new(1), &cfg);
+        let parallel = conform_matrix_on(&SweepPool::new(4), &cfg);
+        for c in &serial {
+            assert!(c.violations.is_empty(), "{}: {}", c.algorithm.label(), c.detail());
+        }
+        let render = |cells: &[ConformCell]| crate::report::render_csv(cells, &cfg);
+        assert_eq!(render(&serial), render(&parallel));
+    }
+
+    #[test]
+    fn weak_search_explores_distinct_schedules() {
+        // Reordering decisions feed the schedule fingerprint: the same
+        // seeds must reach schedules the SC search cannot.
+        let base = quick_cfg();
+        let weak = ConformConfig {
+            explorer: ExplorerConfig { reorder_prob: 0.8, ..ExplorerConfig::default() }
+                .with_reorder_budget(16),
+            ..base.clone()
+        };
+        let sc = conform_matrix_on(&SweepPool::new(2), &base);
+        let wk = conform_matrix_on(&SweepPool::new(2), &weak);
+        for (s, w) in sc.iter().zip(&wk) {
+            assert!(w.violations.is_empty(), "{}: {}", w.algorithm.label(), w.detail());
+            assert!(
+                s.distinct_schedules > 0 && w.distinct_schedules > 0,
+                "both searches must make progress"
             );
         }
     }

@@ -18,10 +18,26 @@
 //! policy degrades to the default minimum-time order, which keeps
 //! perturbed runs finite and makes the budget the natural shrinking axis:
 //! a violation reproducible at budget 0 needed no perturbation at all.
+//!
+//! A fourth, **orthogonal** mechanism searches the engine's bounded
+//! weak-memory mode (DESIGN.md §15): whenever a relaxed operation could
+//! legally misbehave — a relaxed store commit deferred into the thread's
+//! store buffer, or a relaxed load served from its stale cache — the
+//! engine consults [`SchedulePolicy::weak`], and this policy says *weak*
+//! with probability `reorder_prob` until the per-trial `reorder_budget`
+//! is spent. The decisions draw from their own `SplitMix64` stream
+//! (derived from the same trial seed), so enabling or disabling the
+//! reordering search never perturbs the interleaving decisions: a
+//! `reorder_budget` of 0 reproduces the sequentially consistent engine
+//! byte-for-byte, which makes the reordering budget a second independent
+//! shrinking axis — shrunk *first*, because a violation reproducible at
+//! reorder budget 0 is a scheduling bug, not a memory-ordering bug.
 
 use armbar_simcoh::rng::SplitMix64;
+#[cfg(test)]
+use armbar_simcoh::schedule::WeakOpKind;
 use armbar_simcoh::schedule::{
-    oldest_index, ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy,
+    oldest_index, ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy, WeakDecision, WeakOp,
 };
 
 /// Tuning knobs for [`ExplorerPolicy`].
@@ -35,11 +51,26 @@ pub struct ExplorerConfig {
     pub max_delay_ns: f64,
     /// Perturbation budget per trial: preemptions + delays combined.
     pub budget: u32,
+    /// Probability of taking a weak-memory choice (defer a relaxed store
+    /// commit / serve a relaxed load stale) when the engine offers one.
+    pub reorder_prob: f64,
+    /// Weak-memory choices per trial. 0 (the default) disables the
+    /// reordering search entirely: the engine stays sequentially
+    /// consistent and runs are byte-identical to a build without the
+    /// weak-memory mode.
+    pub reorder_budget: u32,
 }
 
 impl Default for ExplorerConfig {
     fn default() -> Self {
-        Self { preempt_prob: 0.25, delay_prob: 0.25, max_delay_ns: 500.0, budget: 64 }
+        Self {
+            preempt_prob: 0.25,
+            delay_prob: 0.25,
+            max_delay_ns: 500.0,
+            budget: 64,
+            reorder_prob: 0.5,
+            reorder_budget: 0,
+        }
     }
 }
 
@@ -50,6 +81,13 @@ impl ExplorerConfig {
         self.budget = budget;
         self
     }
+
+    /// This configuration with a different weak-memory reordering budget
+    /// (the second shrinking axis; 0 disables the reordering search).
+    pub fn with_reorder_budget(mut self, reorder_budget: u32) -> Self {
+        self.reorder_budget = reorder_budget;
+        self
+    }
 }
 
 /// A seeded [`SchedulePolicy`] implementing the exploration mechanisms
@@ -57,8 +95,12 @@ impl ExplorerConfig {
 #[derive(Debug, Clone)]
 pub struct ExplorerPolicy {
     rng: SplitMix64,
+    /// Weak-memory decision stream, separate from `rng` so the reordering
+    /// search composes with — never perturbs — the interleaving search.
+    wrng: SplitMix64,
     cfg: ExplorerConfig,
     remaining: u32,
+    reorder_remaining: u32,
 }
 
 impl ExplorerPolicy {
@@ -66,7 +108,13 @@ impl ExplorerPolicy {
     pub fn new(seed: u64, cfg: ExplorerConfig) -> Self {
         // Decorrelate from the engine's jitter stream, which is seeded
         // with the same trial seed.
-        Self { rng: SplitMix64::new(seed ^ 0xC0F0_8A11_5EED_0001), cfg, remaining: cfg.budget }
+        Self {
+            rng: SplitMix64::new(seed ^ 0xC0F0_8A11_5EED_0001),
+            wrng: SplitMix64::new(seed ^ 0xC0F0_8A11_5EED_0002),
+            cfg,
+            remaining: cfg.budget,
+            reorder_remaining: cfg.reorder_budget,
+        }
     }
 
     fn pick_index(&mut self, n: usize) -> usize {
@@ -117,6 +165,23 @@ impl SchedulePolicy for ExplorerPolicy {
         }
         // Budget spent (or nothing to permute): default order.
         ScheduleDecision::Run(oldest_index(ready))
+    }
+
+    fn weak(&mut self, _op: &WeakOp) -> WeakDecision {
+        if self.reorder_remaining == 0 {
+            // Early return WITHOUT consuming the stream: a reorder budget
+            // of 0 must be byte-identical to a policy with no weak()
+            // override at all, and an exhausted budget must degrade to
+            // sequential consistency the same way the perturbation
+            // budget degrades to minimum-time order.
+            return WeakDecision::Strong;
+        }
+        if self.wrng.next_f64() < self.cfg.reorder_prob {
+            self.reorder_remaining -= 1;
+            WeakDecision::Weak
+        } else {
+            WeakDecision::Strong
+        }
     }
 }
 
@@ -191,6 +256,59 @@ mod tests {
         );
         for _ in 0..100 {
             assert!(!matches!(p.pick(&ready, None), ScheduleDecision::Delay { .. }));
+        }
+    }
+
+    fn wop(tid: usize) -> WeakOp {
+        WeakOp { tid, addr: 64 * tid as u32, kind: WeakOpKind::RelaxedStore }
+    }
+
+    #[test]
+    fn zero_reorder_budget_is_always_strong() {
+        let mut p =
+            ExplorerPolicy::new(7, ExplorerConfig { reorder_prob: 1.0, ..Default::default() });
+        assert_eq!(p.cfg.reorder_budget, 0, "reordering is off by default");
+        for i in 0..256 {
+            assert_eq!(p.weak(&wop(i % 8)), WeakDecision::Strong);
+        }
+    }
+
+    #[test]
+    fn reorder_budget_bounds_weak_decisions() {
+        let mut p = ExplorerPolicy::new(
+            21,
+            ExplorerConfig { reorder_prob: 1.0, ..Default::default() }.with_reorder_budget(5),
+        );
+        let weaks = (0..1000).filter(|i| p.weak(&wop(i % 8)) == WeakDecision::Weak).count();
+        assert_eq!(weaks, 5, "prob 1.0 must spend exactly the reorder budget");
+        assert_eq!(p.reorder_remaining, 0);
+    }
+
+    #[test]
+    fn weak_stream_is_independent_of_pick_stream() {
+        // Interleaving weak() calls must not change the pick() decisions:
+        // the two streams are decorrelated by construction.
+        let ready = [
+            op(0, 1.0, ReadyOpKind::Write),
+            op(1, 1.0, ReadyOpKind::Spin),
+            op(2, 1.0, ReadyOpKind::Rmw),
+        ];
+        let cfg = ExplorerConfig::default().with_reorder_budget(64);
+        let mut plain = ExplorerPolicy::new(99, cfg);
+        let mut mixed = ExplorerPolicy::new(99, cfg);
+        for i in 0..256 {
+            mixed.weak(&wop(i % 8));
+            assert_eq!(plain.pick(&ready, None), mixed.pick(&ready, None));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_weak_decisions() {
+        let cfg = ExplorerConfig::default().with_reorder_budget(16);
+        let mut a = ExplorerPolicy::new(4242, cfg);
+        let mut b = ExplorerPolicy::new(4242, cfg);
+        for i in 0..256 {
+            assert_eq!(a.weak(&wop(i % 8)), b.weak(&wop(i % 8)));
         }
     }
 

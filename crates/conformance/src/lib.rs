@@ -46,6 +46,8 @@
 
 pub mod checker;
 pub mod explorer;
+pub mod fence;
+mod litmus;
 pub mod phaser;
 pub mod report;
 
@@ -53,6 +55,10 @@ pub use checker::{
     conform_matrix, conform_matrix_on, ConformCell, ConformConfig, Violation, ViolationKind,
 };
 pub use explorer::{ExplorerConfig, ExplorerPolicy};
+pub use fence::{
+    fence_matrix, fence_matrix_on, render_fence_markdown, FenceCell, FenceConfig, FenceLevel,
+    LevelResult,
+};
 pub use phaser::{
     check_membership_ledger, phaser_conform_matrix, phaser_conform_matrix_on, render_phaser_csv,
     render_phaser_json, PhaserConformCell, PhaserConformConfig,

@@ -120,8 +120,8 @@ impl PhaserConformCell {
         match self.violations.first() {
             None => format!("{} distinct schedules", self.distinct_schedules),
             Some(v) => format!(
-                "{}: {} [replay: seed {:#x} budget {} episodes {}]",
-                v.kind, v.detail, v.seed, v.budget, v.episodes
+                "{}: {} [replay: seed {:#x} budget {} rbudget {} episodes {}]",
+                v.kind, v.detail, v.seed, v.budget, v.reorder_budget, v.episodes
             ),
         }
     }
@@ -387,10 +387,11 @@ pub fn check_membership_ledger(
 }
 
 /// Minimizes a failing churn trial exactly like the fixed checker's
-/// shrink: smallest perturbation budget (0, 1, 2, 4, …) that still
-/// violates, then the fewest episodes at that budget. The churn script
-/// re-derives from the seed at every probe, so each probe is
-/// deterministic and the returned reproducer exact.
+/// shrink: smallest weak-memory reordering budget first, then the
+/// smallest perturbation budget (0, 1, 2, 4, …) that still violates, then
+/// the fewest episodes. The churn script re-derives from the seed at every
+/// probe, so each probe is deterministic and the returned reproducer
+/// exact.
 fn shrink_with(
     topo: &Arc<Topology>,
     build: PhaserFactory<'_>,
@@ -400,11 +401,12 @@ fn shrink_with(
     found: (ViolationKind, String),
 ) -> Violation {
     let mut budget = cfg.explorer.budget;
+    let mut reorder_budget = cfg.explorer.reorder_budget;
     let mut episodes = cfg.episodes;
     let mut kind = found.0;
     let mut detail = found.1;
 
-    let probe = |budget: u32, episodes: u32| -> Option<(ViolationKind, String)> {
+    let probe = |budget: u32, reorder_budget: u32, episodes: u32| {
         run_phaser_trial_with(
             topo,
             build,
@@ -412,19 +414,21 @@ fn shrink_with(
             cfg,
             episodes,
             seed,
-            cfg.explorer.with_budget(budget),
+            cfg.explorer.with_budget(budget).with_reorder_budget(reorder_budget),
         )
         .err()
     };
 
-    let mut candidates: Vec<u32> = vec![0];
-    let mut b = 1;
-    while b < cfg.explorer.budget {
-        candidates.push(b);
-        b *= 2;
+    for &cand in &crate::checker::shrink_candidates(cfg.explorer.reorder_budget) {
+        if let Some((k, d)) = probe(budget, cand, episodes) {
+            reorder_budget = cand;
+            kind = k;
+            detail = d;
+            break;
+        }
     }
-    for &cand in &candidates {
-        if let Some((k, d)) = probe(cand, episodes) {
+    for &cand in &crate::checker::shrink_candidates(cfg.explorer.budget) {
+        if let Some((k, d)) = probe(cand, reorder_budget, episodes) {
             budget = cand;
             kind = k;
             detail = d;
@@ -432,14 +436,14 @@ fn shrink_with(
         }
     }
     for e in 1..cfg.episodes {
-        if let Some((k, d)) = probe(budget, e) {
+        if let Some((k, d)) = probe(budget, reorder_budget, e) {
             episodes = e;
             kind = k;
             detail = d;
             break;
         }
     }
-    Violation { kind, detail, seed, budget, episodes }
+    Violation { kind, detail, seed, budget, reorder_budget, episodes }
 }
 
 /// Searches one (platform, algorithm, scenario) cell: up to `cfg.seeds`
@@ -514,8 +518,15 @@ pub fn render_phaser_csv(cells: &[PhaserConformCell], cfg: &PhaserConformConfig)
     let mut out = String::new();
     out.push_str(&format!(
         "# conform-phasers: base seed {:#x}, seeds/cell {}, episodes {}, threads {}, \
-         budget {}, max polls {}\n",
-        cfg.base_seed, cfg.seeds, cfg.episodes, cfg.threads, cfg.explorer.budget, cfg.max_polls,
+         budget {}, rbudget {} (p={}), max polls {}\n",
+        cfg.base_seed,
+        cfg.seeds,
+        cfg.episodes,
+        cfg.threads,
+        cfg.explorer.budget,
+        cfg.explorer.reorder_budget,
+        cfg.explorer.reorder_prob,
+        cfg.max_polls,
     ));
     out.push_str(
         "platform,threads,algorithm,scenario,trials,distinct_schedules,violations,status,detail\n",
@@ -547,6 +558,7 @@ pub fn render_phaser_json(cells: &[PhaserConformCell], cfg: &PhaserConformConfig
     out.push_str(&format!("  \"episodes\": {},\n", cfg.episodes));
     out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
     out.push_str(&format!("  \"max_polls\": {},\n", cfg.max_polls));
+    out.push_str(&format!("  \"reorder_budget\": {},\n", cfg.explorer.reorder_budget));
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
@@ -563,11 +575,12 @@ pub fn render_phaser_json(cells: &[PhaserConformCell], cfg: &PhaserConformConfig
         ));
         for (j, v) in c.violations.iter().enumerate() {
             out.push_str(&format!(
-                "{{\"kind\": \"{}\", \"seed\": {}, \"budget\": {}, \"episodes\": {}, \
-                 \"detail\": \"{}\"}}{}",
+                "{{\"kind\": \"{}\", \"seed\": {}, \"budget\": {}, \"reorder_budget\": {}, \
+                 \"episodes\": {}, \"detail\": \"{}\"}}{}",
                 v.kind,
                 v.seed,
                 v.budget,
+                v.reorder_budget,
                 v.episodes,
                 v.detail.replace('"', "'"),
                 if j + 1 < c.violations.len() { ", " } else { "" }
@@ -587,6 +600,28 @@ mod tests {
 
     fn quick_cfg() -> PhaserConformConfig {
         PhaserConformConfig { threads: 4, episodes: 4, seeds: 12, ..PhaserConformConfig::default() }
+    }
+
+    #[test]
+    fn weak_churn_interleavings_conform_for_both_phasers() {
+        // The weak-memory search composed with churn: the phasers' fully
+        // ordered membership/arrival protocol must survive reordered
+        // schedules on every churn scenario.
+        let cfg = PhaserConformConfig {
+            explorer: ExplorerConfig { reorder_prob: 0.8, ..ExplorerConfig::default() }
+                .with_reorder_budget(16),
+            ..quick_cfg()
+        };
+        let cells = phaser_conform_matrix_on(&SweepPool::new(2), &cfg);
+        for c in &cells {
+            assert!(
+                c.violations.is_empty(),
+                "{} under {}: {}",
+                c.algorithm.label(),
+                c.scenario.label(),
+                c.detail()
+            );
+        }
     }
 
     #[test]
@@ -759,7 +794,7 @@ mod tests {
             &cfg,
             v.episodes,
             seed,
-            cfg.explorer.with_budget(v.budget),
+            cfg.explorer.with_budget(v.budget).with_reorder_budget(v.reorder_budget),
         );
         assert_eq!(replay.err().map(|(k, _)| k), Some(v.kind));
     }

@@ -10,12 +10,14 @@ pub fn render_csv(cells: &[ConformCell], cfg: &ConformConfig) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# conform: base seed {:#x}, seeds/cell {}, episodes {}, threads {}, \
-         budget {}, preempt {}, delay {} (max {} ns)\n",
+         budget {}, rbudget {} (p={}), preempt {}, delay {} (max {} ns)\n",
         cfg.base_seed,
         cfg.seeds,
         cfg.episodes,
         cfg.threads,
         cfg.explorer.budget,
+        cfg.explorer.reorder_budget,
+        cfg.explorer.reorder_prob,
         cfg.explorer.preempt_prob,
         cfg.explorer.delay_prob,
         cfg.explorer.max_delay_ns,
@@ -47,6 +49,7 @@ pub fn render_json(cells: &[ConformCell], cfg: &ConformConfig) -> String {
     out.push_str(&format!("  \"episodes\": {},\n", cfg.episodes));
     out.push_str(&format!("  \"threads\": {},\n", cfg.threads));
     out.push_str(&format!("  \"budget\": {},\n", cfg.explorer.budget));
+    out.push_str(&format!("  \"reorder_budget\": {},\n", cfg.explorer.reorder_budget));
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
@@ -62,11 +65,12 @@ pub fn render_json(cells: &[ConformCell], cfg: &ConformConfig) -> String {
         ));
         for (j, v) in c.violations.iter().enumerate() {
             out.push_str(&format!(
-                "{{\"kind\": \"{}\", \"seed\": {}, \"budget\": {}, \"episodes\": {}, \
-                 \"detail\": \"{}\"}}{}",
+                "{{\"kind\": \"{}\", \"seed\": {}, \"budget\": {}, \"reorder_budget\": {}, \
+                 \"episodes\": {}, \"detail\": \"{}\"}}{}",
                 v.kind,
                 v.seed,
                 v.budget,
+                v.reorder_budget,
                 v.episodes,
                 v.detail.replace('"', "'"),
                 if j + 1 < c.violations.len() { ", " } else { "" }
@@ -113,13 +117,15 @@ mod tests {
             detail: "t1 left early".to_string(),
             seed: 0xBEEF,
             budget: 2,
+            reorder_budget: 4,
             episodes: 1,
         };
         let csv = render_csv(&[cell(vec![v.clone()])], &cfg);
         assert!(csv.contains("VIOLATED"));
-        assert!(csv.contains("seed 0xbeef budget 2 episodes 1"));
+        assert!(csv.contains("seed 0xbeef budget 2 rbudget 4 episodes 1"));
         let json = render_json(&[cell(vec![v])], &cfg);
         assert!(json.contains("\"kind\": \"early-exit\""));
         assert!(json.contains("\"seed\": 48879"));
+        assert!(json.contains("\"reorder_budget\": 4"));
     }
 }

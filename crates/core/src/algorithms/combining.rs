@@ -68,9 +68,10 @@ impl CombiningTreeBarrier {
 impl Barrier for CombiningTreeBarrier {
     fn wait(&self, ctx: &dyn MemCtx) {
         let me = ctx.tid();
+        // Thread-local sense word: relaxed, nobody else touches this slot.
         let ls_addr = padded_elem(self.local_sense, me, self.stride);
-        let ls = 1 - ctx.load(ls_addr);
-        ctx.store(ls_addr, ls);
+        let ls = 1 - ctx.load_relaxed(ls_addr);
+        ctx.store_relaxed(ls_addr, ls);
         if ctx.nthreads() == 1 {
             return;
         }
@@ -90,7 +91,10 @@ impl Barrier for CombiningTreeBarrier {
                 }
                 // Last arrival: reset for reuse before climbing (peers of
                 // this group are blocked on gsense and cannot return here
-                // until after the flip).
+                // until after the flip). Unlike SENSE's reset this must NOT
+                // relax: the resetter may lose at a higher level and go
+                // spin — with no release store of its own, a deferred reset
+                // could commit after next episode's arrivals and erase them.
                 ctx.store(counter, 0);
             }
             idx = group;

@@ -73,6 +73,9 @@ impl Barrier for DisseminationBarrier {
                 ctx.mark(crate::env::MARK_ARRIVED);
             }
             let partner = (me + (1 << r)) % p;
+            // The signal must stay a release store: round-r flags are how
+            // each thread's pre-barrier writes (and the transitive writes
+            // of everyone it already heard from) propagate to the partner.
             ctx.store(self.flag(partner, r), e);
             ctx.spin_until_ge(self.flag(me, r), e);
         }

@@ -254,8 +254,12 @@ impl FwayBarrier {
                     return;
                 }
                 // Last arrival wins the group; reset for the next episode
-                // (safe: group peers are blocked until the release).
-                ctx.store(counter, 0);
+                // (safe: group peers are blocked until the release). May
+                // relax — the winner's next operation is a higher-level
+                // fetch_add (an RMW, which drains buffered stores) or the
+                // wake-up release store, either of which orders the reset
+                // before any peer can wake and re-enter.
+                ctx.store_relaxed(counter, 0);
             }
             idx = group;
         }

@@ -104,7 +104,11 @@ impl Barrier for HybridBarrier {
                 self.wakeup.wait(ctx, e);
                 return;
             }
-            ctx.store(counter, 0); // reset for reuse before anyone re-enters
+            // Reset for reuse before anyone re-enters. May relax: every
+            // representative path from here ends in a release store (loser
+            // flag or wake-up release) before any cluster peer can wake and
+            // re-enter, and that release orders the reset ahead of it.
+            ctx.store_relaxed(counter, 0);
         }
 
         // Inter-cluster: padded 4-way static tournament over

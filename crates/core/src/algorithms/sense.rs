@@ -70,10 +70,10 @@ impl Barrier for SenseBarrier {
         let p = ctx.nthreads() as u32;
         let me = ctx.tid();
         // Flip the thread-local sense (kept in the arena, padded: a purely
-        // local access in both backends).
+        // local access in both backends — relaxed, nobody else reads it).
         let ls_addr = padded_elem(self.local_sense, me, self.stride);
-        let ls = 1 - ctx.load(ls_addr);
-        ctx.store(ls_addr, ls);
+        let ls = 1 - ctx.load_relaxed(ls_addr);
+        ctx.store_relaxed(ls_addr, ls);
         if p == 1 {
             return;
         }
@@ -82,7 +82,11 @@ impl Barrier for SenseBarrier {
             ctx.mark(crate::env::MARK_ARRIVED);
             // Last arrival: reset the counter *before* releasing (a thread
             // released by the flip may re-enter and increment immediately).
-            ctx.store(self.counter, 0);
+            // The reset itself may be relaxed — the following release store
+            // of the sense flip orders it — but the flip must stay release:
+            // were it relaxed too, the reset could commit *after* the flip
+            // and a re-entering thread would increment the stale count.
+            ctx.store_relaxed(self.counter, 0);
             ctx.store(self.gsense, ls);
         } else {
             ctx.spin_until_eq(self.gsense, ls);

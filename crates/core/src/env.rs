@@ -30,6 +30,24 @@ pub trait MemCtx {
     fn load(&self, addr: Addr) -> u32;
     /// Stores to the word at `addr` (Release).
     fn store(&self, addr: Addr, value: u32);
+    /// Relaxed load: no ordering with surrounding accesses. Under the weak
+    /// simulator a schedule policy may serve it a stale previously-observed
+    /// value. Defaults to the acquire [`MemCtx::load`] — sound (strictly
+    /// stronger) for any backend that doesn't override it.
+    fn load_relaxed(&self, addr: Addr) -> u32 {
+        self.load(addr)
+    }
+    /// Relaxed store: no ordering with surrounding accesses. Under the weak
+    /// simulator its commit may be deferred past later operations. Defaults
+    /// to the release [`MemCtx::store`] — sound for any backend that
+    /// doesn't override it.
+    fn store_relaxed(&self, addr: Addr, value: u32) {
+        self.store(addr, value)
+    }
+    /// Full memory barrier (`dmb ish`): orders every preceding access before
+    /// every following one. Defaults to a no-op, which is sound for backends
+    /// whose `load`/`store` are already acquire/release.
+    fn fence(&self) {}
     /// Atomic wrapping fetch-add (AcqRel); returns the previous value.
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32;
     /// Atomic compare-exchange (AcqRel): stores `new` iff the word equals
@@ -124,6 +142,15 @@ impl MemCtx for armbar_simcoh::SimThread {
     }
     fn store(&self, addr: Addr, value: u32) {
         SimThread::store(self, addr, value)
+    }
+    fn load_relaxed(&self, addr: Addr) -> u32 {
+        SimThread::load_relaxed(self, addr)
+    }
+    fn store_relaxed(&self, addr: Addr, value: u32) {
+        SimThread::store_relaxed(self, addr, value)
+    }
+    fn fence(&self) {
+        SimThread::fence(self)
     }
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         SimThread::fetch_add(self, addr, delta)

@@ -243,6 +243,15 @@ impl MemCtx for HostCtx {
     fn store(&self, addr: Addr, value: u32) {
         self.mem.word(addr).store(value, Ordering::Release)
     }
+    fn load_relaxed(&self, addr: Addr) -> u32 {
+        self.mem.word(addr).load(Ordering::Relaxed)
+    }
+    fn store_relaxed(&self, addr: Addr, value: u32) {
+        self.mem.word(addr).store(value, Ordering::Relaxed)
+    }
+    fn fence(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst)
+    }
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         self.mem.word(addr).fetch_add(delta, Ordering::AcqRel)
     }

@@ -67,7 +67,7 @@ impl EpisodeOracle {
     /// order — a harness bug or a barrier that let a thread skip an episode.
     pub fn enter(&self, ctx: &dyn MemCtx, episode: u32) {
         let me = self.slot(ctx.tid());
-        let prev = ctx.load(me);
+        let prev = ctx.load_relaxed(me);
         if prev + 1 != episode {
             panic!(
                 "oracle: thread {} entered episode {episode} after {prev} (episodes must be \
@@ -75,7 +75,14 @@ impl EpisodeOracle {
                 ctx.tid()
             );
         }
-        ctx.store(me, episode);
+        // Deliberately relaxed: this write stands in for the user's *plain*
+        // pre-barrier data writes. The barrier contract — everything written
+        // before `wait` is visible to every thread after its own `wait`
+        // returns — must be enforced by the barrier's own fences, not by
+        // ordering the witness store itself. Under the weak simulator this
+        // is what turns the oracle into a message-passing litmus embedded
+        // in every episode.
+        ctx.store_relaxed(me, episode);
     }
 
     /// Audits the episode the calling thread just left: every peer must
@@ -91,7 +98,11 @@ impl EpisodeOracle {
             if peer == me {
                 continue;
             }
-            let seen = ctx.load(self.slot(peer));
+            // Relaxed for the same reason as the witness store: a plain
+            // post-barrier read. The acquire in the barrier's own exit path
+            // (its final successful spin or RMW) is what must make every
+            // peer's entry visible here.
+            let seen = ctx.load_relaxed(self.slot(peer));
             if seen < episode {
                 panic!(
                     "oracle[{name}]: early exit — thread {me} left episode {episode} but thread \

@@ -240,7 +240,11 @@ struct Slots {
     /// it so a live member mid-arrival (e.g. a tree rank spinning on its
     /// subtree, which claims the ledger only afterwards) is never
     /// mistaken for a stalled one. Self-stored only — safety never rests
-    /// on it, the CAS claim does.
+    /// on it, the CAS claim does. The store must nevertheless stay
+    /// release: a buffered (relaxed) stamp would stay invisible for the
+    /// whole of a following subtree spin, exactly the window the stamp
+    /// exists to cover, and a raw-spinning live member could be named as
+    /// a victim.
     entered: Addr,
     evicted_at: Addr,
     evict_claim: Addr,
@@ -312,6 +316,10 @@ impl Slots {
 
     /// `(epoch, count)` of the current epoch. The zero word decodes as
     /// epoch 1 with the initial member count.
+    ///
+    /// The load must stay acquire: a stale membership word read after the
+    /// release would let a thread arrive against the previous epoch's
+    /// count or tree shape.
     fn decode(&self, ctx: &dyn MemCtx) -> (u32, u32) {
         let m = ctx.load(self.membership);
         if m & COUNT_MASK == 0 {

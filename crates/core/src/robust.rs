@@ -613,6 +613,15 @@ impl MemCtx for BoundedCtx<'_> {
     fn store(&self, addr: Addr, value: u32) {
         self.inner.store(addr, value)
     }
+    fn load_relaxed(&self, addr: Addr) -> u32 {
+        self.inner.load_relaxed(addr)
+    }
+    fn store_relaxed(&self, addr: Addr, value: u32) {
+        self.inner.store_relaxed(addr, value)
+    }
+    fn fence(&self) {
+        self.inner.fence()
+    }
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         self.inner.fetch_add(addr, delta)
     }

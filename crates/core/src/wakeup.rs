@@ -163,11 +163,12 @@ impl EpochSlots {
     }
 
     /// Increments and returns this thread's episode number (first call
-    /// returns 1). A purely local operation.
+    /// returns 1). A purely local operation — relaxed: no other thread ever
+    /// touches this slot, so it needs no ordering at all.
     pub fn next(&self, ctx: &dyn MemCtx) -> u32 {
         let a = padded_elem(self.base, ctx.tid(), self.stride);
-        let e = ctx.load(a).wrapping_add(1);
-        ctx.store(a, e);
+        let e = ctx.load_relaxed(a).wrapping_add(1);
+        ctx.store_relaxed(a, e);
         e
     }
 }

@@ -104,6 +104,25 @@ impl MemCtx for FaultyCtx<'_> {
         }
         self.inner.store(addr, value);
     }
+    fn load_relaxed(&self, addr: Addr) -> u32 {
+        self.before_op();
+        self.inner.load_relaxed(addr)
+    }
+    fn store_relaxed(&self, addr: Addr, value: u32) {
+        self.before_op();
+        // Shares the store counter with `store`, so a lost-store plan kills
+        // the N-th store regardless of its ordering annotation.
+        let nth = self.stores.get() + 1;
+        self.stores.set(nth);
+        if self.plan.lost_store(self.inner.tid()) == Some(nth) {
+            return;
+        }
+        self.inner.store_relaxed(addr, value);
+    }
+    fn fence(&self) {
+        self.before_op();
+        self.inner.fence()
+    }
     fn fetch_add(&self, addr: Addr, delta: u32) -> u32 {
         self.before_op();
         self.inner.fetch_add(addr, delta)

@@ -58,7 +58,10 @@ use crate::arena::{Addr, Arena};
 use crate::error::{DeadlockWaiter, SimError, WaitKind};
 use crate::line::{CoreSet, Line};
 use crate::rng::SplitMix64;
-use crate::schedule::{ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy};
+use crate::schedule::{
+    LoadOrder, ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy, StoreOrder, WeakDecision,
+    WeakOp, WeakOpKind,
+};
 use crate::stats::{CoherenceCounters, Mark, OpKind, RunStats};
 
 /// Typed panic payload used to tear down worker threads when the simulation
@@ -94,8 +97,8 @@ fn spin_replies() -> bool {
 type Pred = Box<dyn Fn(u32) -> bool + Send>;
 
 enum OpReq {
-    Load(Addr),
-    Store(Addr, u32),
+    Load(Addr, LoadOrder),
+    Store(Addr, u32, StoreOrder),
     FetchAdd(Addr, u32),
     /// Compare-exchange `(addr, current, new)`: stores `new` iff the word
     /// equals `current`; replies with the previous value either way.
@@ -109,6 +112,9 @@ enum OpReq {
     Now,
     /// Zero-cost snapshot of the machine-wide coherence counters.
     Counters,
+    /// Full barrier (`dmb ish`): drains the thread's store buffer and
+    /// discards its stale-value cache. A no-op outside weak mode.
+    Fence,
 }
 
 enum Reply {
@@ -122,20 +128,20 @@ enum Reply {
 /// no values or predicates leak to the policy).
 fn describe_op(op: &OpReq) -> (ReadyOpKind, Option<Addr>) {
     match op {
-        OpReq::Load(a) => (ReadyOpKind::Read, Some(*a)),
-        OpReq::Store(a, _) => (ReadyOpKind::Write, Some(*a)),
+        OpReq::Load(a, _) => (ReadyOpKind::Read, Some(*a)),
+        OpReq::Store(a, _, _) => (ReadyOpKind::Write, Some(*a)),
         OpReq::FetchAdd(a, _) => (ReadyOpKind::Rmw, Some(*a)),
         OpReq::CmpXchg(a, _, _) => (ReadyOpKind::Rmw, Some(*a)),
         OpReq::SpinUntil(a, _, _) => (ReadyOpKind::Spin, Some(*a)),
         OpReq::SpinUntilAllGe(addrs, _) => (ReadyOpKind::Spin, addrs.first().copied()),
-        OpReq::Mark(_) | OpReq::Now | OpReq::Counters => (ReadyOpKind::Free, None),
+        OpReq::Mark(_) | OpReq::Now | OpReq::Counters | OpReq::Fence => (ReadyOpKind::Free, None),
     }
 }
 
 /// Small distinct tag per op class for the schedule fingerprint.
 fn op_tag(op: &OpReq) -> u64 {
     match op {
-        OpReq::Load(_) => 1,
+        OpReq::Load(..) => 1,
         OpReq::Store(..) => 2,
         OpReq::FetchAdd(..) => 3,
         OpReq::SpinUntil(..) => 4,
@@ -144,6 +150,9 @@ fn op_tag(op: &OpReq) -> u64 {
         OpReq::Now => 7,
         OpReq::Counters => 8,
         OpReq::CmpXchg(..) => 9,
+        // Appended (never reordered) so pre-weak schedule fingerprints are
+        // unchanged for programs that issue no fences.
+        OpReq::Fence => 10,
     }
 }
 
@@ -552,6 +561,42 @@ struct State {
     panic_waiters: Vec<DeadlockWaiter>,
     aborted: bool,
     outcome: Option<Result<(), SimError>>,
+    /// Bounded ARMv8-style weak-memory state. `Some` only in policy mode —
+    /// the default heap engine never buffers or stales, so default runs are
+    /// byte-identical to the pre-weak engine. With a policy installed but a
+    /// zero reordering budget every decision resolves to
+    /// [`WeakDecision::Strong`] and the buffers stay empty, reproducing
+    /// sequentially consistent execution exactly.
+    weak: Option<WeakMem>,
+}
+
+/// Per-thread weak-memory machinery (see `DESIGN.md` §15).
+struct WeakMem {
+    /// FIFO store buffers: relaxed stores a policy chose to defer, not yet
+    /// committed to the coherence state. Drained by release stores, RMWs,
+    /// fences, spins watching a buffered address, and the quiescence drain.
+    buffers: Vec<std::collections::VecDeque<(Addr, u32)>>,
+    /// Stale-value caches: the last value each thread observed per address.
+    /// A relaxed load may (policy permitting) be satisfied from here,
+    /// modeling a read that completes before an invalidation arrives.
+    /// Cleared by acquire loads, RMWs, fences, and spin entries.
+    last_seen: Vec<std::collections::HashMap<Addr, u32>>,
+}
+
+impl WeakMem {
+    fn new(nthreads: usize) -> Self {
+        Self {
+            buffers: (0..nthreads).map(|_| std::collections::VecDeque::new()).collect(),
+            last_seen: (0..nthreads).map(|_| std::collections::HashMap::new()).collect(),
+        }
+    }
+
+    /// Youngest buffered value this thread holds for `addr`, if any —
+    /// store-to-load forwarding reads from here unconditionally, keeping
+    /// each thread's own program order intact.
+    fn forwarded(&self, tid: usize, addr: Addr) -> Option<u32> {
+        self.buffers[tid].iter().rev().find(|(a, _)| *a == addr).map(|&(_, v)| v)
+    }
 }
 
 impl State {
@@ -586,6 +631,7 @@ impl State {
             panic_waiters: Vec::new(),
             aborted: false,
             outcome: None,
+            weak: policy_mode.then(|| WeakMem::new(nthreads)),
         }
     }
 
@@ -754,16 +800,40 @@ impl SimThread {
         }
     }
 
-    /// Loads the 32-bit word at `addr`, paying `ε` on a local hit or `L_i`
-    /// (plus contention) on a remote transfer.
+    /// Load-acquire of the 32-bit word at `addr` (`ldar`), paying `ε` on a
+    /// local hit or `L_i` (plus contention) on a remote transfer. Always
+    /// reads the committed coherence state, even under weak mode.
     pub fn load(&self, addr: Addr) -> u32 {
-        self.call_value(OpReq::Load(addr))
+        self.call_value(OpReq::Load(addr, LoadOrder::Acquire))
     }
 
-    /// Stores to the word at `addr`, acquiring line ownership and paying
-    /// the RFO fan-out to current sharers.
+    /// Relaxed load (`ldr`): under weak mode a schedule policy may satisfy
+    /// it from this thread's stale-value cache instead of the committed
+    /// state. Identical to [`SimThread::load`] in default mode.
+    pub fn load_relaxed(&self, addr: Addr) -> u32 {
+        self.call_value(OpReq::Load(addr, LoadOrder::Relaxed))
+    }
+
+    /// Store-release to the word at `addr` (`stlr`), acquiring line
+    /// ownership and paying the RFO fan-out to current sharers. Under weak
+    /// mode it first drains this thread's store buffer, so every earlier
+    /// store is visible before this one.
     pub fn store(&self, addr: Addr, value: u32) {
-        self.call_value(OpReq::Store(addr, value));
+        self.call_value(OpReq::Store(addr, value, StoreOrder::Release));
+    }
+
+    /// Relaxed store (`str`): under weak mode a schedule policy may defer
+    /// its commit past later operations of this thread. Identical to
+    /// [`SimThread::store`] in default mode.
+    pub fn store_relaxed(&self, addr: Addr, value: u32) {
+        self.call_value(OpReq::Store(addr, value, StoreOrder::Relaxed));
+    }
+
+    /// Full memory barrier (`dmb ish`): drains this thread's store buffer
+    /// and discards its stale-value cache. Free outside weak mode (charged
+    /// `ε` like a local op either way).
+    pub fn fence(&self) {
+        self.call_value(OpReq::Fence);
     }
 
     /// Atomic wrapping fetch-add; returns the previous value. Serializes
@@ -1105,7 +1175,7 @@ impl Shared {
             let tid = key.1;
             let op = g.slots[tid].pending.take().expect("ready thread has no pending op");
             g.stats.mix_schedule(op_tag(&op), tid as u64);
-            self.step(g, tid, op);
+            self.step(g, tid, op, WeakDecision::Strong);
         }
         self.terminal_check(g);
     }
@@ -1126,55 +1196,77 @@ impl Shared {
     /// posted op may be chosen.
     fn run_engine_policy(&self, g: &mut State) {
         let mut policy = g.policy.take().expect("policy mode without a policy");
-        while g.outcome.is_none()
-            && g.panics.is_empty()
-            && !g.ready_list.is_empty()
-            && g.sched.running_is_empty()
-        {
-            g.ready_list.sort_unstable();
-            let ready: Vec<ReadyOp> = g
-                .ready_list
-                .iter()
-                .map(|&(TimeKey(t), tid)| {
-                    let (kind, addr) = g.slots[tid]
-                        .pending
-                        .as_ref()
-                        .map(describe_op)
-                        .expect("ready thread has no pending op");
-                    ReadyOp { tid, time_ns: t, kind, addr }
-                })
-                .collect();
-            let min_running = g.sched.running_first().map(|(TimeKey(t), tid)| (t, tid));
-            let pick = match policy.pick(&ready, min_running) {
-                ScheduleDecision::Run(i) if i < ready.len() => i,
-                ScheduleDecision::Delay { index, ns }
-                    if index < ready.len() && ns.is_finite() && ns >= 0.0 =>
-                {
-                    // A delay consumes budget (so delay storms cannot
-                    // live-lock the run) and advances the thread's clock;
-                    // the op stays posted and is offered again.
-                    if self.charge_op(g) {
-                        break;
+        'pass: loop {
+            while g.outcome.is_none()
+                && g.panics.is_empty()
+                && !g.ready_list.is_empty()
+                && g.sched.running_is_empty()
+            {
+                g.ready_list.sort_unstable();
+                let ready: Vec<ReadyOp> = g
+                    .ready_list
+                    .iter()
+                    .map(|&(TimeKey(t), tid)| {
+                        let (kind, addr) = g.slots[tid]
+                            .pending
+                            .as_ref()
+                            .map(describe_op)
+                            .expect("ready thread has no pending op");
+                        ReadyOp { tid, time_ns: t, kind, addr }
+                    })
+                    .collect();
+                let min_running = g.sched.running_first().map(|(TimeKey(t), tid)| (t, tid));
+                let pick = match policy.pick(&ready, min_running) {
+                    ScheduleDecision::Run(i) if i < ready.len() => i,
+                    ScheduleDecision::Delay { index, ns }
+                        if index < ready.len() && ns.is_finite() && ns >= 0.0 =>
+                    {
+                        // A delay consumes budget (so delay storms cannot
+                        // live-lock the run) and advances the thread's clock;
+                        // the op stays posted and is offered again.
+                        if self.charge_op(g) {
+                            break;
+                        }
+                        let tid = ready[index].tid;
+                        g.time[tid] += ns;
+                        g.ready_list[index] = (TimeKey(g.time[tid]), tid);
+                        g.stats.mix_schedule(0xDE1A, (tid as u64) ^ ns.to_bits());
+                        continue;
                     }
-                    let tid = ready[index].tid;
-                    g.time[tid] += ns;
-                    g.ready_list[index] = (TimeKey(g.time[tid]), tid);
-                    g.stats.mix_schedule(0xDE1A, (tid as u64) ^ ns.to_bits());
-                    continue;
+                    ScheduleDecision::Wait if min_running.is_some() => break,
+                    // Misbehaving policy (bad index, bad delay, or Wait with
+                    // nothing running): fall back to the oldest ready op rather
+                    // than wedging the engine.
+                    _ => crate::schedule::oldest_index(&ready),
+                };
+                if self.charge_op(g) {
+                    break;
                 }
-                ScheduleDecision::Wait if min_running.is_some() => break,
-                // Misbehaving policy (bad index, bad delay, or Wait with
-                // nothing running): fall back to the oldest ready op rather
-                // than wedging the engine.
-                _ => crate::schedule::oldest_index(&ready),
-            };
-            if self.charge_op(g) {
-                break;
+                let (TimeKey(_), tid) = g.ready_list.swap_remove(pick);
+                let op = g.slots[tid].pending.take().expect("ready thread has no pending op");
+                g.stats.mix_schedule(op_tag(&op), tid as u64);
+                let weak = match self.weak_offer(g, tid, &op) {
+                    Some(wop) => policy.weak(&wop),
+                    None => WeakDecision::Strong,
+                };
+                self.step(g, tid, op, weak);
             }
-            let (TimeKey(_), tid) = g.ready_list.swap_remove(pick);
-            let op = g.slots[tid].pending.take().expect("ready thread has no pending op");
-            g.stats.mix_schedule(op_tag(&op), tid as u64);
-            self.step(g, tid, op);
+            // Quiescence drain: nobody ready or running, threads still
+            // blocked, buffered stores pending — not a deadlock yet. ARMv8
+            // store buffers drain in finite time, so every buffered store
+            // commits (lowest tid first, FIFO within a thread) before the
+            // terminal check may call this state stuck. Infinite deferral is
+            // not an ARMv8 behavior.
+            if g.outcome.is_none()
+                && g.panics.is_empty()
+                && g.ready_list.is_empty()
+                && g.sched.running_is_empty()
+                && g.finished < g.slots.len()
+                && self.weak_drain_one(g)
+            {
+                continue 'pass;
+            }
+            break;
         }
         debug_assert!(g.policy.is_none(), "policy restored twice");
         g.policy = Some(policy);
@@ -1237,7 +1329,20 @@ impl Shared {
                         .unwrap_or(w.addrs[0]),
                     _ => w.addrs[0],
                 };
-                DeadlockWaiter { tid: w.tid, addr, kind: w.kind, last_value: self.value(g, addr) }
+                let committed = self.value(g, addr);
+                // The waiter's own view: its buffered store (youngest) wins,
+                // then its stale cache, then the committed value. Reported
+                // so weak-mode reproducers never show a "last seen" value
+                // that no fence ordering could explain.
+                let view = g
+                    .weak
+                    .as_ref()
+                    .and_then(|wm| {
+                        wm.forwarded(w.tid, addr)
+                            .or_else(|| wm.last_seen[w.tid].get(&addr).copied())
+                    })
+                    .unwrap_or(committed);
+                DeadlockWaiter { tid: w.tid, addr, kind: w.kind, last_value: committed, view }
             })
             .collect()
     }
@@ -1395,7 +1500,180 @@ impl Shared {
         begin - start
     }
 
-    fn step(&self, g: &mut State, tid: usize, op: OpReq) {
+    /// Describes the weak-memory decision point `op` offers, if any: a
+    /// relaxed store (always deferrable), or a relaxed load for which the
+    /// thread holds a stale value and no forwardable buffered store (own
+    /// buffered stores take precedence — program order within a thread is
+    /// never weakened). `None` outside weak mode and for every ordered op,
+    /// so the policy's `weak` hook is never consulted — and its rng never
+    /// drawn — unless an actual weakening is on offer.
+    fn weak_offer(&self, g: &State, tid: usize, op: &OpReq) -> Option<WeakOp> {
+        let w = g.weak.as_ref()?;
+        match op {
+            OpReq::Store(a, _, StoreOrder::Relaxed) => {
+                Some(WeakOp { tid, addr: *a, kind: WeakOpKind::RelaxedStore })
+            }
+            OpReq::Load(a, LoadOrder::Relaxed)
+                if w.forwarded(tid, *a).is_none() && w.last_seen[tid].contains_key(a) =>
+            {
+                Some(WeakOp { tid, addr: *a, kind: WeakOpKind::RelaxedLoad })
+            }
+            _ => None,
+        }
+    }
+
+    /// Drains `tid`'s store buffer in FIFO order, committing each entry to
+    /// the coherence state (paying full write costs now) and waking any spin
+    /// waiters the commits satisfy.
+    fn weak_flush(&self, g: &mut State, tid: usize) {
+        while let Some((addr, v)) = g.weak.as_mut().and_then(|w| w.buffers[tid].pop_front()) {
+            self.do_write(g, tid, addr, v, false);
+            self.wake_waiters(g, addr, tid);
+        }
+    }
+
+    /// Commits (oldest first) every buffered store of `tid` to an address in
+    /// `watched`: a thread about to spin must not block waiting for a value
+    /// it is itself hiding in its own store buffer.
+    fn weak_commit_watched(&self, g: &mut State, tid: usize, watched: &[Addr]) {
+        loop {
+            let Some(pos) = g
+                .weak
+                .as_ref()
+                .and_then(|w| w.buffers[tid].iter().position(|(a, _)| watched.contains(a)))
+            else {
+                return;
+            };
+            let (addr, v) = g.weak.as_mut().unwrap().buffers[tid].remove(pos).unwrap();
+            self.do_write(g, tid, addr, v, false);
+            self.wake_waiters(g, addr, tid);
+        }
+    }
+
+    /// Acquire obligation of a satisfied spin: the successful load of the
+    /// loop orders everything after it, so the stale cache is discarded and
+    /// reseeded with the value the spin observed.
+    fn weak_spin_success(&self, g: &mut State, tid: usize, addr: Addr, v: u32) {
+        if let Some(w) = g.weak.as_mut() {
+            w.last_seen[tid].clear();
+            w.last_seen[tid].insert(addr, v);
+        }
+    }
+
+    /// Commits the oldest buffered store of the lowest-tid thread holding
+    /// one; returns `false` when every buffer is empty. The deterministic
+    /// unit of the quiescence drain.
+    fn weak_drain_one(&self, g: &mut State) -> bool {
+        let Some(tid) =
+            g.weak.as_ref().and_then(|w| (0..w.buffers.len()).find(|&t| !w.buffers[t].is_empty()))
+        else {
+            return false;
+        };
+        let (addr, v) = g.weak.as_mut().unwrap().buffers[tid].pop_front().unwrap();
+        g.stats.mix_schedule(0xD5A1, (tid as u64) ^ u64::from(addr));
+        self.do_write(g, tid, addr, v, false);
+        self.wake_waiters(g, addr, tid);
+        true
+    }
+
+    /// Weak-mode front end for one operation (`DESIGN.md` §15). Returns
+    /// `None` when the op was fully satisfied from per-thread weak state
+    /// (deferred store, forwarded or stale load) without touching the
+    /// coherence machinery; otherwise applies the op's drain/invalidate
+    /// obligations and hands the op back for strong execution.
+    fn weak_pre(&self, g: &mut State, tid: usize, op: OpReq, weak: WeakDecision) -> Option<OpReq> {
+        let eps = self.topo.epsilon_ns();
+        match &op {
+            OpReq::Store(addr, v, StoreOrder::Relaxed) => {
+                let (addr, v) = (*addr, *v);
+                if weak == WeakDecision::Weak {
+                    // Defer: the store sits in this thread's buffer until
+                    // the next drain point (or the quiescence drain). ε —
+                    // a store-buffer entry costs no coherence traffic.
+                    g.weak.as_mut().unwrap().buffers[tid].push_back((addr, v));
+                    g.time[tid] += eps;
+                    g.stats.mix_schedule(0xB0FD, (tid as u64) ^ u64::from(addr));
+                    self.reply(g, tid, Reply::Value(0));
+                    return None;
+                }
+                // Committing now: coalesce away older buffered stores to the
+                // same address (committing them after this one would invert
+                // per-location order; a zero-length visibility window for
+                // the overwritten values is ARMv8-legal write coalescing).
+                g.weak.as_mut().unwrap().buffers[tid].retain(|&(a, _)| a != addr);
+                Some(op)
+            }
+            // A release store publishes everything before it: drain the
+            // buffer, then commit this store through the normal write path.
+            OpReq::Store(_, _, StoreOrder::Release) => {
+                self.weak_flush(g, tid);
+                Some(op)
+            }
+            OpReq::Load(addr, order) => {
+                let addr = *addr;
+                if *order == LoadOrder::Acquire {
+                    // Acquire discards local stale state; it must observe
+                    // the committed coherence value.
+                    g.weak.as_mut().unwrap().last_seen[tid].clear();
+                }
+                if let Some(v) = g.weak.as_ref().unwrap().forwarded(tid, addr) {
+                    // Store-to-load forwarding from the thread's own buffer.
+                    g.time[tid] += eps;
+                    g.stats.record_read(tid, self.line_key(addr), true, false);
+                    self.reply(g, tid, Reply::Value(v));
+                    return None;
+                }
+                if *order == LoadOrder::Relaxed && weak == WeakDecision::Weak {
+                    if let Some(&v) = g.weak.as_ref().unwrap().last_seen[tid].get(&addr) {
+                        // Stale read: satisfied from the thread's local copy
+                        // before the invalidation arrives. Touches no line
+                        // state — the copy is already local.
+                        g.time[tid] += eps;
+                        g.stats.record_read(tid, self.line_key(addr), true, false);
+                        g.stats.mix_schedule(0x57A1, (tid as u64) ^ u64::from(addr));
+                        self.reply(g, tid, Reply::Value(v));
+                        return None;
+                    }
+                }
+                Some(op)
+            }
+            // RMWs are acquire+release: drain the buffer and discard stale
+            // state, then run the committed read-modify-write.
+            OpReq::FetchAdd(..) | OpReq::CmpXchg(..) | OpReq::Fence => {
+                self.weak_flush(g, tid);
+                g.weak.as_mut().unwrap().last_seen[tid].clear();
+                Some(op)
+            }
+            // Spin entries evaluate the committed state (and their wakeups
+            // deliver committed values). The acquire obligation — clearing
+            // the stale cache — lands at spin *success* (the final load of
+            // the loop is the one that orders subsequent accesses), so a
+            // still-blocked waiter keeps its pre-spin view for diagnostics.
+            // The self-hiding rule applies at entry: a thread must not block
+            // waiting for a value sitting in its own store buffer.
+            OpReq::SpinUntil(a, _, _) => {
+                self.weak_commit_watched(g, tid, std::slice::from_ref(a));
+                Some(op)
+            }
+            OpReq::SpinUntilAllGe(addrs, _) => {
+                let watched = addrs.clone();
+                self.weak_commit_watched(g, tid, &watched);
+                Some(op)
+            }
+            OpReq::Mark(_) | OpReq::Now | OpReq::Counters => Some(op),
+        }
+    }
+
+    fn step(&self, g: &mut State, tid: usize, op: OpReq, weak: WeakDecision) {
+        let op = if g.weak.is_some() {
+            match self.weak_pre(g, tid, op, weak) {
+                Some(op) => op,
+                // Satisfied from weak per-thread state; no coherence traffic.
+                None => return,
+            }
+        } else {
+            op
+        };
         // Memory ops that hit a busy line (a write in flight) do not jump
         // the queue: the thread's clock advances to the line's availability
         // point and the op is re-posted. This interleaves spin-loop
@@ -1404,8 +1682,8 @@ impl Shared {
         // any spinner subscribes to the line, and the invalidation-crowd
         // cost that dominates SENSE on many-cores would vanish.
         let busy_until = match &op {
-            OpReq::Load(a)
-            | OpReq::Store(a, _)
+            OpReq::Load(a, _)
+            | OpReq::Store(a, _, _)
             | OpReq::FetchAdd(a, _)
             | OpReq::CmpXchg(a, _, _)
             | OpReq::SpinUntil(a, _, _) => self.line_at(g, self.line_key(*a)).available_at,
@@ -1426,12 +1704,17 @@ impl Shared {
         }
 
         match op {
-            OpReq::Load(addr) => {
+            OpReq::Load(addr, _) => {
                 let v = self.value(g, addr);
                 self.do_read(g, tid, addr);
+                if let Some(w) = g.weak.as_mut() {
+                    // Remember the observed value: a later relaxed load may
+                    // (policy permitting) be satisfied from this stale copy.
+                    w.last_seen[tid].insert(addr, v);
+                }
                 self.reply(g, tid, Reply::Value(v));
             }
-            OpReq::Store(addr, v) => {
+            OpReq::Store(addr, v, _) => {
                 self.do_write(g, tid, addr, v, false);
                 self.wake_waiters(g, addr, tid);
                 self.reply(g, tid, Reply::Value(0));
@@ -1457,6 +1740,7 @@ impl Shared {
                 let v = self.value(g, addr);
                 self.do_read(g, tid, addr);
                 if pred(v) {
+                    self.weak_spin_success(g, tid, addr, v);
                     self.reply(g, tid, Reply::Value(v));
                 } else {
                     let keys = [self.line_key(addr)];
@@ -1469,6 +1753,8 @@ impl Shared {
             OpReq::SpinUntilAllGe(addrs, epoch) => {
                 self.do_batched_probe(g, tid, &addrs);
                 if self.all_ge(g, &addrs, epoch) {
+                    let seen = self.value(g, addrs[0]);
+                    self.weak_spin_success(g, tid, addrs[0], seen);
                     self.reply(g, tid, Reply::Value(epoch));
                 } else {
                     let mut keys: Vec<u32> = addrs.iter().map(|&a| self.line_key(a)).collect();
@@ -1496,6 +1782,12 @@ impl Shared {
             OpReq::Counters => {
                 let total = g.stats.coherence().total();
                 self.reply(g, tid, Reply::Counters(Box::new(total)));
+            }
+            OpReq::Fence => {
+                // Drain/invalidate obligations ran in `weak_pre`; outside
+                // weak mode a fence only costs its issue slot.
+                g.time[tid] += self.topo.epsilon_ns();
+                self.reply(g, tid, Reply::Value(0));
             }
         }
     }
@@ -1678,6 +1970,7 @@ impl Shared {
                 g.time[w.tid] = end + (lat + mlp_extra + read_c * woken as f64) * jf;
                 woken += 1;
                 let reply_value = self.value(g, w.addrs[0]);
+                self.weak_spin_success(g, w.tid, w.addrs[0], reply_value);
                 g.stats.record_spin_wakeup(w.tid);
                 self.reply(g, w.tid, Reply::Value(reply_value));
                 g.waiters.release(slot);
@@ -2266,5 +2559,182 @@ mod tests {
         times.sort_by(f64::total_cmp);
         times.dedup();
         assert_eq!(times.len(), 4, "staggered wakeups must differ: {orig:?}");
+    }
+
+    /// Min-time scheduling (deterministic interleaving by virtual time) that
+    /// takes every weak behavior on offer — the maximally weak execution.
+    struct AlwaysWeak;
+
+    impl SchedulePolicy for AlwaysWeak {
+        fn pick(
+            &mut self,
+            ready: &[ReadyOp],
+            min_running: Option<(f64, usize)>,
+        ) -> ScheduleDecision {
+            MinTimePolicy.pick(ready, min_running)
+        }
+
+        fn weak(&mut self, _op: &WeakOp) -> WeakDecision {
+            WeakDecision::Weak
+        }
+    }
+
+    use crate::schedule::MinTimePolicy;
+
+    #[test]
+    fn buffered_store_forwards_to_own_loads() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        SimBuilder::new(topo(), 1)
+            .schedule_policy(AlwaysWeak)
+            .run(move |ctx| {
+                ctx.store_relaxed(a, 9); // deferred into the store buffer
+                assert_eq!(ctx.load_relaxed(a), 9, "relaxed load must forward");
+                assert_eq!(ctx.load(a), 9, "acquire load must forward");
+                ctx.fence(); // drains the buffer
+                assert_eq!(ctx.load(a), 9, "committed after the fence");
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn release_store_publishes_buffered_stores_first() {
+        // Message passing: the data store is relaxed and deferred, but the
+        // release flag store must flush it, so the reader can never observe
+        // flag == 1 with stale data.
+        let mut arena = Arena::new();
+        let data = arena.alloc_padded_u32(64);
+        let flag = arena.alloc_padded_u32(64);
+        SimBuilder::new(topo(), 2)
+            .schedule_policy(AlwaysWeak)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.store_relaxed(data, 42);
+                    ctx.store(flag, 1); // release: flushes data first
+                } else {
+                    ctx.spin_until_eq(flag, 1);
+                    assert_eq!(ctx.load(data), 42);
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn quiescence_drain_commits_buffered_stores_instead_of_deadlocking() {
+        // The writer's only store stays in its buffer when it finishes; the
+        // spinner must still be released (ARMv8 buffers drain in finite
+        // time), so this run completes instead of reporting a deadlock.
+        let mut arena = Arena::new();
+        let flag = arena.alloc_padded_u32(64);
+        SimBuilder::new(topo(), 2)
+            .schedule_policy(AlwaysWeak)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.store_relaxed(flag, 1);
+                } else {
+                    ctx.spin_until_eq(flag, 1);
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn relaxed_load_may_return_stale_value_until_acquire() {
+        // t0 observes a == 0, then t1 commits a = 7 (virtual-time ordered);
+        // t0's later relaxed load is served the stale 0, and its acquire
+        // load discards the stale copy and sees the committed 7.
+        let mut arena = Arena::new();
+        let a = arena.alloc_padded_u32(64);
+        SimBuilder::new(topo(), 2)
+            .schedule_policy(AlwaysWeak)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    assert_eq!(ctx.load(a), 0); // caches 0
+                    ctx.compute_ns(1000.0); // let t1's store land
+                    assert_eq!(ctx.load_relaxed(a), 0, "stale read");
+                    assert_eq!(ctx.load(a), 7, "acquire reads committed state");
+                    assert_eq!(ctx.load_relaxed(a), 7, "stale cache was refreshed");
+                } else {
+                    ctx.compute_ns(100.0);
+                    ctx.store(a, 7);
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn same_address_relaxed_stores_coalesce_in_order() {
+        // Per-location order: two buffered stores to one address drain FIFO,
+        // so the final committed value is the program-order-last one.
+        let mut arena = Arena::new();
+        let a = arena.alloc_padded_u32(64);
+        SimBuilder::new(topo(), 2)
+            .schedule_policy(AlwaysWeak)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.store_relaxed(a, 1);
+                    ctx.store_relaxed(a, 2);
+                    ctx.fence();
+                    assert_eq!(ctx.load(a), 2);
+                } else {
+                    ctx.spin_until_ge(a, 2);
+                    assert_eq!(ctx.load(a), 2);
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn weak_mode_with_strong_decisions_matches_default_engine() {
+        // Budget-0 byte-identity: a policy that keeps every relaxed op
+        // strong must reproduce the default heap engine's results exactly,
+        // even for programs using the relaxed/fence API.
+        let body = |ctx: &SimThread, a: Addr, flag: Addr| {
+            if ctx.tid() == 0 {
+                ctx.store_relaxed(a, 5);
+                ctx.store(flag, 1);
+            } else {
+                ctx.spin_until_eq(flag, 1);
+                assert_eq!(ctx.load_relaxed(a), 5);
+            }
+        };
+        let run = |policy: bool| {
+            let mut arena = Arena::new();
+            let a = arena.alloc_padded_u32(64);
+            let flag = arena.alloc_padded_u32(64);
+            let mut b = SimBuilder::new(topo(), 2).seed(7);
+            if policy {
+                b = b.schedule_policy(MinTimePolicy);
+            }
+            let stats = b.run(move |ctx| body(ctx, a, flag)).unwrap();
+            (stats.per_thread_time_ns().to_vec(), stats.schedule_hash())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn deadlock_report_carries_divergent_thread_view() {
+        // t1 cached a == 0 before spinning for a value that never comes;
+        // the committed word reaches 2. The report must show both: the
+        // committed 2 and the 0 the thread itself last observed.
+        let mut arena = Arena::new();
+        let a = arena.alloc_padded_u32(64);
+        let err = SimBuilder::new(topo(), 2)
+            .schedule_policy(AlwaysWeak)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.compute_ns(500.0);
+                    ctx.store(a, 2);
+                } else {
+                    assert_eq!(ctx.load(a), 0); // caches 0
+                    ctx.spin_until_eq(a, 3); // never satisfied
+                }
+            })
+            .unwrap_err();
+        let SimError::Deadlock { waiters } = err else { panic!("expected deadlock: {err}") };
+        assert_eq!(waiters.len(), 1);
+        assert_eq!(waiters[0].last_value, 2);
+        assert_eq!(waiters[0].view, 0);
+        assert!(waiters[0].to_string().contains("saw 2, thread view 0"), "{}", waiters[0]);
     }
 }

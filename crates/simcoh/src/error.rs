@@ -38,17 +38,28 @@ pub struct DeadlockWaiter {
     pub addr: u32,
     /// The condition that could never be satisfied.
     pub kind: WaitKind,
-    /// The word's value at detection time — what the waiter actually saw.
+    /// The word's committed (coherence-state) value at detection time.
     pub last_value: u32,
+    /// What the waiter itself would read: the committed value overlaid with
+    /// the waiter's own store buffer and stale-value cache. Equal to
+    /// `last_value` outside weak mode; when they differ, the divergence is
+    /// itself the diagnosis — a reordering hid the committed value from
+    /// this thread (or vice versa), which no fence-free reading of
+    /// `last_value` alone could explain.
+    pub view: u32,
 }
 
 impl std::fmt::Display for DeadlockWaiter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "t{} on addr {:#x} waiting for {} (saw {})",
+            "t{} on addr {:#x} waiting for {} (saw {}",
             self.tid, self.addr, self.kind, self.last_value
-        )
+        )?;
+        if self.view != self.last_value {
+            write!(f, ", thread view {}", self.view)?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -123,13 +134,37 @@ mod tests {
     fn deadlock_message_lists_waiters_with_conditions() {
         let e = SimError::Deadlock {
             waiters: vec![
-                DeadlockWaiter { tid: 0, addr: 0x40, kind: WaitKind::Eq(1), last_value: 0 },
-                DeadlockWaiter { tid: 3, addr: 0x80, kind: WaitKind::Ge(7), last_value: 6 },
+                DeadlockWaiter {
+                    tid: 0,
+                    addr: 0x40,
+                    kind: WaitKind::Eq(1),
+                    last_value: 0,
+                    view: 0,
+                },
+                DeadlockWaiter {
+                    tid: 3,
+                    addr: 0x80,
+                    kind: WaitKind::Ge(7),
+                    last_value: 6,
+                    view: 6,
+                },
             ],
         };
         let s = e.to_string();
         assert!(s.contains("t0 on addr 0x40 waiting for == 1 (saw 0)"), "{s}");
         assert!(s.contains("t3 on addr 0x80 waiting for >= 7 (saw 6)"), "{s}");
+    }
+
+    #[test]
+    fn divergent_weak_view_is_reported_alongside_committed_value() {
+        let w =
+            DeadlockWaiter { tid: 1, addr: 0x44, kind: WaitKind::Eq(2), last_value: 2, view: 0 };
+        let s = w.to_string();
+        assert!(s.contains("(saw 2, thread view 0)"), "{s}");
+        // Identical views keep the pre-weak message shape.
+        let w =
+            DeadlockWaiter { tid: 1, addr: 0x44, kind: WaitKind::Eq(2), last_value: 2, view: 2 };
+        assert!(w.to_string().ends_with("(saw 2)"), "{w}");
     }
 
     #[test]
@@ -165,6 +200,7 @@ mod tests {
                 addr: 0x40,
                 kind: WaitKind::Ge(1),
                 last_value: 0,
+                view: 0,
             }],
         };
         let s = e.to_string();

@@ -82,6 +82,9 @@ pub mod team;
 pub use arena::{Addr, Arena};
 pub use engine::{SimBuilder, SimThread};
 pub use error::{DeadlockWaiter, SimError, WaitKind};
-pub use schedule::{MinTimePolicy, ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy};
+pub use schedule::{
+    LoadOrder, MinTimePolicy, ReadyOp, ReadyOpKind, ScheduleDecision, SchedulePolicy, StoreOrder,
+    WeakDecision, WeakOp, WeakOpKind,
+};
 pub use stats::{CoherenceCounters, CoherenceStats, LineTraffic, Mark, OpKind, RunStats};
 pub use team::SimTeam;

@@ -61,6 +61,64 @@ pub struct ReadyOp {
     pub addr: Option<Addr>,
 }
 
+/// Memory-ordering annotation on a load (see `DESIGN.md` §15).
+///
+/// `Acquire` loads always read the committed coherence state and discard the
+/// thread's stale-value cache; `Relaxed` loads may (policy permitting) return
+/// a value the thread observed earlier, modeling a read satisfied before an
+/// invalidation arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOrder {
+    /// `ldar`-style load-acquire: fresh read, orders subsequent accesses.
+    Acquire,
+    /// Plain `ldr`: may be satisfied early from stale local state.
+    Relaxed,
+}
+
+/// Memory-ordering annotation on a store (see `DESIGN.md` §15).
+///
+/// `Release` stores drain the thread's store buffer (in FIFO order) and then
+/// commit immediately; `Relaxed` stores may (policy permitting) sit in the
+/// thread's store buffer and commit late.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOrder {
+    /// `stlr`-style store-release: flushes the buffer, commits now.
+    Release,
+    /// Plain `str`: may be buffered and commit after later operations.
+    Relaxed,
+}
+
+/// Class of a weak-memory decision point offered to a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeakOpKind {
+    /// A relaxed store that may be deferred into the thread's store buffer.
+    RelaxedStore,
+    /// A relaxed load for which a stale previously-observed value exists.
+    RelaxedLoad,
+}
+
+/// One weak-memory decision point: the engine is about to execute a relaxed
+/// operation and offers the policy the chance to weaken it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeakOp {
+    /// The executing thread.
+    pub tid: usize,
+    /// Target address.
+    pub addr: Addr,
+    /// Which weakening is on offer.
+    pub kind: WeakOpKind,
+}
+
+/// A policy's verdict for one weak-memory decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeakDecision {
+    /// Execute with sequentially consistent semantics (commit the store now /
+    /// read the committed value).
+    Strong,
+    /// Take the weak behavior (buffer the store / return the stale value).
+    Weak,
+}
+
 /// A policy's verdict for one decision point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScheduleDecision {
@@ -100,6 +158,17 @@ pub trait SchedulePolicy: Send {
     /// settlement discipline, and policies should [`ScheduleDecision::Wait`]
     /// when they want to defer to it.
     fn pick(&mut self, ready: &[ReadyOp], min_running: Option<(f64, usize)>) -> ScheduleDecision;
+
+    /// Decides whether one relaxed operation takes its weak behavior.
+    ///
+    /// Consulted only in policy mode, only for operations annotated relaxed,
+    /// and (for loads) only when a stale value is actually available. The
+    /// default keeps every operation strong, so policies that never override
+    /// this — including every pre-weak policy — reproduce sequentially
+    /// consistent execution byte-for-byte.
+    fn weak(&mut self, _op: &WeakOp) -> WeakDecision {
+        WeakDecision::Strong
+    }
 }
 
 /// Index of the oldest ready op — minimum `(time, tid)` key, matching the
