@@ -58,6 +58,16 @@ USAGE:
       --phasers searches register/deregister interleavings of the dynamic
       phasers under churn scripts instead, auditing the membership oracles
       (no lost member, no phantom arrival), 800 seeds per cell by default.
+  armbar serve [--teams N] [--members N] [--episodes N] [--shards N]
+               [--seed N] [--zipf S] [--drop-frac F] [--jobs N]
+               [--format csv|json] [--out FILE]
+      Barrier-as-a-service load replay: drives a seeded Zipf-skewed
+      multi-tenant episode plan (with scripted connection drops) through
+      the sharded coordination server and emits the per-tenant metrics
+      table (episodes, arrivals, proxy arrivals, drops, final status) as
+      CSV or JSON. The table is byte-identical at any --shards/--jobs;
+      wall-clock aggregates (episodes/sec, latency percentiles, wakeup
+      batching counters) go to stderr.
 
 Sweeps fan out over min(--jobs | ARMBAR_JOBS, available cores) workers;
 results are byte-identical at any worker count (host-backend cells always
@@ -855,6 +865,74 @@ fn trace_json(topo: &Topology, p: usize, algo: AlgorithmId, traces: &[EpisodeTra
     out
 }
 
+/// `armbar serve [--teams N] [--members N] [--episodes N] [--shards N]
+/// [--seed N] [--zipf S] [--drop-frac F] [--jobs N] [--format csv|json]
+/// [--out FILE]`
+///
+/// Replays the seeded multi-tenant load against the coordination server
+/// and renders the per-tenant metrics table. The table is the
+/// deterministic artifact (CI byte-diffs it across shard counts); the
+/// timing summary and wakeup-batching counters go to stderr.
+pub fn serve(rest: &[String]) -> Result<(), String> {
+    let mut cfg =
+        armbar_serve::LoadConfig { teams: 2_000, episodes: 200_000, ..Default::default() };
+    let parse_usize = |flag: &str, default: usize, min: usize| -> Result<usize, String> {
+        match flag_value(rest, flag) {
+            Some(s) => match s.parse() {
+                Ok(n) if n >= min => Ok(n),
+                _ => Err(format!("bad {flag} value {s:?} (need an integer >= {min})")),
+            },
+            None => Ok(default),
+        }
+    };
+    let parse_f64 = |flag: &str, default: f64| -> Result<f64, String> {
+        match flag_value(rest, flag) {
+            Some(s) => match s.parse::<f64>() {
+                Ok(v) if v >= 0.0 => Ok(v),
+                _ => Err(format!("bad {flag} value {s:?} (need a non-negative number)")),
+            },
+            None => Ok(default),
+        }
+    };
+    cfg.teams = parse_usize("--teams", cfg.teams, 1)?;
+    cfg.members = parse_usize("--members", cfg.members, 1)?;
+    cfg.episodes = parse_usize("--episodes", cfg.episodes as usize, 1)? as u64;
+    cfg.shards = parse_usize("--shards", cfg.shards, 1)?;
+    cfg.workers = parse_usize("--jobs", 0, 1)?; // 0 = the ambient pool width
+    cfg.zipf = parse_f64("--zipf", cfg.zipf)?;
+    cfg.drop_frac = parse_f64("--drop-frac", cfg.drop_frac)?;
+    if cfg.drop_frac > 1.0 {
+        return Err(format!("bad --drop-frac value {} (need 0..=1)", cfg.drop_frac));
+    }
+    if let Some(s) = flag_value(rest, "--seed") {
+        cfg.seed = match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        }
+        .map_err(|_| format!("bad seed {s:?}"))?;
+    }
+    let format = flag_value(rest, "--format").unwrap_or_else(|| "csv".into());
+    if format != "csv" && format != "json" {
+        return Err(format!("unknown format {format:?} (expected csv or json)"));
+    }
+
+    let report = armbar_serve::run_load(&cfg);
+    eprint!("{}", armbar_serve::summary_text(&report));
+    let text = if format == "csv" {
+        armbar_serve::outcome_csv(&report)
+    } else {
+        armbar_serve::outcome_json(&report)
+    };
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path:?}: {e}"))?;
+            eprintln!("wrote {} tenant rows to {path}", report.outcomes.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,6 +993,55 @@ mod tests {
         .unwrap();
         recommend(&["thunderx2".into(), "--threads".into(), "32".into()]).unwrap();
         phases(&["phytium".into(), "--threads".into(), "16".into()]).unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        let bad = |flags: &[&str]| {
+            let rest: Vec<String> = flags.iter().map(|s| s.to_string()).collect();
+            assert!(serve(&rest).is_err(), "expected rejection: {flags:?}");
+        };
+        bad(&["--teams", "0"]);
+        bad(&["--members", "zero"]);
+        bad(&["--drop-frac", "1.5"]);
+        bad(&["--drop-frac", "-0.1"]);
+        bad(&["--seed", "0xZZ"]);
+        bad(&["--format", "yaml"]);
+        bad(&["--jobs", "0"]);
+    }
+
+    #[test]
+    fn serve_writes_a_deterministic_tenant_table() {
+        let dir = std::env::temp_dir().join("armbar-serve-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let base = |shards: &str, path: String| {
+            vec![
+                "--teams".to_string(),
+                "64".into(),
+                "--episodes".into(),
+                "2000".into(),
+                "--drop-frac".into(),
+                "0.2".into(),
+                "--shards".into(),
+                shards.into(),
+                "--out".into(),
+                path,
+            ]
+        };
+        serve(&base("1", out("s1.csv"))).unwrap();
+        serve(&base("4", out("s4.csv"))).unwrap();
+        let s1 = std::fs::read_to_string(out("s1.csv")).unwrap();
+        let s4 = std::fs::read_to_string(out("s4.csv")).unwrap();
+        assert_eq!(s1, s4, "tenant table must not depend on --shards");
+        assert!(s1.starts_with("team,members,episodes,"));
+        assert!(s1.contains(",degraded\n"), "20% drops must leave degraded tenants");
+        let mut json_args = base("4", out("s4.json"));
+        json_args.extend(["--format".to_string(), "json".into()]);
+        serve(&json_args).unwrap();
+        let json = std::fs::read_to_string(out("s4.json")).unwrap();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"tenants\": ["));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!                [--algos SENSE,OPT] [--threads 8] [--episodes 2]
 //!                [--seeds 1200] [--schedule-seed 0xC0F0] [--budget 64]
 //!                [--format csv|json]
+//! armbar serve [--teams 2000] [--members 4] [--episodes 200000]
+//!              [--shards 8] [--seed 0xBA5E] [--zipf 0.8] [--drop-frac 0.01]
+//!              [--format csv|json] [--out FILE]
 //! ```
 
 mod cmds;
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
         "trace" => cmds::trace(rest),
         "chaos" => cmds::chaos(rest),
         "conform" => cmds::conform(rest),
+        "serve" => cmds::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmds::USAGE);
             Ok(())

@@ -70,8 +70,14 @@ const EVICTED: u32 = 5;
 /// member that left does not decode back to `Active`).
 const LEFT: u32 = 6;
 
-const EPOCH_SHIFT: u32 = 12;
-const COUNT_MASK: u32 = (1 << EPOCH_SHIFT) - 1;
+/// Bit position of the epoch field in an epoch-stamped word: the low 12
+/// bits carry a count (members or arrivals), the high 20 bits the epoch.
+/// Public because `armbar-serve` reuses the same `(epoch << 12) | count`
+/// encoding for its per-team batched-arrival word.
+pub const EPOCH_SHIFT: u32 = 12;
+/// Mask of the count field of an epoch-stamped word (also the count
+/// ceiling: at most 4095 members).
+pub const COUNT_MASK: u32 = (1 << EPOCH_SHIFT) - 1;
 
 /// Base of the phaser event mark labels (distinct from the `0xB00x` phase
 /// marks): `0xC000_0000 | kind << 24 | slot << 12 | epoch`. The slot field

@@ -1,0 +1,170 @@
+//! `BENCH_serve.json` rendering: the workspace's baseline-carry-forward
+//! convention (see `bench_sim`/`bench_churn`), factored into a reusable
+//! library so both the `serve_load` binary and tests share one writer.
+//!
+//! Document shape:
+//!
+//! ```json
+//! {
+//!   "benches": { "serve_episodes_per_sec": 123, ... },
+//!   "baseline": { "serve_episodes_per_sec": 120, ... }
+//! }
+//! ```
+//!
+//! `benches` is always this run; `baseline` is carried forward verbatim
+//! from the committed file, with keys new to this run seeded from the
+//! fresh measurement so future deltas always have a reference.
+
+/// One reported metric: a stable key and an integral-rendered value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// JSON key (e.g. `serve_episodes_per_sec`).
+    pub key: String,
+    /// Value; rendered with no fractional digits.
+    pub value: f64,
+}
+
+impl Point {
+    /// Convenience constructor.
+    pub fn new(key: &str, value: f64) -> Self {
+        Self { key: key.to_string(), value }
+    }
+}
+
+/// Minimal flat-JSON number extraction: finds `"key": <number>` anywhere
+/// (first hit wins — `benches` precedes `baseline`).
+pub fn first_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))?;
+    rest[..end].parse().ok()
+}
+
+/// Extracts the committed `baseline` section verbatim, if present.
+pub fn baseline_section(json: &str) -> Option<String> {
+    let at = json.find("\"baseline\": {")?;
+    let open = at + "\"baseline\": ".len();
+    let mut depth = 0usize;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(json[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn render_section(points: &[Point]) -> String {
+    let mut s = String::from("{\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        s.push_str(&format!("    \"{}\": {:.0}{sep}\n", p.key, p.value));
+    }
+    s.push_str("  }");
+    s
+}
+
+/// Renders the full two-section document, carrying `previous`'s baseline
+/// forward (new keys seeded from the fresh points).
+pub fn render_doc(points: &[Point], previous: Option<&str>) -> String {
+    let old_baseline = previous.and_then(baseline_section);
+    let carried: Vec<Point> = points
+        .iter()
+        .map(|p| {
+            let value =
+                old_baseline.as_deref().and_then(|o| first_number(o, &p.key)).unwrap_or(p.value);
+            Point { key: p.key.clone(), value }
+        })
+        .collect();
+    format!(
+        "{{\n  \"benches\": {},\n  \"baseline\": {}\n}}\n",
+        render_section(points),
+        render_section(&carried)
+    )
+}
+
+/// `(key, committed, fresh)` rows for every point also present in the
+/// committed document's `benches` section.
+pub fn deltas(points: &[Point], previous: &str) -> Vec<(String, f64, f64)> {
+    points
+        .iter()
+        .filter_map(|p| first_number(previous, &p.key).map(|old| (p.key.clone(), old, p.value)))
+        .collect()
+}
+
+/// The CI step-summary markdown table for a set of deltas (falls back to
+/// a committed-less table when `rows` is empty).
+pub fn summary_markdown(title: &str, points: &[Point], rows: &[(String, f64, f64)]) -> String {
+    let mut md =
+        format!("## {title}\n\n| key | committed | this run | delta |\n|---|---:|---:|---:|\n");
+    if rows.is_empty() {
+        for p in points {
+            md.push_str(&format!("| `{}` | _none_ | {:.0} | |\n", p.key, p.value));
+        }
+    } else {
+        for (key, old, new) in rows {
+            md.push_str(&format!(
+                "| `{key}` | {old:.0} | {new:.0} | {:+.1}% |\n",
+                (new / old - 1.0) * 100.0
+            ));
+        }
+    }
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point> {
+        vec![Point::new("serve_episodes_per_sec", 1_500_000.0), Point::new("serve_teams", 10_000.0)]
+    }
+
+    #[test]
+    fn fresh_doc_seeds_baseline_from_run() {
+        let doc = render_doc(&pts(), None);
+        let base = baseline_section(&doc).expect("baseline present");
+        assert_eq!(first_number(&base, "serve_episodes_per_sec"), Some(1_500_000.0));
+        assert_eq!(first_number(&doc, "serve_teams"), Some(10_000.0));
+    }
+
+    #[test]
+    fn baseline_carries_forward_and_new_keys_seed_fresh() {
+        let first = render_doc(&pts(), None);
+        let mut next = pts();
+        next[0].value = 2_000_000.0; // faster run must not move the baseline
+        next.push(Point::new("serve_p99_episode_ns", 900.0)); // new key
+        let doc = render_doc(&next, Some(&first));
+        let base = baseline_section(&doc).expect("baseline present");
+        assert_eq!(first_number(&base, "serve_episodes_per_sec"), Some(1_500_000.0));
+        assert_eq!(first_number(&base, "serve_p99_episode_ns"), Some(900.0));
+        // benches section always reflects this run (first hit wins).
+        assert_eq!(first_number(&doc, "serve_episodes_per_sec"), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn deltas_pair_committed_with_fresh() {
+        let first = render_doc(&pts(), None);
+        let mut next = pts();
+        next[1].value = 20_000.0;
+        let d = deltas(&next, &first);
+        assert!(d.contains(&("serve_teams".to_string(), 10_000.0, 20_000.0)));
+    }
+
+    #[test]
+    fn summary_markdown_has_header_and_rows() {
+        let rows = vec![("serve_teams".to_string(), 10_000.0, 11_000.0)];
+        let md = summary_markdown("Serve load", &pts(), &rows);
+        assert!(md.contains("## Serve load"));
+        assert!(md.contains("| `serve_teams` | 10000 | 11000 | +10.0% |"));
+        let md_empty = summary_markdown("Serve load", &pts(), &[]);
+        assert!(md_empty.contains("_none_"));
+    }
+}

@@ -1,0 +1,663 @@
+//! Multi-tenant barrier teams: the server-side episode protocol.
+//!
+//! A [`Team`] is one named barrier group hosted by the coordination
+//! server. Its hot path is deliberately leaner than the in-process
+//! phasers: the entire arrival state of an epoch is **one** epoch-stamped
+//! word — the same `(epoch << 12) | count` encoding as the phaser
+//! membership word ([`armbar_core::phaser::EPOCH_SHIFT`]) — so N member
+//! arrivals cost N fetch-adds on one cache line plus a *single* batched
+//! wakeup flush through the owning shard, never N per-member notifies.
+//!
+//! The robustness semantics are the `RobustBarrier`/`RobustPhaser` ones,
+//! re-derived for connections instead of threads:
+//!
+//! * **connection drop → eviction**: closing (or abruptly dropping) a
+//!   [`Conn`] mid-epoch proxy-arrives on the slot's behalf so survivors
+//!   never wait on a dead connection, and the next boundary reforms the
+//!   team without it — abrupt drops mark the team `degraded`;
+//! * **timeout → eviction**: a waiter past the team deadline evicts one
+//!   unarrived slot per deadline lap (CAS-arbitrated against the slot's
+//!   own late arrival, exactly like `Slots::claim_arrival`);
+//! * **poisoning**: when recovery cannot apply (no evictable slot and the
+//!   epoch still stuck), the first claimant poisons the team and every
+//!   member fails fast with [`BarrierError::Poisoned`].
+//!
+//! ## Why the proxy claims are safe
+//!
+//! A proxy arrival must never count a slot into an epoch whose membership
+//! word excludes it (that would release real members early). The commit
+//! path therefore stores the terminal `DEAD_*` slot states **before**
+//! publishing the next membership word, and every proxy path re-reads the
+//! slot state *after* loading the word: under the crate's SeqCst
+//! discipline, "state not yet dead after the word was read" proves the
+//! slot is still counted in that word, and the per-slot ledger CAS then
+//! arbitrates the claim exactly once. The one unclosable race — a commit
+//! scan that misses a just-posted `LEAVING` flag and republishes the slot
+//! into the next epoch — is bounded by the timeout eviction path, which
+//! accepts `LEAVING` slots as candidates.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use armbar_core::phaser::{COUNT_MASK, EPOCH_SHIFT};
+use armbar_core::robust::BarrierError;
+
+use crate::registry::ShardWake;
+
+/// Slot lifecycle. `ACTIVE` slots are counted members; `LEAVING`/`EVICTED`
+/// are transitions applied (to their `DEAD_*` terminal) at the next
+/// boundary commit; `DEAD_*` slots are out of every later epoch.
+const ACTIVE: u32 = 0;
+const LEAVING: u32 = 1;
+const EVICTED: u32 = 2;
+const DEAD_LEFT: u32 = 3;
+const DEAD_EVICTED: u32 = 4;
+
+/// Per-slot connection state: a lifecycle word and the arrival ledger
+/// (the last epoch this slot arrived — or was proxied — for). The ledger
+/// CAS is the same claim arbitration the phaser uses: exactly one of
+/// {own arrival, drop proxy, eviction proxy} counts per epoch.
+#[derive(Default)]
+struct Slot {
+    state: AtomicU32,
+    ledger: AtomicU32,
+    evicted_at: AtomicU32,
+}
+
+/// Patience knobs for one team; the registry stamps its defaults onto
+/// every team it creates.
+#[derive(Debug, Clone)]
+pub struct TeamConfig {
+    /// Wall-clock budget per epoch before a waiter starts evicting (and,
+    /// when eviction cannot apply, poisons).
+    pub deadline: Duration,
+    /// One timed park on the shard condvar; bounds wakeup loss windows.
+    pub park_slice: Duration,
+    /// Busy polls on the release word before parking.
+    pub spin: u32,
+}
+
+impl Default for TeamConfig {
+    fn default() -> Self {
+        Self { deadline: Duration::from_secs(5), park_slice: Duration::from_millis(2), spin: 96 }
+    }
+}
+
+/// Per-tenant counters (the serve-side analogue of the PR 1 tracing
+/// counters): all Relaxed — exact totals, no ordering role.
+#[derive(Default)]
+struct Counters {
+    arrivals: AtomicU64,
+    proxy_arrivals: AtomicU64,
+    episodes: AtomicU64,
+    drops: AtomicU64,
+    evictions: AtomicU64,
+    parked_waits: AtomicU64,
+}
+
+/// A snapshot of one team's per-tenant metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeamMetrics {
+    /// Own (non-proxy) arrivals counted into the batch word.
+    pub arrivals: u64,
+    /// Arrivals counted on behalf of dropped/evicted slots.
+    pub proxy_arrivals: u64,
+    /// Completed epochs that released at least one live member (a final
+    /// all-proxy drain commit is not an episode — it releases nobody).
+    pub episodes: u64,
+    /// Abrupt connection drops (a `Conn` dropped without `close`).
+    pub drops: u64,
+    /// Timeout-path evictions by surviving waiters.
+    pub evictions: u64,
+    /// Waits that outlasted the spin stage and parked on the shard.
+    pub parked_waits: u64,
+}
+
+/// One named barrier group hosted by the server. Created only through
+/// [`Registry::register`](crate::registry::Registry::register); members
+/// attach with [`Team::connect`] and synchronize through their [`Conn`].
+pub struct Team {
+    name: String,
+    shard: usize,
+    capacity: u32,
+    /// The batched-arrival word: `(epoch << 12) | arrived`.
+    arrivals: AtomicU32,
+    /// The committed membership word: `(epoch << 12) | members`.
+    membership: AtomicU32,
+    /// Monotonic release clock: epochs `<= release` have committed.
+    release: AtomicU32,
+    /// 0 = healthy, else poisoner slot + 1.
+    poison: AtomicU32,
+    /// 0 = full strength, else the first epoch completed short-handed.
+    degraded_at: AtomicU32,
+    /// Set by the boundary commit that drained membership to zero.
+    retired: AtomicU32,
+    /// Next slot handed out by [`Team::connect`].
+    next_conn: AtomicU32,
+    slots: Box<[Slot]>,
+    wake: Arc<ShardWake>,
+    cfg: TeamConfig,
+    counters: Counters,
+}
+
+impl Team {
+    pub(crate) fn new(
+        name: &str,
+        members: usize,
+        shard: usize,
+        wake: Arc<ShardWake>,
+        cfg: TeamConfig,
+    ) -> Self {
+        assert!(
+            members >= 1 && members <= COUNT_MASK as usize,
+            "team capacity must be 1..=4095, got {members}"
+        );
+        let capacity = members as u32;
+        Self {
+            name: name.to_string(),
+            shard,
+            capacity,
+            arrivals: AtomicU32::new(1 << EPOCH_SHIFT),
+            membership: AtomicU32::new((1 << EPOCH_SHIFT) | capacity),
+            release: AtomicU32::new(0),
+            poison: AtomicU32::new(0),
+            degraded_at: AtomicU32::new(0),
+            retired: AtomicU32::new(0),
+            next_conn: AtomicU32::new(0),
+            slots: (0..members).map(|_| Slot::default()).collect(),
+            wake,
+            cfg,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The team's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Index of the registry shard that owns this team.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The member count the team was registered with.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// The epoch currently accepting arrivals.
+    pub fn epoch(&self) -> u32 {
+        self.membership.load(SeqCst) >> EPOCH_SHIFT
+    }
+
+    /// Members of the current epoch (shrinks as slots drop out).
+    pub fn members(&self) -> usize {
+        (self.membership.load(SeqCst) & COUNT_MASK) as usize
+    }
+
+    /// `"poisoned"`, `"degraded"` or `"ok"` — worst state wins.
+    pub fn status(&self) -> &'static str {
+        if self.poison.load(SeqCst) != 0 {
+            "poisoned"
+        } else if self.degraded_at.load(SeqCst) != 0 {
+            "degraded"
+        } else {
+            "ok"
+        }
+    }
+
+    /// Has membership drained to zero (every slot left or was evicted)?
+    /// Retired teams are reclaimable by the registry sweep.
+    pub fn retired(&self) -> bool {
+        self.retired.load(SeqCst) != 0
+    }
+
+    /// Snapshot of the per-tenant counters.
+    pub fn metrics(&self) -> TeamMetrics {
+        TeamMetrics {
+            arrivals: self.counters.arrivals.load(Relaxed),
+            proxy_arrivals: self.counters.proxy_arrivals.load(Relaxed),
+            episodes: self.counters.episodes.load(Relaxed),
+            drops: self.counters.drops.load(Relaxed),
+            evictions: self.counters.evictions.load(Relaxed),
+            parked_waits: self.counters.parked_waits.load(Relaxed),
+        }
+    }
+
+    /// Attaches the next free member slot; `None` once all `capacity`
+    /// connections have been handed out (slots are never reused — a
+    /// dropped member's slot stays dead and the team reforms smaller).
+    pub fn connect(self: &Arc<Self>) -> Option<Conn> {
+        let slot = self.next_conn.fetch_add(1, SeqCst);
+        if slot < self.capacity {
+            Some(Conn { team: Arc::clone(self), slot: slot as usize, attached: true })
+        } else {
+            None
+        }
+    }
+
+    /// Claims the arrival of `slot` for `epoch` on the per-slot ledger.
+    /// Exactly one claimant per (slot, epoch) wins; a stale claim (the
+    /// ledger already at or past `epoch`) loses.
+    fn claim(&self, slot: usize, epoch: u32) -> bool {
+        let ledger = &self.slots[slot].ledger;
+        let mut prev = ledger.load(SeqCst);
+        loop {
+            if prev >= epoch {
+                return false;
+            }
+            match ledger.compare_exchange(prev, epoch, SeqCst, SeqCst) {
+                Ok(_) => return true,
+                Err(now) => prev = now,
+            }
+        }
+    }
+
+    /// Counts one claimed arrival into the batch word; the filling
+    /// arrival commits the boundary inline.
+    fn add_arrival(&self, epoch: u32, members: u32) {
+        let prev = self.arrivals.fetch_add(1, SeqCst);
+        debug_assert_eq!(prev >> EPOCH_SHIFT, epoch, "arrival word epoch drift");
+        if (prev & COUNT_MASK) + 1 == members {
+            self.commit(epoch);
+        }
+    }
+
+    /// Boundary commit, run inline by whichever arrival (own or proxy)
+    /// filled the batch word. Order matters: terminal slot states first
+    /// (the proxy-safety proof depends on it), then the next epoch's
+    /// words, then the release clock, then one batched wakeup flush.
+    fn commit(&self, epoch: u32) {
+        assert!(
+            epoch < (u32::MAX >> EPOCH_SHIFT) - 1,
+            "team {} exhausted its epoch space",
+            self.name
+        );
+        let mut members = 0u32;
+        for s in self.slots.iter() {
+            match s.state.load(SeqCst) {
+                ACTIVE => members += 1,
+                LEAVING => s.state.store(DEAD_LEFT, SeqCst),
+                EVICTED => s.state.store(DEAD_EVICTED, SeqCst),
+                _ => {}
+            }
+        }
+        if members == 0 {
+            self.retired.store(1, SeqCst);
+        }
+        self.arrivals.store((epoch + 1) << EPOCH_SHIFT, SeqCst);
+        self.membership.store(((epoch + 1) << EPOCH_SHIFT) | members, SeqCst);
+        if members > 0 {
+            self.counters.episodes.fetch_add(1, Relaxed);
+        }
+        self.release.store(epoch, SeqCst);
+        self.wake.flush();
+    }
+
+    /// Health gate for `slot` — poisoned team or dead slot fails fast.
+    fn check_health(&self, slot: usize) -> Result<(), BarrierError> {
+        let by = self.poison.load(SeqCst);
+        if by != 0 {
+            return Err(BarrierError::Poisoned { tid: slot, by: by as usize - 1 });
+        }
+        match self.slots[slot].state.load(SeqCst) {
+            ACTIVE => Ok(()),
+            _ => Err(BarrierError::Evicted {
+                tid: slot,
+                episode: self.slots[slot].evicted_at.load(SeqCst),
+            }),
+        }
+    }
+
+    /// One member arrival: a ledger claim plus one fetch-add on the batch
+    /// word. Returns the epoch arrived for (pass it to [`Team::wait`]).
+    fn arrive(&self, slot: usize) -> Result<u32, BarrierError> {
+        // Word first, health second: if the word already excludes this
+        // slot, the commit that excluded it stored the dead state before
+        // publishing, so the health check is guaranteed to catch it here
+        // (claiming into a word we are not part of would over-count).
+        let m = self.membership.load(SeqCst);
+        self.check_health(slot)?;
+        let epoch = m >> EPOCH_SHIFT;
+        if !self.claim(slot, epoch) {
+            // An eviction proxy raced us and already counted this epoch;
+            // the eviction itself surfaces on the next health check.
+            return Ok(epoch);
+        }
+        self.counters.arrivals.fetch_add(1, Relaxed);
+        self.add_arrival(epoch, m & COUNT_MASK);
+        Ok(epoch)
+    }
+
+    /// Blocks until `epoch` releases: a short spin on the release clock,
+    /// then timed parks on the owning shard's condvar. Past the team
+    /// deadline each lap evicts one unarrived slot (proxy-arriving for
+    /// it); when no slot is evictable and the epoch is still stuck, the
+    /// waiter poisons the team — first claimant reports `Timeout`,
+    /// everyone else `Poisoned`.
+    fn wait(&self, slot: usize, epoch: u32) -> Result<(), BarrierError> {
+        for _ in 0..self.cfg.spin {
+            if self.release.load(SeqCst) >= epoch {
+                return Ok(());
+            }
+            std::hint::spin_loop();
+        }
+        self.counters.parked_waits.fetch_add(1, Relaxed);
+        let mut polls = u64::from(self.cfg.spin);
+        let mut next_recovery = Instant::now() + self.cfg.deadline;
+        loop {
+            if self.release.load(SeqCst) >= epoch {
+                return Ok(());
+            }
+            let by = self.poison.load(SeqCst);
+            if by != 0 {
+                return Err(BarrierError::Poisoned { tid: slot, by: by as usize - 1 });
+            }
+            if Instant::now() >= next_recovery {
+                if !self.try_evict(slot, epoch) && self.release.load(SeqCst) < epoch {
+                    if self.claim_poison(slot) {
+                        return Err(BarrierError::Timeout { tid: slot, addr: 0, spins: polls });
+                    }
+                    continue; // someone else poisoned first; report theirs
+                }
+                // Eviction (or a completed boundary) made progress; grant
+                // the proxy a fresh deadline before escalating further.
+                next_recovery = Instant::now() + self.cfg.deadline;
+            }
+            polls += 1;
+            self.wake.park(self.cfg.park_slice, || {
+                self.release.load(SeqCst) >= epoch || self.poison.load(SeqCst) != 0
+            });
+        }
+    }
+
+    /// Deadline recovery: evict one slot that has not arrived for the
+    /// stuck `epoch`. Returns `true` when it made progress (evicted and
+    /// proxied a slot, or found the boundary already moved). The waiter's
+    /// own slot (`by`) is never a candidate — a member cannot evict
+    /// itself; when its own arrival is the missing one, escalation falls
+    /// through to poisoning.
+    fn try_evict(&self, by: usize, epoch: u32) -> bool {
+        for (i, s) in self.slots.iter().enumerate() {
+            if i == by {
+                continue;
+            }
+            let st = s.state.load(SeqCst);
+            if st != ACTIVE && st != LEAVING {
+                continue;
+            }
+            if s.ledger.load(SeqCst) >= epoch {
+                continue;
+            }
+            if st == ACTIVE {
+                if s.state.compare_exchange(ACTIVE, EVICTED, SeqCst, SeqCst).is_err() {
+                    continue;
+                }
+                s.evicted_at.store(epoch, SeqCst);
+                self.counters.evictions.fetch_add(1, Relaxed);
+                self.mark_degraded(epoch);
+            }
+            // (A LEAVING candidate is a drop whose boundary-race corner
+            // hit: its proxy claim lost to a commit that republished the
+            // slot. Re-proxy it here.)
+            let m = self.membership.load(SeqCst);
+            if m >> EPOCH_SHIFT != epoch {
+                return true; // the stuck epoch committed meanwhile
+            }
+            let now = s.state.load(SeqCst);
+            if now == DEAD_LEFT || now == DEAD_EVICTED {
+                continue; // a boundary excluded it after all
+            }
+            if self.claim(i, epoch) {
+                self.counters.proxy_arrivals.fetch_add(1, Relaxed);
+                self.add_arrival(epoch, m & COUNT_MASK);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Detach `slot`: flags it for removal at the next boundary and
+    /// proxy-arrives for the open epoch so nobody waits on it. `abrupt`
+    /// distinguishes a connection drop (marks the team degraded) from a
+    /// graceful [`Conn::close`] (does not).
+    fn disconnect(&self, slot: usize, abrupt: bool) {
+        if self.slots[slot].state.compare_exchange(ACTIVE, LEAVING, SeqCst, SeqCst).is_err() {
+            return; // already leaving, evicted, or dead
+        }
+        let m = self.membership.load(SeqCst);
+        let epoch = m >> EPOCH_SHIFT;
+        if abrupt {
+            self.counters.drops.fetch_add(1, Relaxed);
+            self.mark_degraded(epoch);
+        }
+        // Safe-claim order (see module docs): the state is re-read after
+        // the membership word; not-yet-dead proves the word counts us.
+        if self.slots[slot].state.load(SeqCst) != LEAVING {
+            return;
+        }
+        if self.claim(slot, epoch) {
+            self.counters.proxy_arrivals.fetch_add(1, Relaxed);
+            self.add_arrival(epoch, m & COUNT_MASK);
+        }
+    }
+
+    fn mark_degraded(&self, epoch: u32) {
+        let _ = self.degraded_at.compare_exchange(0, epoch.max(1), SeqCst, SeqCst);
+    }
+
+    /// First-poisoner ticket (the `RobustBarrier::claim_poison` shape).
+    fn claim_poison(&self, by: usize) -> bool {
+        let won = self.poison.compare_exchange(0, by as u32 + 1, SeqCst, SeqCst).is_ok();
+        if won {
+            self.wake.flush_now(); // wake everyone parked on the shard
+        }
+        won
+    }
+}
+
+/// One member's connection to a [`Team`]. Dropping it without
+/// [`Conn::close`] models an abrupt connection loss: the slot is proxied
+/// out and the team completes the epoch `degraded`.
+pub struct Conn {
+    team: Arc<Team>,
+    slot: usize,
+    attached: bool,
+}
+
+impl Conn {
+    /// The member slot this connection holds.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The team this connection belongs to.
+    pub fn team(&self) -> &Arc<Team> {
+        &self.team
+    }
+
+    /// Arrives at the open epoch; returns the epoch to [`Conn::wait`] on.
+    pub fn arrive(&self) -> Result<u32, BarrierError> {
+        self.team.arrive(self.slot)
+    }
+
+    /// Blocks until `epoch` releases (see [`Team::wait`] semantics).
+    pub fn wait(&self, epoch: u32) -> Result<(), BarrierError> {
+        self.team.wait(self.slot, epoch)
+    }
+
+    /// `arrive` + `wait`: one full barrier episode for this member.
+    pub fn arrive_and_wait(&self) -> Result<u32, BarrierError> {
+        let epoch = self.arrive()?;
+        self.team.wait(self.slot, epoch)?;
+        Ok(epoch)
+    }
+
+    /// Graceful goodbye: leaves the team at the next boundary without
+    /// marking it degraded.
+    pub fn close(mut self) {
+        self.attached = false;
+        self.team.disconnect(self.slot, false);
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        if self.attached {
+            self.team.disconnect(self.slot, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn team(members: usize, cfg: TeamConfig) -> (Registry, Arc<Team>) {
+        let reg = Registry::new(1, cfg);
+        let team = reg.register("t", members).unwrap();
+        (reg, team)
+    }
+
+    fn patient() -> TeamConfig {
+        TeamConfig { deadline: Duration::from_secs(30), ..TeamConfig::default() }
+    }
+
+    fn impatient() -> TeamConfig {
+        TeamConfig { deadline: Duration::from_millis(40), ..TeamConfig::default() }
+    }
+
+    #[test]
+    fn single_driver_completes_episodes() {
+        let (_reg, team) = team(3, patient());
+        let conns: Vec<Conn> = (0..3).map(|_| team.connect().unwrap()).collect();
+        assert!(team.connect().is_none(), "capacity is exhausted");
+        for ep in 1..=10u32 {
+            for c in &conns {
+                assert_eq!(c.arrive().unwrap(), ep);
+            }
+            for c in &conns {
+                c.wait(ep).unwrap();
+            }
+        }
+        let m = team.metrics();
+        assert_eq!(m.episodes, 10);
+        assert_eq!(m.arrivals, 30);
+        assert_eq!((m.proxy_arrivals, m.drops, m.evictions), (0, 0, 0));
+        assert_eq!(team.status(), "ok");
+    }
+
+    #[test]
+    fn threaded_members_rendezvous() {
+        let (_reg, team) = team(4, patient());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = team.connect().unwrap();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        c.arrive_and_wait().unwrap();
+                    }
+                    c.close();
+                });
+            }
+        });
+        let m = team.metrics();
+        assert_eq!(m.episodes, 50);
+        assert_eq!(m.arrivals, 200);
+        assert_eq!(team.status(), "ok");
+        assert!(team.retired(), "all members closed -> drained");
+    }
+
+    #[test]
+    fn abrupt_drop_proxies_and_degrades() {
+        let (_reg, team) = team(3, patient());
+        let a = team.connect().unwrap();
+        let b = team.connect().unwrap();
+        let victim = team.connect().unwrap();
+        drop(victim); // no close(): abrupt connection loss
+        let ep = a.arrive().unwrap();
+        b.arrive().unwrap();
+        a.wait(ep).unwrap(); // must not hang: the drop proxied slot 2
+        b.wait(ep).unwrap();
+        let m = team.metrics();
+        assert_eq!((m.episodes, m.drops, m.proxy_arrivals), (1, 1, 1));
+        assert_eq!(team.status(), "degraded");
+        assert_eq!(team.members(), 2, "next epoch reformed without the victim");
+    }
+
+    #[test]
+    fn graceful_close_does_not_degrade() {
+        let (_reg, team) = team(2, patient());
+        let a = team.connect().unwrap();
+        let b = team.connect().unwrap();
+        b.close();
+        let ep = a.arrive().unwrap();
+        a.wait(ep).unwrap();
+        assert_eq!(team.status(), "ok");
+        assert_eq!(team.members(), 1);
+        assert_eq!(team.metrics().drops, 0);
+    }
+
+    #[test]
+    fn timeout_evicts_silent_member_and_survivors_continue() {
+        let (_reg, team) = team(2, impatient());
+        let a = team.connect().unwrap();
+        let silent = team.connect().unwrap();
+        let ep = a.arrive().unwrap();
+        a.wait(ep).unwrap(); // deadline lap evicts the silent slot
+        assert_eq!(team.status(), "degraded");
+        assert_eq!(team.metrics().evictions, 1);
+        // The evicted member's next arrival fails fast, survivors carry on.
+        assert!(matches!(silent.arrive(), Err(BarrierError::Evicted { tid: 1, .. })));
+        let ep = a.arrive().unwrap();
+        a.wait(ep).unwrap();
+        assert_eq!(team.metrics().episodes, 2);
+    }
+
+    #[test]
+    fn unarrivable_epoch_poisons_all_members() {
+        // A sole member that never arrives but waits on a future epoch:
+        // nothing is evictable (its own arrival is the one missing), so the
+        // waiter must poison, and later members see Poisoned.
+        let (_reg, team) = team(1, impatient());
+        let a = team.connect().unwrap();
+        let err = a.wait(1).unwrap_err();
+        assert!(matches!(err, BarrierError::Timeout { tid: 0, .. }), "got {err:?}");
+        assert_eq!(team.status(), "poisoned");
+        assert!(matches!(a.arrive(), Err(BarrierError::Poisoned { by: 0, .. })));
+    }
+
+    #[test]
+    fn wrongful_evictee_sees_evicted_not_hang() {
+        let (_reg, team) = team(2, impatient());
+        let a = team.connect().unwrap();
+        let late = team.connect().unwrap();
+        let ep = a.arrive().unwrap();
+        a.wait(ep).unwrap(); // evicts `late`
+                             // The late member's own arrival claim lost to the eviction proxy;
+                             // arrive() swallows that, and the error surfaces on re-arrival.
+        match late.arrive() {
+            Err(BarrierError::Evicted { tid: 1, episode }) => assert_eq!(episode, 1),
+            other => panic!("expected Evicted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_commit_is_not_an_episode() {
+        let (_reg, team) = team(2, patient());
+        let a = team.connect().unwrap();
+        let b = team.connect().unwrap();
+        let ep = a.arrive().unwrap();
+        b.arrive().unwrap();
+        a.wait(ep).unwrap();
+        // Both leave mid-epoch: the closing proxies fill epoch 2, but that
+        // commit releases nobody and must not count as an episode.
+        a.close();
+        b.close();
+        assert!(team.retired());
+        assert_eq!(team.metrics().episodes, 1);
+    }
+}

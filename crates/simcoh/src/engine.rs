@@ -1906,6 +1906,12 @@ impl Shared {
         line.readers_since_write = 0;
 
         self.set_value(g, addr, new_value);
+        if let Some(w) = g.weak.as_mut() {
+            // CoWR: the writer's own stale copy is superseded by its write —
+            // a later relaxed load of this thread must never read backward
+            // past it (other threads' copies stay stale; that is the model).
+            w.last_seen[tid].insert(addr, new_value);
+        }
         g.time[tid] = end;
         let invalidated = sharers_snapshot.iter().filter(|&s| s != tid).count();
         g.stats.record_write(tid, key, remote, invalidated);
@@ -2737,37 +2743,21 @@ mod tests {
         assert_eq!(waiters[0].view, 0);
         assert!(waiters[0].to_string().contains("saw 2, thread view 0"), "{}", waiters[0]);
     }
-}
-
-#[cfg(test)]
-mod cowr_probe {
-    use super::*;
-    use crate::schedule::MinTimePolicy;
-
-    struct AlwaysWeak2;
-    impl SchedulePolicy for AlwaysWeak2 {
-        fn pick(&mut self, ready: &[ReadyOp], min_running: Option<(f64, usize)>) -> ScheduleDecision {
-            MinTimePolicy.pick(ready, min_running)
-        }
-        fn weak(&mut self, _op: &WeakOp) -> WeakDecision {
-            WeakDecision::Weak
-        }
-    }
-
-    fn topo() -> std::sync::Arc<armbar_topology::Topology> {
-        std::sync::Arc::new(armbar_topology::Topology::preset(armbar_topology::Platform::Kunpeng920))
-    }
 
     #[test]
     fn cowr_own_committed_store_not_read_backward() {
         let mut arena = Arena::new();
         let a = arena.alloc_padded_u32(64);
         SimBuilder::new(topo(), 1)
-            .schedule_policy(AlwaysWeak2)
+            .schedule_policy(AlwaysWeak)
             .run(move |ctx| {
                 assert_eq!(ctx.load(a), 0); // caches 0
                 ctx.store(a, 5); // release store, committed
-                assert_eq!(ctx.load_relaxed(a), 5, "CoWR: relaxed load after own committed store must not go backward");
+                assert_eq!(
+                    ctx.load_relaxed(a),
+                    5,
+                    "CoWR: relaxed load after own committed store must not go backward"
+                );
             })
             .unwrap();
     }

@@ -87,8 +87,10 @@ pub fn available_parallelism() -> usize {
 /// never silently dropped.
 fn requested_jobs() -> usize {
     match GLOBAL_JOBS.load(Ordering::Relaxed) {
-        0 => match std::env::var("ARMBAR_JOBS") {
-            Ok(raw) => match parse_jobs_var(&raw) {
+        0 => match std::env::var_os("ARMBAR_JOBS") {
+            // var_os, not var: a non-unicode value must reach the warning
+            // below, not vanish into a silent `VarError` fallback.
+            Some(raw) => match raw.to_str().and_then(parse_jobs_var) {
                 Some(n) => n,
                 None => {
                     static WARNED: std::sync::Once = std::sync::Once::new();
@@ -101,7 +103,7 @@ fn requested_jobs() -> usize {
                     available_parallelism()
                 }
             },
-            Err(_) => available_parallelism(),
+            None => available_parallelism(),
         },
         n => n,
     }
@@ -316,6 +318,20 @@ mod tests {
         assert_eq!(parse_jobs_var("-3"), None);
         assert_eq!(parse_jobs_var("many"), None);
         assert_eq!(parse_jobs_var(""), None);
+    }
+
+    #[test]
+    fn jobs_var_non_unicode_values_hit_the_malformed_path() {
+        // `requested_jobs` reads with `var_os` precisely so a non-unicode
+        // value takes the warn-and-default branch (`to_str()` -> None)
+        // rather than disappearing into a `VarError::NotUnicode` fallback.
+        #[cfg(unix)]
+        {
+            use std::os::unix::ffi::OsStrExt as _;
+            let raw = std::ffi::OsStr::from_bytes(&[0x38, 0xFF, 0xFE]); // "8" + invalid UTF-8
+            assert_eq!(raw.to_str().and_then(parse_jobs_var), None);
+        }
+        assert_eq!(std::ffi::OsStr::new("8").to_str().and_then(parse_jobs_var), Some(8));
     }
 
     #[test]

@@ -45,6 +45,17 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Outcome of a [`Condvar::wait_for`]: did the wait time out?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable compatible with [`MutexGuard`].
 #[derive(Default)]
 pub struct Condvar(sync::Condvar);
@@ -61,6 +72,21 @@ impl Condvar {
         let inner = guard.0.take().expect("guard already taken");
         let inner = self.0.wait(inner).unwrap_or_else(sync::PoisonError::into_inner);
         guard.0 = Some(inner);
+    }
+
+    /// As [`wait`](Self::wait), but gives up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] so the caller can distinguish a notification
+    /// from a timeout (matching the upstream `parking_lot` signature).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard already taken");
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(sync::PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wakes one blocked waiter.
@@ -106,6 +132,33 @@ mod tests {
             let mut g = mx.lock();
             while !*g {
                 cv.wait(&mut g);
+            }
+        });
+        {
+            let (mx, cv) = &*pair;
+            *mx.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let mut g = pair.0.lock();
+        let res = pair.1.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn wait_for_returns_on_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (mx, cv) = &*p2;
+            let mut g = mx.lock();
+            while !*g {
+                let _ = cv.wait_for(&mut g, std::time::Duration::from_secs(5));
             }
         });
         {
