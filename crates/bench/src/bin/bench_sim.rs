@@ -122,6 +122,7 @@ fn quick_experiments_secs() -> f64 {
         figs::phase_breakdown::run(&scale),
         figs::hotspot::run(&scale),
         figs::kilocore::run(&scale),
+        figs::crossover::run(&scale),
     ];
     let reports: usize = suites.iter().map(Vec::len).sum();
     assert!(reports > 0, "experiment suites produced nothing");
@@ -225,6 +226,16 @@ fn main() {
         // core counts, exercising the sharded scheduler end to end.
         for (platform, p) in [(Platform::MemPool256, 256usize), (Platform::MemPool1024, 1024)] {
             let pt = engine_point(platform, p, id);
+            eprintln!("engine {:>14}: {:>12.0} ops/s", pt.key, pt.ops_per_sec);
+            points.push(pt);
+        }
+    }
+    // Contender points: the lock-guarded counters are the engine's worst
+    // case for RMW traffic (CAS storms and spin wake-ups on one line), so
+    // their throughput is tracked at paper scale only.
+    for id in [AlgorithmId::ShyCtr, AlgorithmId::ShyProxy] {
+        for p in [16usize, 64] {
+            let pt = engine_point(Platform::Phytium2000Plus, p, id);
             eprintln!("engine {:>14}: {:>12.0} ops/s", pt.key, pt.ops_per_sec);
             points.push(pt);
         }

@@ -25,7 +25,9 @@ USAGE:
   armbar latency <platform>
       Regenerate the machine's core-to-core latency table (Tables I-III).
   armbar sweep <platform> [--threads N,N,...] [--algos NAME,NAME,...] [--jobs N]
-      Simulated barrier overhead per algorithm and thread count.
+      Simulated barrier overhead per algorithm and thread count. The
+      default set includes the shyper contender barriers (SHY-CTR,
+      SHY-PROXY) alongside the paper algorithms.
   armbar recommend <platform> [--threads N]
       Model-driven configuration (fan-in, wake-up) with validation runs.
   armbar phases <platform> [--threads N]
@@ -54,7 +56,8 @@ USAGE:
       audited by safety oracles (no early exit, epoch consistency, no
       lost wake-up, quiescence). Violations ship a shrunk deterministic
       reproducer and make the command exit nonzero. --quick = all 14
-      algorithms on Kunpeng920 at 8 threads, 1200 seeds per cell.
+      algorithms plus the SHY-CTR/SHY-PROXY contenders on Kunpeng920 at
+      8 threads, 1200 seeds per cell.
       --phasers searches register/deregister interleavings of the dynamic
       phasers under churn scripts instead, auditing the membership oracles
       (no lost member, no phantom arrival), 800 seeds per cell by default.
@@ -140,12 +143,13 @@ fn parse_algos(rest: &[String]) -> Result<Vec<AlgorithmId>, String> {
         return Ok(AlgorithmId::SEVEN
             .into_iter()
             .chain([AlgorithmId::LlvmHyper, AlgorithmId::Optimized])
+            .chain(AlgorithmId::CONTENDERS)
             .collect());
     };
     let mut out = Vec::new();
     for part in spec.split(',') {
         let id = AlgorithmId::parse(part.trim())
-            .ok_or_else(|| format!("unknown algorithm {part:?} (try SENSE, DIS, CMB, MCS, TOUR, STOUR, DTOUR, LLVM, OPT, HYBRID, NDIS, RING)"))?;
+            .ok_or_else(|| format!("unknown algorithm {part:?} (try SENSE, DIS, CMB, MCS, TOUR, STOUR, DTOUR, LLVM, OPT, HYBRID, NDIS, RING, SHY-CTR, SHY-PROXY)"))?;
         out.push(id);
     }
     Ok(out)

@@ -44,7 +44,12 @@ impl Default for ConformConfig {
     fn default() -> Self {
         Self {
             platforms: vec![Platform::Kunpeng920],
-            algorithms: AlgorithmId::ALL.to_vec(),
+            // Every fixed-membership algorithm: the paper's 14 plus the
+            // shyper contender barriers — lock-guarded counters are where
+            // schedule exploration finds reuse bugs (a stranded straggler
+            // spinning on a reset count), so they ride in the default
+            // sweep and in `conform --quick`.
+            algorithms: AlgorithmId::ALL.into_iter().chain(AlgorithmId::CONTENDERS).collect(),
             threads: 8,
             episodes: 2,
             seeds: 200,

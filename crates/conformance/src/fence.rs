@@ -128,6 +128,11 @@ impl MemCtx for WeakenCtx<'_> {
     fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
         self.inner.compare_exchange(addr, current, new)
     }
+    fn swap(&self, addr: Addr, new: u32) -> u32 {
+        // RMWs keep their AcqRel semantics under every weakening — LSE
+        // atomics are not relaxed by the fence-variant search.
+        self.inner.swap(addr, new)
+    }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         self.inner.spin_until_eq(addr, value)
     }

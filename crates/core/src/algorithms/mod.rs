@@ -13,6 +13,7 @@
 //! | [`hybrid`] | (extension) | per-cluster counters + tournament over representatives |
 //! | [`nway_dissemination`] | (cited, ref [4]) | Hoefler n-way dissemination |
 //! | [`ring`] | (cited, ref [7]) | Aravind two-pass ring/token barrier |
+//! | [`shyper`] | (contender) | rust_shyper/rtshyper spinlock-guarded counter, `round_up` reuse-safe exit + proxy arrival |
 
 pub mod combining;
 pub mod dissemination;
@@ -23,6 +24,7 @@ pub mod mcs;
 pub mod nway_dissemination;
 pub mod ring;
 pub mod sense;
+pub mod shyper;
 pub mod tournament;
 
 pub use combining::CombiningTreeBarrier;
@@ -34,6 +36,7 @@ pub use mcs::McsBarrier;
 pub use nway_dissemination::NwayDisseminationBarrier;
 pub use ring::RingBarrier;
 pub use sense::SenseBarrier;
+pub use shyper::{ShyCtrBarrier, ShyProxyBarrier};
 pub use tournament::TournamentBarrier;
 
 #[cfg(test)]

@@ -56,6 +56,11 @@ pub trait MemCtx {
     /// primitive for races that plain load/store cannot decide, e.g. a
     /// phaser member's own arrival versus a survivor's proxy arrival.
     fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32;
+    /// Atomic exchange (AcqRel, ARMv8.1 `SWP`): unconditionally stores
+    /// `new` and returns the previous value. The natural test-and-set
+    /// primitive for spinlocks: unlike CAS it cannot fail, and on LSE
+    /// parts it is priced like a fetch-add, below a compare-exchange.
+    fn swap(&self, addr: Addr, new: u32) -> u32;
     /// Spins until the word at `addr` equals `value`; returns it.
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32;
     /// Spins until the word at `addr` is ≥ `value` (monotonic epochs).
@@ -157,6 +162,9 @@ impl MemCtx for armbar_simcoh::SimThread {
     }
     fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
         SimThread::compare_exchange(self, addr, current, new)
+    }
+    fn swap(&self, addr: Addr, new: u32) -> u32 {
+        SimThread::swap(self, addr, new)
     }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         SimThread::spin_until_eq(self, addr, value)

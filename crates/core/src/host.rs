@@ -265,6 +265,9 @@ impl MemCtx for HostCtx {
             Ok(prev) | Err(prev) => prev,
         }
     }
+    fn swap(&self, addr: Addr, new: u32) -> u32 {
+        self.mem.word(addr).swap(new, Ordering::AcqRel)
+    }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         self.spin(addr, |v| v == value)
     }

@@ -6,7 +6,8 @@ use armbar_topology::Topology;
 
 use crate::algorithms::{
     CombiningTreeBarrier, DisseminationBarrier, FwayBarrier, HybridBarrier, HyperBarrier,
-    McsBarrier, NwayDisseminationBarrier, RingBarrier, SenseBarrier, TournamentBarrier,
+    McsBarrier, NwayDisseminationBarrier, RingBarrier, SenseBarrier, ShyCtrBarrier,
+    ShyProxyBarrier, TournamentBarrier,
 };
 use crate::env::Barrier;
 use crate::phaser::{CentralPhaser, TreePhaser};
@@ -49,6 +50,14 @@ pub enum AlgorithmId {
     PhaserCentral,
     /// Dynamic-membership 4-ary reparenting tree phaser (PR 7).
     PhaserTree,
+    /// Contender (PR 10): rust_shyper's spinlock-guarded counter barrier
+    /// with the `round_up` reuse-safe exit. Not in [`AlgorithmId::ALL`]
+    /// (see [`AlgorithmId::CONTENDERS`]) so pre-split golden fixtures
+    /// keep the paper's 14.
+    ShyCtr,
+    /// Contender (PR 10): SHY-CTR plus the `add_barrier_count`
+    /// proxy-arrival path for offline cores, SWP test-and-set lock.
+    ShyProxy,
 }
 
 impl AlgorithmId {
@@ -101,6 +110,8 @@ impl AlgorithmId {
             AlgorithmId::Ring => "RING",
             AlgorithmId::PhaserCentral => "PH-CTR",
             AlgorithmId::PhaserTree => "PH-TREE",
+            AlgorithmId::ShyCtr => "SHY-CTR",
+            AlgorithmId::ShyProxy => "SHY-PROXY",
         }
     }
 
@@ -126,6 +137,8 @@ impl AlgorithmId {
             AlgorithmId::Ring => Box::new(RingBarrier::new(arena, p, topo)),
             AlgorithmId::PhaserCentral => Box::new(CentralPhaser::full(arena, p, topo)),
             AlgorithmId::PhaserTree => Box::new(TreePhaser::full(arena, p, topo)),
+            AlgorithmId::ShyCtr => Box::new(ShyCtrBarrier::new(arena, p, topo)),
+            AlgorithmId::ShyProxy => Box::new(ShyProxyBarrier::new(arena, p, topo)),
         }
     }
 
@@ -134,12 +147,22 @@ impl AlgorithmId {
     /// fixtures are unchanged; the churn pipelines iterate this instead.
     pub const PHASERS: [AlgorithmId; 2] = [AlgorithmId::PhaserCentral, AlgorithmId::PhaserTree];
 
+    /// The shyper contender barriers (PR 10), kept out of
+    /// [`AlgorithmId::ALL`] for the same reason as [`AlgorithmId::PHASERS`]
+    /// — the pre-split fixed-P grids and golden fixtures stay at the
+    /// paper's 14. The sweep/conform/chaos CLI paths and the `crossover`
+    /// family append this set.
+    pub const CONTENDERS: [AlgorithmId; 2] = [AlgorithmId::ShyCtr, AlgorithmId::ShyProxy];
+
     /// Parses a figure-legend label (case-insensitive) or a long-form
     /// alias (`optimized`, `dissemination`, …), for CLI use.
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.to_ascii_lowercase();
-        if let Some(id) =
-            Self::ALL.into_iter().chain(Self::PHASERS).find(|a| a.label().to_ascii_lowercase() == s)
+        if let Some(id) = Self::ALL
+            .into_iter()
+            .chain(Self::PHASERS)
+            .chain(Self::CONTENDERS)
+            .find(|a| a.label().to_ascii_lowercase() == s)
         {
             return Some(id);
         }
@@ -157,6 +180,8 @@ impl AlgorithmId {
             "nway-dissemination" | "nway" => AlgorithmId::NwayDissemination,
             "phaser-central" | "phctr" => AlgorithmId::PhaserCentral,
             "phaser-tree" | "phtree" => AlgorithmId::PhaserTree,
+            "shyper" | "shyctr" | "shy" => AlgorithmId::ShyCtr,
+            "shyproxy" | "shy-prox" | "add-barrier-count" => AlgorithmId::ShyProxy,
             _ => return None,
         })
     }
@@ -176,7 +201,9 @@ mod tests {
 
     #[test]
     fn every_algorithm_builds_and_runs() {
-        for id in AlgorithmId::ALL.into_iter().chain(AlgorithmId::PHASERS) {
+        for id in
+            AlgorithmId::ALL.into_iter().chain(AlgorithmId::PHASERS).chain(AlgorithmId::CONTENDERS)
+        {
             check_sim(Platform::ThunderX2, 16, 2, move |a, p, t| id.build(a, p, t));
         }
     }
@@ -189,6 +216,21 @@ mod tests {
         }
         assert_eq!(AlgorithmId::parse("phaser-tree"), Some(AlgorithmId::PhaserTree));
         assert_eq!(AlgorithmId::parse("phctr"), Some(AlgorithmId::PhaserCentral));
+    }
+
+    #[test]
+    fn contender_labels_round_trip_and_stay_out_of_all() {
+        for id in AlgorithmId::CONTENDERS {
+            assert_eq!(AlgorithmId::parse(id.label()), Some(id));
+            assert!(!AlgorithmId::ALL.contains(&id), "{id:?} must not join the fixed-P grid");
+            // Built names match the registry labels.
+            let topo = Topology::preset(Platform::ThunderX2);
+            let mut arena = Arena::new();
+            assert_eq!(id.build(&mut arena, 8, &topo).name(), id.label());
+        }
+        assert_eq!(AlgorithmId::parse("shyper"), Some(AlgorithmId::ShyCtr));
+        assert_eq!(AlgorithmId::parse("shy-proxy"), Some(AlgorithmId::ShyProxy));
+        assert_eq!(AlgorithmId::parse("add-barrier-count"), Some(AlgorithmId::ShyProxy));
     }
 
     #[test]

@@ -628,6 +628,9 @@ impl MemCtx for BoundedCtx<'_> {
     fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
         self.inner.compare_exchange(addr, current, new)
     }
+    fn swap(&self, addr: Addr, new: u32) -> u32 {
+        self.inner.swap(addr, new)
+    }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         self.poll(addr, |v| v == value)
     }

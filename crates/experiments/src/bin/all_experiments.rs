@@ -41,6 +41,7 @@ fn main() {
         ("hotspot", figs::hotspot::run(&scale)),
         ("kilocore", figs::kilocore::run(&scale)),
         ("churn", figs::churn::run(&scale)),
+        ("crossover", figs::crossover::run(&scale)),
     ];
     for (slug, reports) in suites {
         for (i, report) in reports.iter().enumerate() {

@@ -1,0 +1,17 @@
+//! Lock-counter vs SENSE/STOUR crossover: model prediction against
+//! simulation on the three ARM platforms (DESIGN.md §17). Writes
+//! `results/crossover_*.csv` (one per platform plus the summary).
+//!
+//! ```text
+//! crossover [--quick]
+//! ```
+use armbar_experiments::{figs, runner::results_dir, Scale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    for (i, report) in figs::crossover::run(&scale).iter().enumerate() {
+        report.print();
+        report.write_csv(results_dir(), &format!("crossover_{i}")).expect("failed to write CSV");
+    }
+}

@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod churn;
+pub mod crossover;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;

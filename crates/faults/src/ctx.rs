@@ -131,6 +131,10 @@ impl MemCtx for FaultyCtx<'_> {
         self.before_op();
         self.inner.compare_exchange(addr, current, new)
     }
+    fn swap(&self, addr: Addr, new: u32) -> u32 {
+        self.before_op();
+        self.inner.swap(addr, new)
+    }
     fn spin_until_eq(&self, addr: Addr, value: u32) -> u32 {
         self.before_op();
         self.inner.spin_until_eq(addr, value)

@@ -96,7 +96,10 @@ impl Default for ChaosConfig {
     fn default() -> Self {
         Self {
             platforms: vec![Platform::Kunpeng920],
-            algorithms: AlgorithmId::ALL.to_vec(),
+            // The paper's 14 algorithms plus the shyper contenders: the
+            // survival table should show what a *lock-guarded* counter
+            // does under faults (a crashed lock holder wedges everyone).
+            algorithms: AlgorithmId::ALL.into_iter().chain(AlgorithmId::CONTENDERS).collect(),
             scenarios: Scenario::ALL.to_vec(),
             backends: vec![Backend::Sim],
             threads: 8,

@@ -1,0 +1,263 @@
+//! Closed-form lock-counter vs SENSE/STOUR crossover prediction
+//! (DESIGN.md §17).
+//!
+//! The shyper contender barriers (`SHY-CTR`, `SHY-PROXY`) guard a plain
+//! counter with a spinlock, so every arrival pays the platform's *CAS/SWP*
+//! pricing (lock grab + a failed attempt per lost race + an extra hot-line
+//! store for the unlock) where SENSE pays one *fetch-add* and STOUR pays
+//! no atomics at all. With the per-op-kind split of DESIGN.md §17 those
+//! prices differ per platform — LSE parts make FAA cheap and CAS dear,
+//! LL/SC parts price every contended RMW high — so the model can predict,
+//! per platform, the thread count at which the lock-guarded counter loses
+//! to the best no-lock barrier. The `crossover` experiment then measures
+//! the same curves in the simulator and checks the predicted crossover
+//! lands within one sweep step of the simulated one.
+//!
+//! All costs below use the same scalar abstractions as the rest of the
+//! model crate: `L = mean_remote_latency_ns(p)` for the hot line's
+//! ownership transfers, the outermost crossed layer's `α` for RFO, and the
+//! calibrated `inv`/`read contention` coherence parameters for crowd
+//! effects — mirroring [`crate::notification::recommend_wakeup`].
+
+use armbar_topology::{RmwOp, Topology};
+
+use crate::fanin::{arrival_cost_ns, optimal_fanin_int};
+
+/// Predicted per-episode cost of the four curves at one thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossoverPoint {
+    /// Thread count.
+    pub p: usize,
+    /// Spinlock-guarded counter, CAS lock (`SHY-CTR`).
+    pub shy_ctr_ns: f64,
+    /// Spinlock-guarded counter, SWP lock + episode slots (`SHY-PROXY`).
+    pub shy_proxy_ns: f64,
+    /// Sense-reversing centralized barrier (one FAA per arrival).
+    pub sense_ns: f64,
+    /// Static f-way tournament at the model-optimal fan-in (no atomics).
+    pub stour_ns: f64,
+}
+
+impl CrossoverPoint {
+    /// The best no-lock reference the contender must beat.
+    pub fn reference_ns(&self) -> f64 {
+        self.sense_ns.min(self.stour_ns)
+    }
+}
+
+/// Effective scalar parameters for `p` threads on cores `0..p`.
+struct Params {
+    eps: f64,
+    l: f64,
+    alpha: f64,
+    inv: f64,
+    read_c: f64,
+}
+
+impl Params {
+    fn of(topo: &Topology, p: usize) -> Self {
+        let span = p.min(topo.num_cores());
+        let outer = topo.layer(0, span.saturating_sub(1).max(1).min(topo.num_cores() - 1));
+        Self {
+            eps: topo.epsilon_ns(),
+            l: topo.mean_remote_latency_ns(span),
+            alpha: topo.alpha(outer),
+            inv: topo.coherence().inv_ns,
+            read_c: topo.coherence().read_contention_ns,
+        }
+    }
+
+    /// Hot-line release observed by `p − 1` spinners: the calibrated
+    /// global-wakeup term of `recommend_wakeup`.
+    fn wakeup_ns(&self, p: usize) -> f64 {
+        let n = (p - 1) as f64;
+        (1.0 + self.alpha) * self.l + (self.inv + self.read_c) * n
+    }
+
+    /// One exclusive grab of the hot line when `j` other cores share it:
+    /// transfer + RFO + crowd invalidation.
+    fn hot_write_ns(&self, j: usize) -> f64 {
+        self.l + self.alpha * self.l + self.inv * j as f64
+    }
+}
+
+/// Predicted per-episode cost of `SENSE` at `p` threads: `p` serialized
+/// fetch-adds on the hot counter line (arrival `j` invalidates the `j`
+/// spinners already camped on it), then the global wakeup.
+pub fn sense_episode_ns(topo: &Topology, p: usize) -> f64 {
+    if p <= 1 {
+        return topo.epsilon_ns();
+    }
+    let k = Params::of(topo, p);
+    let s_faa = topo.rmw_costs().surcharge_ns(RmwOp::FetchAdd, k.eps, k.l);
+    let arrivals: f64 = (0..p).map(|j| k.hot_write_ns(j) + s_faa).sum();
+    arrivals + k.wakeup_ns(p)
+}
+
+/// Predicted per-episode cost of `SHY-CTR` at `p` threads. Arrival `j`
+/// pays: the winning CAS, one failed CAS if anyone was there to race
+/// (`j ≥ 1`), two local counter ops inside the lock, and the unlock store
+/// — the store leaves the freshly-owned line local (`ε`) but still
+/// invalidates the `j` camped spinners. Exit is the same hot-line wakeup
+/// as SENSE.
+pub fn shy_ctr_episode_ns(topo: &Topology, p: usize) -> f64 {
+    if p <= 1 {
+        return topo.epsilon_ns();
+    }
+    let k = Params::of(topo, p);
+    let costs = topo.rmw_costs();
+    let s_ok = costs.surcharge_ns(RmwOp::CmpXchgOk, k.eps, k.l);
+    let s_fail = costs.surcharge_ns(RmwOp::CmpXchgFail, k.eps, k.l);
+    let arrivals: f64 = (0..p)
+        .map(|j| {
+            let contended = if j >= 1 { k.hot_write_ns(j) + s_fail } else { 0.0 };
+            k.hot_write_ns(j) + s_ok + contended + 2.0 * k.eps + (k.eps + k.inv * j as f64)
+        })
+        .sum();
+    arrivals + k.wakeup_ns(p)
+}
+
+/// Predicted per-episode cost of `SHY-PROXY` at `p` threads: same shape as
+/// [`shy_ctr_episode_ns`] with the SWP test-and-set price in place of the
+/// CAS pair (a lost SWP race costs a full swap — there is no cheap failed
+/// leg) plus two local episode-slot ops.
+pub fn shy_proxy_episode_ns(topo: &Topology, p: usize) -> f64 {
+    if p <= 1 {
+        return topo.epsilon_ns();
+    }
+    let k = Params::of(topo, p);
+    let s_swap = topo.rmw_costs().surcharge_ns(RmwOp::Swap, k.eps, k.l);
+    let arrivals: f64 = (0..p)
+        .map(|j| {
+            let contended = if j >= 1 { k.hot_write_ns(j) + s_swap } else { 0.0 };
+            k.hot_write_ns(j) + s_swap + contended + 2.0 * k.eps + (k.eps + k.inv * j as f64)
+        })
+        .sum();
+    arrivals + k.wakeup_ns(p) + 2.0 * k.eps
+}
+
+/// Predicted per-episode cost of `STOUR` at `p` threads: the Eq. 1 f-way
+/// tournament arrival at the model-optimal fan-in plus the hot-line
+/// wakeup (STOUR's notification is the same released flag).
+pub fn stour_episode_ns(topo: &Topology, p: usize) -> f64 {
+    if p <= 1 {
+        return topo.epsilon_ns();
+    }
+    let k = Params::of(topo, p);
+    let f = optimal_fanin_int(topo, p);
+    arrival_cost_ns(p, f, k.alpha, k.l) + k.wakeup_ns(p)
+}
+
+/// The four predicted curves over a sweep grid.
+pub fn predicted_curves(topo: &Topology, grid: &[usize]) -> Vec<CrossoverPoint> {
+    grid.iter()
+        .map(|&p| CrossoverPoint {
+            p,
+            shy_ctr_ns: shy_ctr_episode_ns(topo, p),
+            shy_proxy_ns: shy_proxy_episode_ns(topo, p),
+            sense_ns: sense_episode_ns(topo, p),
+            stour_ns: stour_episode_ns(topo, p),
+        })
+        .collect()
+}
+
+/// Index into `grid` of the first thread count at which `SHY-CTR` costs
+/// more than the best no-lock barrier, or `None` if the contender never
+/// loses on this grid. Index 0 is the degenerate "loses everywhere"
+/// verdict — the common case on LSE parts, where FAA is priced well below
+/// the CAS pair.
+pub fn predicted_crossover_index(topo: &Topology, grid: &[usize]) -> Option<usize> {
+    predicted_curves(topo, grid).iter().position(|pt| pt.shy_ctr_ns > pt.reference_ns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armbar_topology::{Platform, RmwCosts, Topology};
+
+    const GRID: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+    #[test]
+    fn curves_grow_monotonically_in_p() {
+        for platform in Platform::ARM {
+            let t = Topology::preset(platform);
+            let curves = predicted_curves(&t, &GRID);
+            for w in curves.windows(2) {
+                assert!(w[1].shy_ctr_ns > w[0].shy_ctr_ns, "{platform}: SHY-CTR not monotone");
+                assert!(w[1].sense_ns > w[0].sense_ns, "{platform}: SENSE not monotone");
+                assert!(w[1].stour_ns > w[0].stour_ns, "{platform}: STOUR not monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn contender_loses_somewhere_on_every_arm_platform() {
+        for platform in Platform::ARM {
+            let t = Topology::preset(platform);
+            let idx = predicted_crossover_index(&t, &GRID);
+            assert!(idx.is_some(), "{platform}: SHY-CTR never loses — model broken");
+        }
+    }
+
+    #[test]
+    fn contender_gap_widens_with_scale() {
+        // The lock adds a second hot-line write (plus failed CASes) per
+        // arrival, so its deficit vs SENSE must grow superlinearly in p.
+        let t = Topology::preset(Platform::Kunpeng920);
+        let c = predicted_curves(&t, &GRID);
+        let gap_small = c[0].shy_ctr_ns - c[0].sense_ns;
+        let gap_large = c[5].shy_ctr_ns - c[5].sense_ns;
+        assert!(gap_large > gap_small * 4.0, "gap {gap_small} → {gap_large}");
+    }
+
+    /// Hand-computed SENSE pin, ThunderX2 at p = 2 (one socket):
+    /// L = mean remote latency over 2 cores = 24, α = 0.9, ε = 1.2,
+    /// inv = 22, c = 12; FAA surcharge = 0.6·1.2 + 0.35·24 = 9.12.
+    ///   arrival 0: 24 + 21.6 + 9.12        = 54.72
+    ///   arrival 1: 24 + 21.6 + 22 + 9.12   = 76.72
+    ///   wakeup:    1.9·24 + (22 + 12)·1    = 79.6
+    ///   total                               = 211.04
+    #[test]
+    fn sense_pin_thunderx2_p2() {
+        let t = Topology::preset(Platform::ThunderX2);
+        let inv = t.coherence().inv_ns;
+        let read_c = t.coherence().read_contention_ns;
+        assert_eq!((inv, read_c), (22.0, 12.0), "pin assumes calibrated coherence params");
+        assert!((sense_episode_ns(&t, 2) - 211.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn llsc_pricing_narrows_the_contender_deficit() {
+        // Phytium's LL/SC table makes the contended FAA (frac 1.2) dearer
+        // than the CAS-ok (frac 0.5), so SHY-CTR's relative deficit vs
+        // SENSE at p = 2 must be smaller than on the LSE parts, where FAA
+        // is the cheap op.
+        let rel_deficit = |pf: Platform| {
+            let t = Topology::preset(pf);
+            (shy_ctr_episode_ns(&t, 2) - sense_episode_ns(&t, 2)) / sense_episode_ns(&t, 2)
+        };
+        let phytium = rel_deficit(Platform::Phytium2000Plus);
+        for lse in [Platform::ThunderX2, Platform::Kunpeng920] {
+            assert!(
+                phytium < rel_deficit(lse),
+                "LL/SC FAA pricing should flatter the contender: {phytium} vs {:?}",
+                rel_deficit(lse)
+            );
+        }
+    }
+
+    #[test]
+    fn equal_costs_still_leave_the_lock_overhead() {
+        // Under a legacy (uniform) table the contender still loses — the
+        // split pricing changes the margin, not the verdict.
+        let t = Topology::preset(Platform::Kunpeng920).with_rmw_costs(RmwCosts::legacy());
+        assert_eq!(predicted_crossover_index(&t, &GRID), Some(0));
+    }
+
+    #[test]
+    fn degenerate_p1_is_free() {
+        let t = Topology::preset(Platform::Phytium2000Plus);
+        assert_eq!(shy_ctr_episode_ns(&t, 1), t.epsilon_ns());
+        assert_eq!(sense_episode_ns(&t, 1), t.epsilon_ns());
+    }
+}

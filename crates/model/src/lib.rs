@@ -9,17 +9,24 @@
 //!   derivative condition `(ln f − 1)f = α_i` (Eq. 2), and the optimal
 //!   fan-in solver — [`fanin`];
 //! * the Notification-Phase costs `T_global` (Eq. 3) and `T_tree` (Eq. 4)
-//!   and the per-platform wake-up recommendation — [`notification`].
+//!   and the per-platform wake-up recommendation — [`notification`];
+//! * the per-op-kind atomics pricing (DESIGN.md §17) and the predicted
+//!   lock-counter-vs-SENSE/STOUR crossover per platform — [`crossover`].
 //!
 //! The models are deliberately simple — they exist to *choose parameters*
 //! (fan-in 4; wake-up policy per platform) and to sanity-check the
 //! simulator, not to predict absolute microseconds.
 
 pub mod cache_ops;
+pub mod crossover;
 pub mod fanin;
 pub mod notification;
 
 pub use cache_ops::CacheOps;
+pub use crossover::{
+    predicted_crossover_index, predicted_curves, sense_episode_ns, shy_ctr_episode_ns,
+    shy_proxy_episode_ns, stour_episode_ns, CrossoverPoint,
+};
 pub use fanin::{arrival_cost_ns, optimal_fanin_continuous, optimal_fanin_int};
 pub use notification::{
     global_wakeup_ns, numa_tree_wakeup_ns, recommend_wakeup, tree_wakeup_ns, WakeupChoice,

@@ -52,7 +52,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use armbar_topology::{CoreId, Topology};
+use armbar_topology::{CoreId, RmwOp, Topology};
 
 use crate::arena::{Addr, Arena};
 use crate::error::{DeadlockWaiter, SimError, WaitKind};
@@ -115,6 +115,9 @@ enum OpReq {
     /// Full barrier (`dmb ish`): drains the thread's store buffer and
     /// discards its stale-value cache. A no-op outside weak mode.
     Fence,
+    /// Atomic exchange `(addr, new)`: stores `new` unconditionally and
+    /// replies with the previous value (ARMv8.1 `SWP`).
+    Swap(Addr, u32),
 }
 
 enum Reply {
@@ -132,6 +135,7 @@ fn describe_op(op: &OpReq) -> (ReadyOpKind, Option<Addr>) {
         OpReq::Store(a, _, _) => (ReadyOpKind::Write, Some(*a)),
         OpReq::FetchAdd(a, _) => (ReadyOpKind::Rmw, Some(*a)),
         OpReq::CmpXchg(a, _, _) => (ReadyOpKind::Rmw, Some(*a)),
+        OpReq::Swap(a, _) => (ReadyOpKind::Rmw, Some(*a)),
         OpReq::SpinUntil(a, _, _) => (ReadyOpKind::Spin, Some(*a)),
         OpReq::SpinUntilAllGe(addrs, _) => (ReadyOpKind::Spin, addrs.first().copied()),
         OpReq::Mark(_) | OpReq::Now | OpReq::Counters | OpReq::Fence => (ReadyOpKind::Free, None),
@@ -153,6 +157,9 @@ fn op_tag(op: &OpReq) -> u64 {
         // Appended (never reordered) so pre-weak schedule fingerprints are
         // unchanged for programs that issue no fences.
         OpReq::Fence => 10,
+        // Appended in PR 10: fingerprints of swap-free programs are
+        // unchanged.
+        OpReq::Swap(..) => 11,
     }
 }
 
@@ -845,9 +852,18 @@ impl SimThread {
     /// Atomic compare-exchange: stores `new` iff the word equals `current`
     /// and returns the previous value either way (success iff it equals
     /// `current`). Charged like any RMW — an ARMv8.1 `CAS` takes the line
-    /// exclusively whether or not the comparison succeeds.
+    /// exclusively whether or not the comparison succeeds — but the
+    /// success and failure paths may carry different surcharges
+    /// (`RmwCosts::cas_ok` vs `RmwCosts::cas_fail`).
     pub fn compare_exchange(&self, addr: Addr, current: u32, new: u32) -> u32 {
         self.call_value(OpReq::CmpXchg(addr, current, new))
+    }
+
+    /// Atomic exchange (ARMv8.1 `SWP`): unconditionally stores `new` and
+    /// returns the previous value. Serializes with other writes/RMWs on
+    /// the same line; charged with the platform's `RmwCosts::swap` entry.
+    pub fn swap(&self, addr: Addr, new: u32) -> u32 {
+        self.call_value(OpReq::Swap(addr, new))
     }
 
     /// Spins until `pred(value_at(addr))` holds; returns the satisfying
@@ -1527,7 +1543,7 @@ impl Shared {
     /// waiters the commits satisfy.
     fn weak_flush(&self, g: &mut State, tid: usize) {
         while let Some((addr, v)) = g.weak.as_mut().and_then(|w| w.buffers[tid].pop_front()) {
-            self.do_write(g, tid, addr, v, false);
+            self.do_write(g, tid, addr, v, None);
             self.wake_waiters(g, addr, tid);
         }
     }
@@ -1545,7 +1561,7 @@ impl Shared {
                 return;
             };
             let (addr, v) = g.weak.as_mut().unwrap().buffers[tid].remove(pos).unwrap();
-            self.do_write(g, tid, addr, v, false);
+            self.do_write(g, tid, addr, v, None);
             self.wake_waiters(g, addr, tid);
         }
     }
@@ -1571,7 +1587,7 @@ impl Shared {
         };
         let (addr, v) = g.weak.as_mut().unwrap().buffers[tid].pop_front().unwrap();
         g.stats.mix_schedule(0xD5A1, (tid as u64) ^ u64::from(addr));
-        self.do_write(g, tid, addr, v, false);
+        self.do_write(g, tid, addr, v, None);
         self.wake_waiters(g, addr, tid);
         true
     }
@@ -1639,7 +1655,7 @@ impl Shared {
             }
             // RMWs are acquire+release: drain the buffer and discard stale
             // state, then run the committed read-modify-write.
-            OpReq::FetchAdd(..) | OpReq::CmpXchg(..) | OpReq::Fence => {
+            OpReq::FetchAdd(..) | OpReq::CmpXchg(..) | OpReq::Swap(..) | OpReq::Fence => {
                 self.weak_flush(g, tid);
                 g.weak.as_mut().unwrap().last_seen[tid].clear();
                 Some(op)
@@ -1686,6 +1702,7 @@ impl Shared {
             | OpReq::Store(a, _, _)
             | OpReq::FetchAdd(a, _)
             | OpReq::CmpXchg(a, _, _)
+            | OpReq::Swap(a, _)
             | OpReq::SpinUntil(a, _, _) => self.line_at(g, self.line_key(*a)).available_at,
             OpReq::SpinUntilAllGe(addrs, _) => addrs
                 .iter()
@@ -1694,8 +1711,10 @@ impl Shared {
             _ => 0.0,
         };
         if busy_until > g.time[tid] {
-            let is_write =
-                matches!(op, OpReq::Store(..) | OpReq::FetchAdd(..) | OpReq::CmpXchg(..));
+            let is_write = matches!(
+                op,
+                OpReq::Store(..) | OpReq::FetchAdd(..) | OpReq::CmpXchg(..) | OpReq::Swap(..)
+            );
             g.stats.record_stall(tid, is_write, busy_until - g.time[tid]);
             g.time[tid] = busy_until;
             g.slots[tid].pending = Some(op);
@@ -1715,24 +1734,36 @@ impl Shared {
                 self.reply(g, tid, Reply::Value(v));
             }
             OpReq::Store(addr, v, _) => {
-                self.do_write(g, tid, addr, v, false);
+                self.do_write(g, tid, addr, v, None);
                 self.wake_waiters(g, addr, tid);
                 self.reply(g, tid, Reply::Value(0));
             }
             OpReq::FetchAdd(addr, d) => {
                 let old = self.value(g, addr);
-                self.do_write(g, tid, addr, old.wrapping_add(d), true);
+                self.do_write(g, tid, addr, old.wrapping_add(d), Some(RmwOp::FetchAdd));
                 self.wake_waiters(g, addr, tid);
                 self.reply(g, tid, Reply::Value(old));
             }
             OpReq::CmpXchg(addr, current, new) => {
                 // ARMv8.1 LSE `CAS` issues the RMW regardless of the
                 // comparison outcome — a failed exchange still takes the
-                // line exclusively — so both branches are charged as an
-                // RMW write (the failure rewrites the unchanged value).
+                // line exclusively — so both branches perform the RMW write
+                // (the failure rewrites the unchanged value). Only the
+                // *surcharge* differs: the platform's `RmwCosts` may price
+                // the failed compare below the successful exchange.
                 let old = self.value(g, addr);
-                let stored = if old == current { new } else { old };
-                self.do_write(g, tid, addr, stored, true);
+                let (stored, kind) = if old == current {
+                    (new, RmwOp::CmpXchgOk)
+                } else {
+                    (old, RmwOp::CmpXchgFail)
+                };
+                self.do_write(g, tid, addr, stored, Some(kind));
+                self.wake_waiters(g, addr, tid);
+                self.reply(g, tid, Reply::Value(old));
+            }
+            OpReq::Swap(addr, new) => {
+                let old = self.value(g, addr);
+                self.do_write(g, tid, addr, new, Some(RmwOp::Swap));
                 self.wake_waiters(g, addr, tid);
                 self.reply(g, tid, Reply::Value(old));
             }
@@ -1873,7 +1904,7 @@ impl Shared {
         g.time[tid] = now + cost * jf;
     }
 
-    fn do_write(&self, g: &mut State, tid: usize, addr: Addr, new_value: u32, is_rmw: bool) {
+    fn do_write(&self, g: &mut State, tid: usize, addr: Addr, new_value: u32, rmw: Option<RmwOp>) {
         let now = g.time[tid];
         let key = self.line_key(addr);
         let line_snapshot = self.line_at(g, key);
@@ -1886,8 +1917,15 @@ impl Shared {
         // far-atomic / exclusive-monitor handshake adds another partial
         // round trip. This is the cost the paper credits static tournament
         // schemes for avoiding ("no overhead introduced by atomic
-        // instructions of a dynamic scheme", Section V-A).
-        let rmw_alu = if is_rmw { self.topo.epsilon_ns() + 0.5 * transfer } else { 0.0 };
+        // instructions of a dynamic scheme", Section V-A). The surcharge is
+        // per-op-kind (DESIGN.md §17): LSE parts price FAA/SWP below CAS,
+        // LL/SC parts the reverse, and a failed CAS has its own entry.
+        // Under `RmwCosts::legacy` this is bit-identical to the pre-split
+        // `ε + 0.5·transfer`.
+        let rmw_alu = match rmw {
+            Some(op) => self.topo.rmw_costs().surcharge_ns(op, self.topo.epsilon_ns(), transfer),
+            None => 0.0,
+        };
         // Remote transfers occupy the shared interconnect; local writes to
         // an exclusively-held line do not.
         let queue = if remote || sharers_snapshot.iter().any(|s| s != tid) {
@@ -2141,6 +2179,98 @@ mod tests {
                 assert_eq!(ctx.load(a), 7, "failed CAS must not store");
                 assert_eq!(ctx.compare_exchange(a, 7, 9), 7); // success again
                 assert_eq!(ctx.load(a), 9);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn swap_returns_old_stores_new_and_wakes_spinners() {
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        SimBuilder::new(topo(), 2)
+            .run(move |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.compute_ns(100.0); // let t1 park first
+                    assert_eq!(ctx.swap(a, 5), 0);
+                    assert_eq!(ctx.swap(a, 9), 5);
+                    assert_eq!(ctx.load(a), 9);
+                } else {
+                    // Both exchanges wake the spinner chain.
+                    assert_eq!(ctx.spin_until_eq(a, 5), 5);
+                    assert_eq!(ctx.spin_until_eq(a, 9), 9);
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn failed_cas_charged_below_successful_under_split_costs() {
+        use armbar_topology::{RmwCost, RmwCosts};
+        // A part that prices a failed compare below a successful exchange
+        // (both LSE and LL/SC shapes do). Jitter off → exact durations.
+        let costs = RmwCosts {
+            fetch_add: RmwCost::new(1.0, 0.5),
+            swap: RmwCost::new(1.0, 0.5),
+            cas_ok: RmwCost::new(1.0, 0.5),
+            cas_fail: RmwCost::new(0.5, 0.2),
+        };
+        let topo = std::sync::Arc::new(
+            TopologyBuilder::new("split8", 8)
+                .epsilon_ns(1.0)
+                .layer("near", 10.0, 0.5)
+                .layer("far", 40.0, 0.5)
+                .hierarchy(&[4])
+                .coherence(2.0, 3.0, 0.0)
+                .rmw_costs(costs)
+                .build(),
+        );
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        SimBuilder::new(topo, 1)
+            .run(move |ctx| {
+                ctx.store(a, 5); // own the line: both RMWs below are local
+                let t0 = ctx.now_ns();
+                assert_eq!(ctx.compare_exchange(a, 5, 6), 5); // success
+                let ok_dt = ctx.now_ns() - t0;
+                let t1 = ctx.now_ns();
+                assert_eq!(ctx.compare_exchange(a, 9, 7), 6); // failure
+                let fail_dt = ctx.now_ns() - t1;
+                // Local exclusive write: transfer = ε = 1, no RFO. Success
+                // pays 1 + (1.0·1 + 0.5·1) = 2.5; failure 1 + (0.5·1 +
+                // 0.2·1) = 1.7.
+                assert!((ok_dt - 2.5).abs() < 1e-9, "ok_dt = {ok_dt}");
+                assert!((fail_dt - 1.7).abs() < 1e-9, "fail_dt = {fail_dt}");
+                assert!(fail_dt < ok_dt);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn legacy_costs_charge_every_rmw_kind_alike() {
+        // Under the default (legacy) table, FAA, SWP, successful CAS and
+        // failed CAS on an owned line all cost ε + (ε + 0.5·ε) = 2.5 —
+        // the pre-split engine's single surcharge.
+        let mut arena = Arena::new();
+        let a = arena.alloc_u32();
+        SimBuilder::new(topo(), 1)
+            .run(move |ctx| {
+                ctx.store(a, 0);
+                let mut durations = Vec::new();
+                let t = ctx.now_ns();
+                ctx.fetch_add(a, 1);
+                durations.push(ctx.now_ns() - t);
+                let t = ctx.now_ns();
+                ctx.swap(a, 3);
+                durations.push(ctx.now_ns() - t);
+                let t = ctx.now_ns();
+                ctx.compare_exchange(a, 3, 4); // success
+                durations.push(ctx.now_ns() - t);
+                let t = ctx.now_ns();
+                ctx.compare_exchange(a, 0, 9); // failure
+                durations.push(ctx.now_ns() - t);
+                for d in durations {
+                    assert_eq!(d, 2.5);
+                }
             })
             .unwrap();
     }

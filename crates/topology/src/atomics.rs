@@ -1,0 +1,238 @@
+//! Per-op-kind atomic RMW cost parameters.
+//!
+//! The paper's cost model — and the simulator through PR 9 — charged every
+//! atomic read-modify-write the same surcharge on top of the ownership
+//! transfer: `ε + 0.5·transfer`. But *"Evaluating the Cost of Atomic
+//! Operations on Modern Architectures"* (PAPERS.md) measures CAS, FAA and
+//! SWP at distinct costs, and ARMv8.1 LSE far-atomics (single `LDADD`/`CAS`
+//! instructions executed near the home node) behave very differently from
+//! ARMv8.0 LL/SC retry loops (`LDXR`/`STXR`, which bounce the line and
+//! retry under contention).
+//!
+//! [`RmwCosts`] carries one [`RmwCost`] per [`RmwOp`] kind. The simulator
+//! charges a successful RMW
+//!
+//! ```text
+//! surcharge = alu_eps·ε + transfer_frac·transfer
+//! ```
+//!
+//! on top of the queue/transfer/RFO terms it already pays (see
+//! `armbar-simcoh::engine::do_write`). [`RmwCosts::legacy`] sets
+//! `{alu_eps: 1.0, transfer_frac: 0.5}` for every kind, which reproduces
+//! the pre-split engine **bit-identically** (`1.0·ε ≡ ε` in IEEE 754, and
+//! the addition order is unchanged) — the golden-master identity test pins
+//! this.
+//!
+//! Two named shapes capture the architectural split:
+//!
+//! * [`RmwCosts::lse`] — ARMv8.1 far atomics. FAA and SWP are cheap
+//!   fire-and-forget near-memory ops; CAS carries a compare leg, and a
+//!   *failed* CAS is cheaper than a successful one (no data to write
+//!   back through the ALU).
+//! * [`RmwCosts::llsc`] — ARMv8.0 exclusives. Every RMW is an
+//!   `LDXR…STXR` loop; under contention the store-exclusive fails and
+//!   retries, so FAA/SWP pay a large transfer-proportional penalty. A
+//!   failed CAS is the *cheapest* outcome: the compare fails after the
+//!   `LDXR` and the `STXR` never issues.
+
+/// Which atomic read-modify-write a cost entry prices.
+///
+/// `CmpXchgOk` and `CmpXchgFail` split the two outcomes of a
+/// compare-exchange: both take the line exclusively (a failed CAS still
+/// performs the coherence transaction — this is deliberate, and what real
+/// CAS does), but they may charge different ALU/transfer surcharges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// `fetch_add` (ARMv8.1 `LDADD` / LL-SC add loop).
+    FetchAdd,
+    /// `swap` (ARMv8.1 `SWP` / LL-SC exchange loop).
+    Swap,
+    /// A compare-exchange whose compare succeeded and stored the new value.
+    CmpXchgOk,
+    /// A compare-exchange whose compare failed (the old value is rewritten;
+    /// the line is still taken exclusively).
+    CmpXchgFail,
+}
+
+impl RmwOp {
+    /// All four kinds, in a fixed order (used by validation and reports).
+    pub const ALL: [RmwOp; 4] =
+        [RmwOp::FetchAdd, RmwOp::Swap, RmwOp::CmpXchgOk, RmwOp::CmpXchgFail];
+}
+
+/// The surcharge parameters for one RMW kind:
+/// `surcharge = alu_eps·ε + transfer_frac·transfer`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmwCost {
+    /// Multiple of the local cache latency `ε` charged for the ALU /
+    /// near-memory leg of the op.
+    pub alu_eps: f64,
+    /// Fraction of the op's ownership-transfer latency charged on top of
+    /// the transfer itself (LL/SC retry traffic scales with distance, so
+    /// this may exceed 1.0 on heavily contended exclusives).
+    pub transfer_frac: f64,
+}
+
+impl RmwCost {
+    /// Validates ranges: both terms must be finite and ≥ 0.
+    pub fn new(alu_eps: f64, transfer_frac: f64) -> Self {
+        assert!(alu_eps.is_finite() && alu_eps >= 0.0, "alu_eps out of range: {alu_eps}");
+        assert!(
+            transfer_frac.is_finite() && transfer_frac >= 0.0,
+            "transfer_frac out of range: {transfer_frac}"
+        );
+        Self { alu_eps, transfer_frac }
+    }
+
+    /// The pre-split shared surcharge: `ε + 0.5·transfer` for every kind.
+    pub const LEGACY: RmwCost = RmwCost { alu_eps: 1.0, transfer_frac: 0.5 };
+}
+
+/// Per-kind RMW surcharge table, carried by [`crate::Topology`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmwCosts {
+    pub fetch_add: RmwCost,
+    pub swap: RmwCost,
+    pub cas_ok: RmwCost,
+    pub cas_fail: RmwCost,
+}
+
+impl RmwCosts {
+    /// The pre-split behaviour: every kind charges `ε + 0.5·transfer`.
+    /// This is the default for custom-built topologies and the non-ARM
+    /// presets, and reproduces the old engine bit-identically.
+    pub fn legacy() -> Self {
+        Self {
+            fetch_add: RmwCost::LEGACY,
+            swap: RmwCost::LEGACY,
+            cas_ok: RmwCost::LEGACY,
+            cas_fail: RmwCost::LEGACY,
+        }
+    }
+
+    /// ARMv8.1 LSE far-atomic shape: cheap fire-and-forget FAA/SWP
+    /// executed near the home node, CAS with a compare leg, failed CAS
+    /// cheaper than successful.
+    ///
+    /// `faa_eps` prices the near-memory ALU pass for FAA/SWP; `cas_eps`
+    /// the compare+write pass for CAS. Transfer fractions are fixed at
+    /// the shape level: 0.35 for FAA/SWP (the far atomic still rides the
+    /// request to the home node), 0.5 / 0.35 for ok/failed CAS.
+    pub fn lse(faa_eps: f64, cas_eps: f64) -> Self {
+        Self {
+            fetch_add: RmwCost::new(faa_eps, 0.35),
+            swap: RmwCost::new(faa_eps, 0.35),
+            cas_ok: RmwCost::new(cas_eps, 0.5),
+            cas_fail: RmwCost::new(cas_eps * 0.75, 0.35),
+        }
+    }
+
+    /// ARMv8.0 LL/SC exclusive-loop shape: every RMW bounces the line
+    /// through an `LDXR…STXR` pair and retries under contention, so
+    /// FAA/SWP pay a transfer-proportional retry penalty `retry_frac`
+    /// (> 0.5; may exceed 1.0). A failed CAS skips the `STXR` and is the
+    /// cheapest outcome.
+    pub fn llsc(rmw_eps: f64, retry_frac: f64) -> Self {
+        assert!(retry_frac >= 0.5, "LL/SC retry fraction below the legacy surcharge: {retry_frac}");
+        Self {
+            fetch_add: RmwCost::new(rmw_eps, retry_frac),
+            swap: RmwCost::new(rmw_eps, retry_frac),
+            cas_ok: RmwCost::new(rmw_eps, 0.5),
+            cas_fail: RmwCost::new(rmw_eps * 0.5, 0.2),
+        }
+    }
+
+    /// The cost entry for one op kind.
+    #[inline]
+    pub fn cost(&self, op: RmwOp) -> RmwCost {
+        match op {
+            RmwOp::FetchAdd => self.fetch_add,
+            RmwOp::Swap => self.swap,
+            RmwOp::CmpXchgOk => self.cas_ok,
+            RmwOp::CmpXchgFail => self.cas_fail,
+        }
+    }
+
+    /// The surcharge in ns for one op, given the machine's `ε` and the
+    /// op's ownership-transfer latency. Under [`RmwCosts::legacy`] this is
+    /// bit-identical to the pre-split `ε + 0.5·transfer`.
+    #[inline]
+    pub fn surcharge_ns(&self, op: RmwOp, epsilon_ns: f64, transfer_ns: f64) -> f64 {
+        let c = self.cost(op);
+        c.alu_eps * epsilon_ns + c.transfer_frac * transfer_ns
+    }
+
+    /// `true` when every kind equals the legacy shared surcharge.
+    pub fn is_legacy(&self) -> bool {
+        RmwOp::ALL.iter().all(|&op| self.cost(op) == RmwCost::LEGACY)
+    }
+}
+
+impl Default for RmwCosts {
+    fn default() -> Self {
+        Self::legacy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_matches_presplit_surcharge_bitwise() {
+        let c = RmwCosts::legacy();
+        for &op in &RmwOp::ALL {
+            for &(eps, transfer) in &[(1.8, 54.1), (1.15, 75.0), (1.2, 140.7), (0.5, 2.0)] {
+                // Bit-for-bit: 1.0·ε ≡ ε and the addition order matches the
+                // old `ε + 0.5·transfer` expression.
+                assert_eq!(c.surcharge_ns(op, eps, transfer), eps + 0.5 * transfer, "{op:?}");
+            }
+        }
+        assert!(c.is_legacy());
+        assert_eq!(RmwCosts::default(), RmwCosts::legacy());
+    }
+
+    #[test]
+    fn lse_shape_orders_ops() {
+        let c = RmwCosts::lse(0.8, 1.1);
+        let (eps, t) = (1.15, 44.2);
+        // Far FAA/SWP cheaper than CAS; failed CAS cheaper than successful.
+        assert!(c.surcharge_ns(RmwOp::FetchAdd, eps, t) < c.surcharge_ns(RmwOp::CmpXchgOk, eps, t));
+        assert!(
+            c.surcharge_ns(RmwOp::CmpXchgFail, eps, t) < c.surcharge_ns(RmwOp::CmpXchgOk, eps, t)
+        );
+        assert_eq!(c.surcharge_ns(RmwOp::Swap, eps, t), c.surcharge_ns(RmwOp::FetchAdd, eps, t));
+        assert!(!c.is_legacy());
+    }
+
+    #[test]
+    fn llsc_shape_orders_ops() {
+        let c = RmwCosts::llsc(1.5, 1.2);
+        let (eps, t) = (1.8, 54.1);
+        // Exclusive-loop FAA pricier than CAS-ok (retry traffic); failed
+        // CAS (no STXR) cheapest of all.
+        assert!(c.surcharge_ns(RmwOp::FetchAdd, eps, t) > c.surcharge_ns(RmwOp::CmpXchgOk, eps, t));
+        let fail = c.surcharge_ns(RmwOp::CmpXchgFail, eps, t);
+        for &op in &[RmwOp::FetchAdd, RmwOp::Swap, RmwOp::CmpXchgOk] {
+            assert!(fail < c.surcharge_ns(op, eps, t), "{op:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retry fraction below")]
+    fn llsc_rejects_sub_legacy_retry() {
+        let _ = RmwCosts::llsc(1.0, 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alu_eps out of range")]
+    fn cost_rejects_negative_alu() {
+        let _ = RmwCost::new(-1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer_frac out of range")]
+    fn cost_rejects_nan_frac() {
+        let _ = RmwCost::new(1.0, f64::NAN);
+    }
+}

@@ -5,6 +5,7 @@
 //! one — e.g. "what if ThunderX2 had 4 sockets?") and run every experiment
 //! in the workspace against it. See `examples/custom_topology.rs`.
 
+use crate::atomics::RmwCosts;
 use crate::layer::{Layer, LayerId};
 use crate::machine::{CoherenceParams, CoreId, Topology};
 
@@ -42,6 +43,7 @@ pub struct TopologyBuilder {
     shard_cores: Option<usize>,
     pair_layer: Option<Vec<LayerId>>,
     coherence: CoherenceParams,
+    rmw_costs: RmwCosts,
 }
 
 impl TopologyBuilder {
@@ -61,6 +63,7 @@ impl TopologyBuilder {
             shard_cores: None,
             pair_layer: None,
             coherence: CoherenceParams::new(0.0, 0.0, 0.0),
+            rmw_costs: RmwCosts::legacy(),
         }
     }
 
@@ -173,6 +176,14 @@ impl TopologyBuilder {
         self
     }
 
+    /// Sets the per-op-kind atomic RMW surcharge table (default
+    /// [`RmwCosts::legacy`], i.e. the pre-split `ε + 0.5·transfer` for
+    /// every kind).
+    pub fn rmw_costs(mut self, costs: RmwCosts) -> Self {
+        self.rmw_costs = costs;
+        self
+    }
+
     /// Finishes construction, validating the model.
     ///
     /// # Panics
@@ -194,6 +205,7 @@ impl TopologyBuilder {
             n_c: self.n_c.unwrap_or(self.num_cores),
             shard_cores: self.shard_cores.unwrap_or(self.num_cores),
             coherence: self.coherence,
+            rmw_costs: self.rmw_costs,
         };
         topo.validate();
         topo.compute_matrices();
@@ -271,6 +283,22 @@ mod tests {
             .build();
         assert_eq!(t.latency_ns(0, 2), 7.0);
         assert_eq!(t.latency_ns(0, 1), 9.0);
+    }
+
+    #[test]
+    fn rmw_costs_default_legacy_and_override() {
+        let t = toy();
+        assert!(t.rmw_costs().is_legacy());
+        let t2 = TopologyBuilder::new("toy", 8)
+            .layer("near", 10.0, 0.4)
+            .hierarchy(&[])
+            .rmw_costs(RmwCosts::lse(0.7, 1.0))
+            .build();
+        assert!(!t2.rmw_costs().is_legacy());
+        // with_rmw_costs swaps the table without touching latencies.
+        let back = t2.clone().with_rmw_costs(RmwCosts::legacy());
+        assert!(back.rmw_costs().is_legacy());
+        assert_eq!(back.latency_ns(0, 5), t2.latency_ns(0, 5));
     }
 
     #[test]

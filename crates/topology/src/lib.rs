@@ -33,11 +33,13 @@
 //! assert_eq!(topo.latency_ns(0, 63), 84.5);
 //! ```
 
+pub mod atomics;
 pub mod builder;
 pub mod layer;
 pub mod machine;
 pub mod platforms;
 
+pub use atomics::{RmwCost, RmwCosts, RmwOp};
 pub use builder::TopologyBuilder;
 pub use layer::{Layer, LayerId};
 pub use machine::{CoherenceParams, CoreId, Topology};

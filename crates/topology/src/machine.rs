@@ -1,6 +1,7 @@
 //! The [`Topology`] type: a complete latency/coherence description of one
 //! machine.
 
+use crate::atomics::RmwCosts;
 use crate::layer::{Layer, LayerId};
 use crate::platforms::Platform;
 
@@ -100,6 +101,9 @@ pub struct Topology {
     /// shard) unless the preset opts in to sharding.
     pub(crate) shard_cores: usize,
     pub(crate) coherence: CoherenceParams,
+    /// Per-op-kind atomic RMW surcharge parameters (DESIGN.md §17).
+    /// [`RmwCosts::legacy`] unless the preset/builder differentiates.
+    pub(crate) rmw_costs: RmwCosts,
 }
 
 impl Topology {
@@ -151,6 +155,21 @@ impl Topology {
     /// Coherence contention parameters for the simulator.
     pub fn coherence(&self) -> &CoherenceParams {
         &self.coherence
+    }
+
+    /// Per-op-kind atomic RMW surcharge parameters.
+    #[inline]
+    pub fn rmw_costs(&self) -> &RmwCosts {
+        &self.rmw_costs
+    }
+
+    /// Returns a copy of this machine with a different RMW cost table —
+    /// everything else (latencies, coherence, sharding) unchanged. Used by
+    /// the identity tests to run an ARM preset under the legacy shared
+    /// surcharge, and by experiments that sweep cost shapes.
+    pub fn with_rmw_costs(mut self, costs: RmwCosts) -> Self {
+        self.rmw_costs = costs;
+        self
     }
 
     /// The latency layer joining cores `a` and `b` ([`LayerId::LOCAL`] when

@@ -8,6 +8,7 @@
 //! simulator reproduces the anchor points of Figures 5–7 (see DESIGN.md §2
 //! and EXPERIMENTS.md).
 
+use crate::atomics::RmwCosts;
 use crate::builder::TopologyBuilder;
 use crate::layer::LayerId;
 use crate::machine::Topology;
@@ -103,6 +104,10 @@ pub fn phytium_2000plus() -> Topology {
         })
         .coherence(5.0, 10.0, 0.03)
         .noc_ns(3.0)
+        // FT-2000+ cores are ARMv8.0: every atomic is an LDXR…STXR
+        // exclusive loop that retries under contention (expensive FAA/SWP,
+        // cheap failed CAS). See DESIGN.md §17.
+        .rmw_costs(RmwCosts::llsc(1.6, 1.2))
         .build()
 }
 
@@ -121,6 +126,10 @@ pub fn thunderx2() -> Topology {
         .shard_cores(32) // one scheduler shard per socket
         .coherence(22.0, 12.0, 0.03)
         .noc_ns(4.0)
+        // Vulcan cores are ARMv8.1: LSE far atomics execute FAA/SWP near
+        // the home node (cheap), CAS carries a compare leg and a failed
+        // CAS skips the write-back. See DESIGN.md §17.
+        .rmw_costs(RmwCosts::lse(0.6, 1.1))
         .build()
 }
 
@@ -141,6 +150,10 @@ pub fn kunpeng920() -> Topology {
         .shard_cores(32) // one scheduler shard per SCCL
         .coherence(5.0, 0.8, 0.22)
         .noc_ns(2.5)
+        // TSV110 cores are ARMv8.2 with LSE far atomics, same shape as
+        // ThunderX2 but a slightly costlier CAS leg (128-byte lines make
+        // the exclusive grab heavier). See DESIGN.md §17.
+        .rmw_costs(RmwCosts::lse(0.7, 1.2))
         .build()
 }
 
@@ -327,6 +340,41 @@ mod tests {
                 assert!(t.coherence().inv_ns < a.coherence().inv_ns, "{p:?} vs {arm:?}");
                 assert!(t.coherence().noc_ns < a.coherence().noc_ns, "{p:?} vs {arm:?}");
             }
+        }
+    }
+
+    #[test]
+    fn arm_presets_carry_differentiated_rmw_costs() {
+        use crate::atomics::RmwOp;
+        // The three ARM parts split the RMW surcharge by op kind; the
+        // Xeon reference and the MemPool extrapolations keep the legacy
+        // shared surcharge (their goldens must not move).
+        for p in Platform::ARM {
+            assert!(!Topology::preset(p).rmw_costs().is_legacy(), "{p}");
+        }
+        for p in [Platform::XeonGold, Platform::MemPool256, Platform::MemPool1024] {
+            assert!(Topology::preset(p).rmw_costs().is_legacy(), "{p}");
+        }
+        // LL/SC vs LSE: contended FAA is pricier than a successful CAS on
+        // Phytium (exclusive-loop retries) and cheaper on the LSE parts.
+        let (eps, t) = (1.0, 50.0);
+        let phy = phytium_2000plus();
+        assert!(
+            phy.rmw_costs().surcharge_ns(RmwOp::FetchAdd, eps, t)
+                > phy.rmw_costs().surcharge_ns(RmwOp::CmpXchgOk, eps, t)
+        );
+        for p in [Platform::ThunderX2, Platform::Kunpeng920] {
+            let c = Topology::preset(p).rmw_costs().clone();
+            assert!(
+                c.surcharge_ns(RmwOp::FetchAdd, eps, t) < c.surcharge_ns(RmwOp::CmpXchgOk, eps, t),
+                "{p}"
+            );
+            // Failed CAS is cheaper than successful on every ARM part.
+            assert!(
+                c.surcharge_ns(RmwOp::CmpXchgFail, eps, t)
+                    < c.surcharge_ns(RmwOp::CmpXchgOk, eps, t),
+                "{p}"
+            );
         }
     }
 

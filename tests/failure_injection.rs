@@ -216,7 +216,8 @@ fn chaos_matrix_replays_byte_identically() {
         ..ChaosConfig::default()
     };
     let first = chaos_matrix(&config);
-    assert_eq!(first.len(), 2 * AlgorithmId::ALL.len() * Scenario::SURVIVABLE.len());
+    let algos = AlgorithmId::ALL.len() + AlgorithmId::CONTENDERS.len();
+    assert_eq!(first.len(), 2 * algos * Scenario::SURVIVABLE.len());
     for cell in &first {
         assert!(
             matches!(cell.status(), "ok" | "recovered"),
